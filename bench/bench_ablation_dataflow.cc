@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: dataflow choice per placement level (DESIGN.md §6).
+ * The paper assigns output-stationary to the SSD and channel levels
+ * and weight-stationary to the chip level (Table 3). This bench swaps
+ * the dataflows to show why: OS wins when weights can stay resident
+ * near the array, WS wins when every weight fetch is expensive.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/dse_select.h"
+#include "core/query_model.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Ablation: dataflow per level",
+                  "Geometric-mean per-feature time with OS / WS / IS "
+                  "mapped onto each level's Table 3 array");
+
+    ssd::FlashParams flash;
+    TextTable t({"Level", "OS(us)", "WS(us)", "IS(us)",
+                 "Paper's choice"});
+    for (auto level : {core::Level::SsdLevel,
+                       core::Level::ChannelLevel,
+                       core::Level::ChipLevel}) {
+        auto base = core::makePlacement(level, flash);
+        std::vector<std::string> row{core::toString(level)};
+        double best = 1e99;
+        systolic::Dataflow best_df = base.array.dataflow;
+        for (auto df : {systolic::Dataflow::OutputStationary,
+                        systolic::Dataflow::WeightStationary,
+                        systolic::Dataflow::InputStationary}) {
+            auto cfg = base.array;
+            cfg.dataflow = df;
+            auto c = core::evaluateCandidate(level, flash, cfg);
+            row.push_back(
+                TextTable::num(c.meanPerFeatureSeconds * 1e6, 2));
+            if (c.meanPerFeatureSeconds < best) {
+                best = c.meanPerFeatureSeconds;
+                best_df = df;
+            }
+        }
+        row.push_back(std::string(toString(base.array.dataflow)) +
+                      (best_df == base.array.dataflow
+                           ? " (= model best)"
+                           : std::string(" (model best: ") +
+                                 toString(best_df) + ")"));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::printf("\nPaper (Table 3): OS at SSD/channel level, WS at "
+                "chip level. WS only pays off when\nthe per-feature "
+                "weight traffic dominates — exactly the chip level's "
+                "regime.\n");
+    return 0;
+}

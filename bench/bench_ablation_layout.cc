@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: feature-vector flash layout (§4.4). DeepStore packs
+ * features so none straddles a page (small features share pages;
+ * large features take ceil(size/page) pages). The alternative —
+ * page-aligning every feature — wastes capacity and, for small
+ * features, flash read work. This bench quantifies both against the
+ * paper's five feature sizes.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "ssd/throughput.h"
+#include "workloads/apps.h"
+
+using namespace deepstore;
+
+namespace {
+
+/** Channel feature rate when every feature is page-aligned. */
+double
+alignedFeatureRate(const ssd::FlashParams &p,
+                   std::uint64_t feature_bytes)
+{
+    std::uint64_t pages =
+        (feature_bytes + p.pageBytes - 1) / p.pageBytes;
+    // Each feature reads `pages` pages but transfers only its bytes.
+    double plane_rate =
+        static_cast<double>(p.planesPerChip) * p.chipsPerChannel /
+        p.readLatency / static_cast<double>(pages);
+    double bus_rate =
+        p.channelBandwidth / static_cast<double>(feature_bytes);
+    return std::min(plane_rate, bus_rate);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: feature layout",
+                  "Packed (paper §4.4) vs page-aligned feature "
+                  "placement: capacity and channel throughput");
+
+    ssd::FlashParams p;
+    const std::uint64_t db_features = 10'000'000;
+
+    TextTable t({"App", "Feature", "Packed pages/10M", "Aligned",
+                 "CapacityWaste", "PackedRate(f/s/ch)", "AlignedRate",
+                 "Slowdown"});
+    for (const auto &app : workloads::allApps()) {
+        ssd::FeatureLayout layout{app.featureBytes(), p.pageBytes};
+        std::uint64_t packed_pages =
+            layout.pagesForFeatures(db_features);
+        std::uint64_t aligned_pages =
+            db_features *
+            ((app.featureBytes() + p.pageBytes - 1) / p.pageBytes);
+        double packed_rate =
+            ssd::channelFeatureRate(p, app.featureBytes());
+        double aligned_rate = alignedFeatureRate(p, app.featureBytes());
+        t.addRow(
+            {app.name,
+             TextTable::num(
+                 static_cast<double>(app.featureBytes()) / 1024, 1) +
+                 "KB",
+             std::to_string(packed_pages / 1000) + "K",
+             std::to_string(aligned_pages / 1000) + "K",
+             TextTable::num((static_cast<double>(aligned_pages) /
+                                 static_cast<double>(packed_pages) -
+                             1.0) *
+                                100,
+                            0) +
+                 "%",
+             TextTable::num(packed_rate / 1000, 0) + "K",
+             TextTable::num(aligned_rate / 1000, 0) + "K",
+             TextTable::num(packed_rate / aligned_rate, 1) + "x"});
+    }
+    t.print(std::cout);
+
+    std::printf("\nPage-aligning TextQA's 0.8 KB features would waste "
+                "~19x capacity and drop the\nper-channel rate 1.7x "
+                "(plane-read amplification); 2 KB features waste 7x "
+                "capacity\nbut stay bus-bound; page-multiple features "
+                "(ESTP, ReId) are unaffected. Packing\nis strictly "
+                "better, which is why §4.4 adopts it.\n");
+    return 0;
+}

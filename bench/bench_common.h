@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses. Every bench binary
+ * regenerates one table or figure from the paper's evaluation and
+ * prints the same rows/series the paper reports, with the published
+ * values alongside for comparison where available.
+ */
+
+#ifndef DEEPSTORE_BENCH_BENCH_COMMON_H
+#define DEEPSTORE_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace deepstore::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &description)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("DeepStore reproduction — %s\n", experiment.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("==================================================="
+                "===========\n\n");
+}
+
+/** Print a section sub-header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+} // namespace deepstore::bench
+
+#endif // DEEPSTORE_BENCH_BENCH_COMMON_H

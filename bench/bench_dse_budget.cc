@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: the §4.5 budget-constrained design-space exploration.
+ * Reruns the paper's methodology — sweep array shapes and scratchpad
+ * sizes per level, eliminate over-budget designs, rank the rest by
+ * workload-mean performance — and compares the resulting frontier
+ * with the published Table 3 configurations.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/dse_select.h"
+
+using namespace deepstore;
+
+namespace {
+
+std::string
+describe(const core::DseCandidate &c)
+{
+    return std::to_string(c.config.rows) + "x" +
+           std::to_string(c.config.cols) + " / " +
+           std::to_string(c.config.scratchpadBytes / 1024) + " KiB";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("DSE ablation (§4.5)",
+                  "Budget-constrained design-space exploration per "
+                  "placement level");
+
+    ssd::FlashParams flash;
+    for (auto level : {core::Level::SsdLevel,
+                       core::Level::ChannelLevel,
+                       core::Level::ChipLevel}) {
+        auto result = core::exploreLevel(level, flash);
+        bench::section(std::string(core::toString(level)) + " level");
+
+        std::size_t within_budget = 0;
+        for (const auto &c : result.candidates)
+            within_budget += c.feasible();
+        std::printf("%zu candidates explored, %zu within the power "
+                    "and area budgets\n\n",
+                    result.candidates.size(), within_budget);
+
+        TextTable t({"Rank", "Shape/Spad", "MeanPerFeature(us)",
+                     "PeakPower(W)", "Area(mm^2)", "InBudget"});
+        for (std::size_t i = 0; i < 5 && i < result.candidates.size();
+             ++i) {
+            const auto &c = result.candidates[i];
+            t.addRow({std::to_string(i + 1), describe(c),
+                      TextTable::num(c.meanPerFeatureSeconds * 1e6, 2),
+                      TextTable::num(c.peakPowerW, 2),
+                      TextTable::num(c.areaMm2, 1),
+                      c.feasible() ? "yes" : "NO"});
+        }
+        t.addRow({"T3", describe(result.table3),
+                  TextTable::num(
+                      result.table3.meanPerFeatureSeconds * 1e6, 2),
+                  TextTable::num(result.table3.peakPowerW, 2),
+                  TextTable::num(result.table3.areaMm2, 1),
+                  result.table3.feasible() ? "yes" : "NO"});
+        t.print(std::cout);
+
+        double gap = result.table3.meanPerFeatureSeconds /
+                     result.best().meanPerFeatureSeconds;
+        std::printf("\nTable 3 vs frontier best: %+.0f%% mean "
+                    "per-feature time.\n",
+                    (gap - 1.0) * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Fig. 2: per-batch time breakdown (GPU compute /
+ * cudaMemcpy / SSD read) of the GPU+SSD baseline, across batch sizes
+ * and both GPU generations. The paper's headline: 56-90% of the
+ * execution time is spent reading the feature dataset from the SSD,
+ * and upgrading Pascal -> Volta barely moves the total.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "host/baseline.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "GPU+SSD baseline breakdown: compute vs cudaMemcpy "
+                  "vs SSD read (Pascal & Volta)");
+
+    for (const auto &app : workloads::allApps()) {
+        bench::section(app.name);
+        TextTable t({"Batch", "GPU", "Compute(ms)", "Memcpy(ms)",
+                     "SSDRead(ms)", "Total(ms)", "IO%"});
+        for (auto batch : app.fig2BatchSizes) {
+            for (const auto &spec :
+                 {host::pascalSpec(), host::voltaSpec()}) {
+                host::GpuSsdSystem sys(spec);
+                auto b = sys.batchTime(app, batch);
+                t.addRow({std::to_string(batch),
+                          spec.name.substr(0, 8),
+                          TextTable::num(b.computeSeconds * 1e3, 2),
+                          TextTable::num(b.memcpySeconds * 1e3, 2),
+                          TextTable::num(b.ssdReadSeconds * 1e3, 2),
+                          TextTable::num(b.total() * 1e3, 2),
+                          TextTable::num(b.ioFraction() * 100.0, 1)});
+            }
+        }
+        t.print(std::cout);
+    }
+
+    bench::section("Observations (paper §3)");
+    double min_io = 1.0, max_io = 0.0;
+    for (const auto &app : workloads::allApps()) {
+        for (const auto &spec : {host::pascalSpec(), host::voltaSpec()}) {
+            host::GpuSsdSystem sys(spec);
+            double f =
+                sys.batchTime(app, app.evalBatchSize).ioFraction();
+            min_io = std::min(min_io, f);
+            max_io = std::max(max_io, f);
+        }
+    }
+    std::printf("Storage I/O fraction across apps/GPUs: %.0f%%-%.0f%% "
+                "(paper: 56%%-90%%)\n",
+                min_io * 100, max_io * 100);
+    for (const auto &app : workloads::allApps()) {
+        host::GpuSsdSystem pascal(host::pascalSpec()),
+            volta(host::voltaSpec());
+        auto p = pascal.batchTime(app, app.evalBatchSize);
+        auto v = volta.batchTime(app, app.evalBatchSize);
+        std::printf("%-7s Volta SCN compute speedup %.0f%% (paper: "
+                    "33%%), total speedup only %.1f%%\n",
+                    app.name.c_str(),
+                    (p.computeSeconds / v.computeSeconds - 1.0) * 100,
+                    (p.total() / v.total() - 1.0) * 100);
+    }
+    return 0;
+}

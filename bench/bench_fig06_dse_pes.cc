@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Fig. 6: speedup of a systolic array with a growing PE
+ * budget (128 -> 32K, best aspect ratio at each point, infinite
+ * memory bandwidth) for the largest ConvD and FC layers among the
+ * studied applications. The paper's finding: no gain beyond 512 PEs
+ * (FC) and 1024 PEs (Conv), because one feature vector needs fewer
+ * than 1024 MACs/cycle.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "systolic/dse.h"
+#include "workloads/apps.h"
+
+using namespace deepstore;
+
+namespace {
+
+/** Largest layer of the given kind across the five applications. */
+nn::Layer
+largestLayer(nn::LayerKind kind)
+{
+    const nn::Layer *best = nullptr;
+    static std::vector<workloads::AppInfo> apps = workloads::allApps();
+    for (const auto &app : apps) {
+        for (const auto &l : app.scn.layers()) {
+            if (l.kind != kind)
+                continue;
+            if (!best || l.macs() > best->macs())
+                best = &l;
+        }
+    }
+    if (!best)
+        fatal("no layer of the requested kind");
+    return *best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 6",
+                  "Systolic-array speedup vs PE count (best aspect "
+                  "ratio, infinite memory bandwidth)");
+
+    nn::Layer conv = largestLayer(nn::LayerKind::Conv2D);
+    nn::Layer fc = largestLayer(nn::LayerKind::FullyConnected);
+    std::printf("Largest ConvD layer: %s (%lld MACs)\n",
+                conv.name.c_str(),
+                static_cast<long long>(conv.macs()));
+    std::printf("Largest FC layer:    %s (%lld MACs)\n\n",
+                fc.name.c_str(), static_cast<long long>(fc.macs()));
+
+    std::vector<std::int64_t> pes{128, 256, 512, 1024, 2048,
+                                  4096, 8192, 16384, 32768};
+    auto conv_sweep = systolic::sweepPeCounts(
+        conv, pes, systolic::Dataflow::OutputStationary);
+    auto fc_sweep = systolic::sweepPeCounts(
+        fc, pes, systolic::Dataflow::OutputStationary);
+
+    TextTable t({"PEs", "Conv speedup", "Conv shape", "FC speedup",
+                 "FC shape"});
+    for (std::size_t i = 0; i < pes.size(); ++i) {
+        t.addRow({std::to_string(pes[i]),
+                  TextTable::num(conv_sweep[i].speedup, 2),
+                  std::to_string(conv_sweep[i].rows) + "x" +
+                      std::to_string(conv_sweep[i].cols),
+                  TextTable::num(fc_sweep[i].speedup, 2),
+                  std::to_string(fc_sweep[i].rows) + "x" +
+                      std::to_string(fc_sweep[i].cols)});
+    }
+    t.print(std::cout);
+
+    bench::section("Saturation points");
+    auto saturation = [](const std::vector<systolic::DsePoint> &sweep) {
+        for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+            if (sweep[i + 1].speedup / sweep[i].speedup < 1.02)
+                return sweep[i].peCount;
+        }
+        return sweep.back().peCount;
+    };
+    std::printf("FC saturates at %lld PEs (paper: 512)\n",
+                static_cast<long long>(saturation(fc_sweep)));
+    std::printf("Conv saturates at %lld PEs (paper: 1024)\n",
+                static_cast<long long>(saturation(conv_sweep)));
+    return 0;
+}

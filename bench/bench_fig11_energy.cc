@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Fig. 11 (and Table 4's energy column): performance per
+ * watt of each DeepStore level, normalized to the Volta GPU of the
+ * traditional system.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/query_model.h"
+#include "host/baseline.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Figure 11 / Table 4 (energy efficiency)",
+                  "Perf/Watt normalized to the Volta GPU baseline");
+
+    ssd::FlashParams flash;
+    core::DeepStoreModel ds(flash);
+    host::GpuSsdSystem gpu(host::voltaSpec());
+
+    struct PaperRow
+    {
+        double ssd, channel, chip;
+    };
+    const PaperRow paper[] = {
+        {0.7, 17.1, -1.0}, {1.6, 28.0, 2.6}, {2.8, 38.6, 3.2},
+        {2.1, 35.6, 3.7},  {2.2, 78.6, 13.7},
+    };
+
+    TextTable t({"App", "SSD", "Channel", "Chip",
+                 "Paper(S/C/P)", "ChannelPower(W)"});
+    auto apps = workloads::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &app = apps[i];
+        double t_gpu = gpu.perFeatureSeconds(app);
+        double channel_power = 0.0;
+        auto eff = [&](core::Level lvl) -> std::string {
+            auto p = ds.evaluate(lvl, app);
+            if (!p.supported)
+                return "n/a";
+            double speedup = t_gpu / p.aggregateSeconds;
+            double e = speedup * gpu.powerW() / p.activePowerW;
+            if (lvl == core::Level::ChannelLevel)
+                channel_power = p.activePowerW;
+            return TextTable::num(e, 1) + "x";
+        };
+        std::string s = eff(core::Level::SsdLevel);
+        std::string c = eff(core::Level::ChannelLevel);
+        std::string p = eff(core::Level::ChipLevel);
+        char paper_buf[48];
+        std::snprintf(
+            paper_buf, sizeof(paper_buf), "%.1f/%.1f/%s",
+            paper[i].ssd, paper[i].channel,
+            paper[i].chip < 0
+                ? "n/a"
+                : TextTable::num(paper[i].chip, 1).c_str());
+        t.addRow({app.name, s, c, p, paper_buf,
+                  TextTable::num(channel_power, 1)});
+    }
+    t.print(std::cout);
+
+    bench::section("Headlines (paper §6.4)");
+    std::printf("Channel level is the most energy-efficient design "
+                "for every application.\n");
+    {
+        auto textqa = workloads::makeApp(workloads::AppId::TextQA);
+        auto ch = ds.evaluate(core::Level::ChannelLevel, textqa);
+        auto chip = ds.evaluate(core::Level::ChipLevel, textqa);
+        double t_gpu = gpu.perFeatureSeconds(textqa);
+        double eff_ch = t_gpu / ch.aggregateSeconds * gpu.powerW() /
+                        ch.activePowerW;
+        double eff_chip = t_gpu / chip.aggregateSeconds *
+                          gpu.powerW() / chip.activePowerW;
+        std::printf("TextQA channel-level perf/W: %.1fx the GPU "
+                    "(paper: up to 78.6x)\n",
+                    eff_ch);
+        std::printf("Chip level reaches %.0f%% of channel-level "
+                    "efficiency on TextQA (paper: 8.2-17.5%%)\n",
+                    eff_chip / eff_ch * 100.0);
+    }
+    return 0;
+}

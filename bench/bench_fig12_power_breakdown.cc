@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Fig. 12: per-application energy breakdown (compute /
+ * memory / flash) of each DeepStore level. Paper shape: channel-level
+ * energy is dominated by memory accesses (the shared-L2 weight
+ * traffic); chip-level energy is dominated by flash accesses; ReId
+ * spends heavily on flash since each feature spans three pages.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/query_model.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Figure 12",
+                  "DeepStore energy breakdown per level: compute / "
+                  "memory / flash (%)");
+
+    ssd::FlashParams flash;
+    core::DeepStoreModel ds(flash);
+
+    TextTable t({"App", "Level", "Compute%", "Memory%", "Flash%",
+                 "Energy/feature(uJ)"});
+    for (const auto &app : workloads::allApps()) {
+        for (auto lvl : {core::Level::SsdLevel,
+                         core::Level::ChannelLevel,
+                         core::Level::ChipLevel}) {
+            auto p = ds.evaluate(lvl, app);
+            if (!p.supported) {
+                t.addRow({app.name, core::toString(lvl), "n/a", "n/a",
+                          "n/a", "n/a"});
+                continue;
+            }
+            double total = p.energyPerFeature.total();
+            t.addRow({app.name, core::toString(lvl),
+                      TextTable::num(
+                          p.energyPerFeature.computeJ / total * 100,
+                          1),
+                      TextTable::num(
+                          p.energyPerFeature.memoryJ / total * 100, 1),
+                      TextTable::num(
+                          p.energyPerFeature.flashJ / total * 100, 1),
+                      TextTable::num(total * 1e6, 2)});
+        }
+    }
+    t.print(std::cout);
+
+    bench::section("Shape checks (paper §6.4)");
+    int channel_mem_dominated = 0, chip_flash_dominated = 0, n = 0;
+    for (const auto &app : workloads::allApps()) {
+        auto ch = ds.evaluate(core::Level::ChannelLevel, app);
+        if (ch.energyPerFeature.memoryJ >
+            ch.energyPerFeature.computeJ +
+                ch.energyPerFeature.flashJ)
+            ++channel_mem_dominated;
+        auto chip = ds.evaluate(core::Level::ChipLevel, app);
+        if (chip.supported) {
+            ++n;
+            if (chip.energyPerFeature.flashJ >
+                chip.energyPerFeature.computeJ +
+                    chip.energyPerFeature.memoryJ)
+                ++chip_flash_dominated;
+        }
+    }
+    std::printf("Channel level memory-dominated for %d/5 apps "
+                "(paper: all)\n",
+                channel_mem_dominated);
+    std::printf("Chip level flash-dominated for %d/%d supported apps "
+                "(paper: all)\n",
+                chip_flash_dominated, n);
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Regenerates Fig. 13: Query Cache speedup and miss rate vs the
+ * comparison error threshold (0-20%), for uniform and Zipf(0.7)
+ * query popularity, on TIR against a 100M-image feature database
+ * with a 1K-entry cache (§6.5).
+ *
+ * Series (all speedups relative to the traditional GPU+SSD system
+ * without a cache):
+ *   - Traditional + QCache
+ *   - DeepStore (channel level) without QCache
+ *   - DeepStore + QCache
+ * plus the cache miss rate.
+ *
+ * The QCN score uses the closed-form latent-topic model, which the
+ * test suite shows is order-equivalent to running the functional QCN
+ * (tests/workloads/test_query_universe.cc).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/query_cache.h"
+#include "core/query_model.h"
+#include "host/baseline.h"
+#include "workloads/query_universe.h"
+
+using namespace deepstore;
+
+namespace {
+
+struct CacheCosts
+{
+    double tradScan;     ///< traditional full-database scan
+    double tradLookup;   ///< QCN over the cache on the GPU
+    double dsScan;       ///< DeepStore channel-level scan
+    double dsLookup;     ///< QCN over the cache on channel accels
+    double dsHitExtra;   ///< SCN on the cached top-K entries
+};
+
+CacheCosts
+computeCosts(const workloads::AppInfo &app, std::uint64_t features,
+             std::size_t entries, std::size_t top_k)
+{
+    CacheCosts c{};
+    host::GpuSsdSystem gpu(host::voltaSpec());
+    core::DeepStoreModel ds{ssd::FlashParams{}};
+    c.tradScan = gpu.scanSeconds(app, features);
+    c.dsScan =
+        ds.scanSeconds(core::Level::ChannelLevel, app, features);
+    auto qcn = ds.evaluateModel(
+        core::Level::ChannelLevel, app.qcn,
+        static_cast<std::uint64_t>(app.qcn.featureDim()) * 4);
+    c.dsLookup = qcn.computeSeconds * static_cast<double>(entries) /
+                 qcn.placement.numAccelerators;
+    c.tradLookup = static_cast<double>(app.qcn.totalFlops()) *
+                   static_cast<double>(entries) /
+                   host::voltaSpec().effectiveFlops;
+    auto scn = ds.evaluate(core::Level::ChannelLevel, app);
+    c.dsHitExtra =
+        scn.computeSeconds * static_cast<double>(top_k);
+    return c;
+}
+
+double
+runMissRate(const workloads::QueryUniverse &universe,
+            workloads::Popularity pop, double alpha, double threshold,
+            std::size_t entries, std::uint64_t warm,
+            std::uint64_t measured)
+{
+    core::QueryCacheConfig cfg;
+    cfg.capacity = entries;
+    cfg.threshold = threshold;
+    cfg.qcnAccuracy = 0.97;
+    core::QueryCache qc(
+        cfg, [&universe](std::uint64_t a, std::uint64_t b) {
+            return universe.qcnScore(a, b);
+        });
+    auto trace = universe.trace(warm + measured, pop, alpha, 9001);
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        if (i == warm)
+            qc.resetStats();
+        auto out = qc.lookup(trace[i]);
+        if (!out.hit)
+            qc.insert(trace[i], {});
+    }
+    return qc.missRate();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "Query Cache speedup and miss rate vs error "
+                  "threshold (TIR, 100M features, 1K entries)");
+
+    const std::uint64_t features = 100'000'000;
+    const std::size_t entries = 1000;
+    const std::size_t top_k = 10;
+    std::uint64_t warm = 5000, measured = 20000;
+    if (const char *env = std::getenv("DS_FIG13_QUERIES"))
+        measured = std::strtoull(env, nullptr, 10);
+
+    auto app = workloads::makeApp(workloads::AppId::TIR);
+    CacheCosts costs = computeCosts(app, features, entries, top_k);
+    std::printf("Scan costs: traditional %.1f s, DeepStore %.2f s; "
+                "cache lookup: %.0f us (DeepStore)\n",
+                costs.tradScan, costs.dsScan, costs.dsLookup * 1e6);
+    std::printf("Query trace: %llu warm-up + %llu measured "
+                "(DS_FIG13_QUERIES overrides)\n",
+                static_cast<unsigned long long>(warm),
+                static_cast<unsigned long long>(measured));
+
+    workloads::QueryUniverseConfig ucfg;
+    ucfg.numQueries = 100'000;
+    ucfg.numTopics = 3'000;
+    workloads::QueryUniverse universe(ucfg);
+
+    const double thresholds[] = {0.0,  0.02, 0.05, 0.08, 0.10,
+                                 0.12, 0.15, 0.18, 0.20};
+
+    struct Dist
+    {
+        const char *name;
+        workloads::Popularity pop;
+        double alpha;
+    };
+    for (const Dist &d :
+         {Dist{"Uniform", workloads::Popularity::Uniform, 0.0},
+          Dist{"Zipf(0.7)", workloads::Popularity::Zipf, 0.7}}) {
+        bench::section(d.name);
+        TextTable t({"Threshold", "MissRate%", "Trad+QC", "DeepStore",
+                     "DeepStore+QC"});
+        for (double thr : thresholds) {
+            double miss = runMissRate(universe, d.pop, d.alpha, thr,
+                                      entries, warm, measured);
+            double hit = 1.0 - miss;
+            double t_trad = costs.tradScan;
+            double t_trad_qc = costs.tradLookup +
+                               miss * costs.tradScan +
+                               hit * costs.dsHitExtra;
+            double t_ds = costs.dsScan;
+            double t_ds_qc = costs.dsLookup + miss * costs.dsScan +
+                             hit * costs.dsHitExtra;
+            t.addRow({TextTable::num(thr * 100, 0) + "%",
+                      TextTable::num(miss * 100, 1),
+                      TextTable::num(t_trad / t_trad_qc, 2) + "x",
+                      TextTable::num(t_trad / t_ds, 2) + "x",
+                      TextTable::num(t_trad / t_ds_qc, 2) + "x"});
+        }
+        t.print(std::cout);
+    }
+
+    bench::section("Headlines (paper §6.5)");
+    std::printf(
+        "Paper: QCache adds up to 2.8x (traditional) and up to 25.9x "
+        "(DeepStore) at a 20%%\nthreshold with Zipf queries; "
+        "DeepStore benefits ~10x more because its miss penalty\nis "
+        "far smaller. Relaxing the threshold 0%%->20%% buys up to "
+        "1.7x as misses drop.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-layer timing report (the SCALE-Sim per-layer view, §5): every
+ * Table 1 application's SCN broken down layer by layer on the
+ * channel-level accelerator — where each layer's cycles go, its PE
+ * utilization, and its memory traffic.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/placement.h"
+#include "systolic/report.h"
+#include "workloads/apps.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Per-layer report",
+                  "SCALE-Sim-style per-layer breakdown of every SCN "
+                  "on the channel-level accelerator");
+
+    auto placement = core::makePlacement(core::Level::ChannelLevel,
+                                         ssd::FlashParams{});
+    systolic::SystolicSim sim(placement.array);
+    for (const auto &app : workloads::allApps()) {
+        bench::section(app.name);
+        auto rows = systolic::layerReport(
+            sim, app.scn, systolic::WeightSource::SharedL2);
+        systolic::printLayerReport(std::cout, rows, placement.array);
+    }
+
+    std::printf("\nReading the report: batch-1 GEMV folds keep FC "
+                "utilization low (one array row\nactive), which is "
+                "why the DSE pushes toward wide arrays; conv layers "
+                "use the\nfull grid. K-heavy layers (ESTP fc1) "
+                "dominate their app's cycle count.\n");
+    return 0;
+}

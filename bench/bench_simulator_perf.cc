@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: these
+ * guard the wall-clock cost of the building blocks the paper-figure
+ * harnesses lean on (event kernel, systolic evaluation, flash
+ * streaming, top-K, cache lookups).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/query_cache.h"
+#include "core/query_model.h"
+#include "core/topk.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+#include "workloads/apps.h"
+#include "workloads/query_universe.h"
+
+using namespace deepstore;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            q.schedule((i * 7919) % 100000, [&sum] { ++sum; });
+        q.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_LevelPerfEvaluation(benchmark::State &state)
+{
+    core::DeepStoreModel ds{ssd::FlashParams{}};
+    auto app = workloads::makeApp(workloads::AppId::ReId);
+    for (auto _ : state) {
+        auto p = ds.evaluate(core::Level::ChannelLevel, app);
+        benchmark::DoNotOptimize(p.aggregateSeconds);
+    }
+}
+BENCHMARK(BM_LevelPerfEvaluation);
+
+void
+BM_FlashStreamEventSim(benchmark::State &state)
+{
+    const auto pages = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue events;
+        StatGroup stats("bench");
+        ssd::FlashParams p;
+        p.channels = 1;
+        ssd::FlashController ctrl(events, p, 0, stats);
+        ssd::Geometry g(p);
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            ssd::FlashCommand cmd;
+            cmd.op = ssd::FlashOp::Read;
+            cmd.addr = g.decode(i);
+            cmd.transferBytes = p.pageBytes;
+            ctrl.issue(std::move(cmd));
+        }
+        events.run();
+        benchmark::DoNotOptimize(events.now());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(pages) *
+                            state.iterations());
+}
+BENCHMARK(BM_FlashStreamEventSim)->Arg(10000);
+
+void
+BM_TopKInsert(benchmark::State &state)
+{
+    const auto k = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    std::vector<float> scores(100000);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.uniform());
+    for (auto _ : state) {
+        core::TopK topk(k);
+        for (std::size_t i = 0; i < scores.size(); ++i)
+            topk.insert({i, i, scores[i]});
+        benchmark::DoNotOptimize(topk.kthScore());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(scores.size()) *
+        state.iterations());
+}
+BENCHMARK(BM_TopKInsert)->Arg(10)->Arg(100);
+
+void
+BM_QueryCacheLookup(benchmark::State &state)
+{
+    workloads::QueryUniverseConfig cfg;
+    cfg.numQueries = 100000;
+    workloads::QueryUniverse u(cfg);
+    core::QueryCacheConfig qcfg;
+    qcfg.capacity = static_cast<std::size_t>(state.range(0));
+    qcfg.threshold = 0.10;
+    qcfg.qcnAccuracy = 0.97;
+    core::QueryCache qc(qcfg,
+                        [&u](std::uint64_t a, std::uint64_t b) {
+                            return u.qcnScore(a, b);
+                        });
+    for (std::uint64_t q = 0; q < qcfg.capacity; ++q)
+        qc.insert(q, {});
+    std::uint64_t next = 0;
+    for (auto _ : state) {
+        auto out = qc.lookup(next++ % 100000);
+        benchmark::DoNotOptimize(out.bestScore);
+    }
+}
+BENCHMARK(BM_QueryCacheLookup)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

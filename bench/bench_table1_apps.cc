@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table 1: the intelligent-query applications and their
+ * characteristics (feature size, layer counts, FLOPs, weight size).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "workloads/apps.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Table 1",
+                  "Intelligent query applications and their "
+                  "characteristics");
+
+    TextTable t({"Application", "Type", "Feature(KB)", "#CONV", "#FC",
+                 "#EW", "MFLOPs", "Weights(MB)", "Dataset"});
+    for (const auto &app : workloads::allApps()) {
+        t.addRow({app.name, app.type,
+                  TextTable::num(
+                      static_cast<double>(app.featureBytes()) / 1024.0,
+                      1),
+                  std::to_string(
+                      app.scn.countLayers(nn::LayerKind::Conv2D)),
+                  std::to_string(app.scn.countLayers(
+                      nn::LayerKind::FullyConnected)),
+                  std::to_string(
+                      app.scn.countLayers(nn::LayerKind::ElementWise)),
+                  TextTable::num(
+                      static_cast<double>(app.scn.totalFlops()) / 1e6,
+                      2),
+                  TextTable::num(
+                      static_cast<double>(app.scn.totalWeightBytes()) /
+                          1e6,
+                      2),
+                  app.dataset});
+    }
+    t.print(std::cout);
+
+    std::printf("\nPaper Table 1: ReId 44KB/2/2/1/9.8M/10.7MB, "
+                "MIR 2KB/0/3/0/1.05M/2MB, ESTP 16KB/0/3/0/4.72M/9MB,\n"
+                "TIR 2KB/0/3/1/0.79M/1.5MB, "
+                "TextQA 0.8KB/0/1/1/0.08M/0.16MB\n");
+    return 0;
+}

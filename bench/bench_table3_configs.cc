@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Table 3: the DeepStore accelerator configuration chosen
+ * for each placement level (array shape, dataflow, frequency,
+ * scratchpad, area) plus the per-level power budgets of §4.5, and
+ * checks each design's modeled peak power against its budget.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/placement.h"
+#include "core/query_model.h"
+#include "workloads/apps.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Table 3",
+                  "DeepStore accelerator configurations per placement "
+                  "level");
+
+    ssd::FlashParams flash;
+    energy::EnergyParams eparams;
+
+    TextTable t({"Property", "SSD-level", "Channel-level",
+                 "Chip-level"});
+    auto s = core::makePlacement(core::Level::SsdLevel, flash);
+    auto c = core::makePlacement(core::Level::ChannelLevel, flash);
+    auto p = core::makePlacement(core::Level::ChipLevel, flash);
+
+    auto shape = [](const core::Placement &pl) {
+        return std::to_string(pl.array.rows) + "x" +
+               std::to_string(pl.array.cols);
+    };
+    auto dataflow = [](const core::Placement &pl) {
+        return std::string("Systolic, ") +
+               systolic::toString(pl.array.dataflow);
+    };
+    auto mhz = [](const core::Placement &pl) {
+        return TextTable::num(pl.array.frequencyHz / 1e6, 0) + " MHz";
+    };
+    auto spad = [](const core::Placement &pl) {
+        return std::to_string(pl.array.scratchpadBytes / 1024) +
+               " KiB" +
+               (pl.array.sharedL2Bytes ? " (+8 MiB shared L2)" : "");
+    };
+    auto area = [&](const core::Placement &pl) {
+        return TextTable::num(
+                   energy::acceleratorAreaMm2(
+                       eparams, pl.array.peCount(),
+                       pl.array.scratchpadBytes),
+                   1) +
+               " mm^2";
+    };
+    auto count = [](const core::Placement &pl) {
+        return std::to_string(pl.numAccelerators);
+    };
+    auto budget = [](const core::Placement &pl) {
+        return TextTable::num(pl.powerBudgetW, 2) + " W";
+    };
+
+    t.addRow({"Technology", "32 nm", "32 nm", "32 nm"});
+    t.addRow({"Configuration", dataflow(s), dataflow(c), dataflow(p)});
+    t.addRow({"PEs", shape(s), shape(c), shape(p)});
+    t.addRow({"Precision", "32-bit FP", "32-bit FP", "32-bit FP"});
+    t.addRow({"Frequency", mhz(s), mhz(c), mhz(p)});
+    t.addRow({"Scratchpad", spad(s), spad(c), spad(p)});
+    t.addRow({"Area", area(s), area(c), area(p)});
+    t.addRow({"Instances", count(s), count(c), count(p)});
+    t.addRow({"Power budget", budget(s), budget(c), budget(p)});
+    t.print(std::cout);
+
+    std::printf("\nPaper Table 3 areas: 31.7 / 7.4 / 2.5 mm^2; "
+                "budgets (§4.5): 55 / 1.71 / 0.43 W\n");
+
+    bench::section(
+        "Modeled per-accelerator power while scanning (vs budget)");
+    core::DeepStoreModel ds(flash);
+    TextTable pw({"App", "SSD(W)", "Channel(W)", "Chip(W)"});
+    for (const auto &app : workloads::allApps()) {
+        std::vector<std::string> row{app.name};
+        for (auto lvl : {core::Level::SsdLevel,
+                         core::Level::ChannelLevel,
+                         core::Level::ChipLevel}) {
+            auto perf = ds.evaluate(lvl, app);
+            if (!perf.supported) {
+                row.push_back("n/a");
+                continue;
+            }
+            double per_accel =
+                (perf.activePowerW - core::kSsdBasePowerW) /
+                perf.placement.numAccelerators;
+            row.push_back(TextTable::num(per_accel, 2));
+        }
+        pw.addRow(row);
+    }
+    pw.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates Table 4: the summary of DeepStore's speedup and
+ * energy-efficiency improvement over the traditional GPU+SSD system
+ * for every application and placement level, with the paper's
+ * published numbers alongside.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/query_model.h"
+#include "host/baseline.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    bench::banner("Table 4",
+                  "DeepStore speedup and energy-efficiency vs GPU+SSD "
+                  "(Titan V)");
+
+    ssd::FlashParams flash;
+    core::DeepStoreModel ds(flash);
+    host::GpuSsdSystem gpu(host::voltaSpec());
+
+    struct PaperCell
+    {
+        double speedup, eff;
+    };
+    struct PaperRow
+    {
+        PaperCell ssd, channel, chip; ///< chip.speedup < 0 => n/a
+    };
+    const PaperRow paper[] = {
+        {{0.1, 0.7}, {3.9, 17.1}, {-1, -1}},
+        {{0.3, 1.6}, {8.3, 28.0}, {1.0, 2.6}},
+        {{0.6, 2.8}, {13.2, 38.6}, {1.9, 3.2}},
+        {{0.4, 2.1}, {10.7, 35.6}, {1.5, 3.7}},
+        {{0.4, 2.2}, {17.7, 78.6}, {4.6, 13.7}},
+    };
+
+    TextTable t({"App", "Level", "Speedup", "Paper", "EnergyEff",
+                 "Paper"});
+    auto apps = workloads::allApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &app = apps[i];
+        double t_gpu = gpu.perFeatureSeconds(app);
+        const PaperCell *cells[3] = {&paper[i].ssd, &paper[i].channel,
+                                     &paper[i].chip};
+        core::Level levels[3] = {core::Level::SsdLevel,
+                                 core::Level::ChannelLevel,
+                                 core::Level::ChipLevel};
+        for (int l = 0; l < 3; ++l) {
+            auto p = ds.evaluate(levels[l], app);
+            if (!p.supported) {
+                t.addRow({app.name, core::toString(levels[l]), "n/a",
+                          "n/a", "n/a", "n/a"});
+                continue;
+            }
+            double speedup = t_gpu / p.aggregateSeconds;
+            double eff =
+                speedup * gpu.powerW() / p.activePowerW;
+            t.addRow(
+                {app.name, core::toString(levels[l]),
+                 TextTable::num(speedup, 1) + "x",
+                 cells[l]->speedup < 0
+                     ? "n/a"
+                     : TextTable::num(cells[l]->speedup, 1) + "x",
+                 TextTable::num(eff, 1) + "x",
+                 cells[l]->eff < 0
+                     ? "n/a"
+                     : TextTable::num(cells[l]->eff, 1) + "x"});
+        }
+    }
+    t.print(std::cout);
+
+    bench::section("Abstract headline");
+    double best_speedup = 0, best_eff = 0;
+    for (const auto &app : apps) {
+        auto p = ds.evaluate(core::Level::ChannelLevel, app);
+        double t_gpu = gpu.perFeatureSeconds(app);
+        best_speedup =
+            std::max(best_speedup, t_gpu / p.aggregateSeconds);
+        best_eff = std::max(best_eff, t_gpu / p.aggregateSeconds *
+                                          gpu.powerW() /
+                                          p.activePowerW);
+    }
+    std::printf("Best speedup %.1fx (paper: up to 17.7x), best "
+                "energy-efficiency %.1fx (paper: up to 78.6x)\n",
+                best_speedup, best_eff);
+    return 0;
+}

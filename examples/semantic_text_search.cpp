@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Text-based image retrieval with the similarity Query Cache (the
+ * paper's TIR workload plus §4.6): users issue sentence queries, many
+ * of which are paraphrases of each other ("a brown dog is running in
+ * the sand" vs "a brown dog plays at the beach"). The QCN detects the
+ * semantic near-duplicates and serves them from the cache instead of
+ * re-scanning the image database.
+ *
+ * Demonstrates: setQC(), cache hits on *similar* (not just identical)
+ * queries, miss-rate and latency effects of the error threshold.
+ */
+
+#include <cstdio>
+
+#include "core/deepstore.h"
+#include "nn/semantic.h"
+#include "workloads/apps.h"
+#include "workloads/feature_gen.h"
+
+using namespace deepstore;
+
+int
+main()
+{
+    auto app = workloads::makeApp(workloads::AppId::TIR);
+    std::printf("== %s: %s ==\n\n", app.name.c_str(),
+                app.description.c_str());
+
+    core::DeepStore store(core::DeepStoreConfig{});
+
+    // Image database: 1,500 embeddings over 40 caption topics.
+    workloads::FeatureGenerator images(app.scn.featureDim(), 40, 7,
+                                       /*noise=*/0.2);
+    std::uint64_t db = store.writeDB(
+        std::make_shared<core::GeneratedFeatureSource>(images, 1500));
+
+    std::uint64_t scn = store.loadModel(
+        nn::ModelBundle{app.scn, nn::semanticWeights(app.scn)});
+    std::uint64_t qcn = store.loadModel(
+        nn::ModelBundle{app.qcn, nn::semanticWeights(app.qcn)});
+
+    // Configure the Query Cache: 32 entries, 12% error threshold,
+    // QCN accuracy 0.97 (Universal-Sentence-Encoder class, §6.5).
+    store.setQC(qcn, /*threshold=*/0.12, /*qcn_accuracy=*/0.97,
+                /*capacity=*/32);
+
+    // A query stream with paraphrases: topic t stands for a caption
+    // meaning; different jitter seeds are different phrasings.
+    struct UserQuery
+    {
+        std::uint64_t topic;
+        std::uint64_t phrasing;
+        const char *text;
+    };
+    const UserQuery stream[] = {
+        {5, 1, "a brown dog is running in the sand"},
+        {12, 1, "two people riding bikes downhill"},
+        {5, 2, "a brown dog plays at the beach"},
+        {5, 3, "dog running on a sandy beach"},
+        {12, 2, "cyclists descending a mountain road"},
+        {29, 1, "a red kitchen with white cabinets"},
+        {5, 4, "puppy sprinting across the dunes"},
+        {12, 3, "two bikers going down a hill"},
+    };
+
+    std::printf("%-45s %-6s %10s %8s\n", "query", "cache",
+                "latency(us)", "scanned");
+    double hit_lat = 0, miss_lat = 0;
+    int hits = 0, misses = 0;
+    for (const auto &uq : stream) {
+        auto qfv = images.featureForTopic(uq.topic,
+                                          uq.phrasing * 7919 + 13);
+        std::uint64_t qid = store.query(qfv, 5, scn, db, 0, 0);
+        const auto &res = store.getResults(qid);
+        std::printf("%-45s %-6s %10.1f %8llu\n", uq.text,
+                    res.cacheHit ? "HIT" : "miss",
+                    res.latencySeconds * 1e6,
+                    (unsigned long long)res.featuresScanned);
+        (res.cacheHit ? hit_lat : miss_lat) += res.latencySeconds;
+        (res.cacheHit ? hits : misses) += 1;
+    }
+
+    std::printf("\n%d hits / %d misses; average hit latency %.1f us "
+                "vs miss %.1f us (%.0fx cheaper)\n",
+                hits, misses, hits ? hit_lat / hits * 1e6 : 0.0,
+                misses ? miss_lat / misses * 1e6 : 0.0,
+                (miss_lat / misses) / (hit_lat / hits));
+    std::printf("query cache stats: %llu hits, %llu misses "
+                "(miss rate %.0f%%)\n",
+                (unsigned long long)store.queryCache()->hits(),
+                (unsigned long long)store.queryCache()->misses(),
+                store.queryCache()->missRate() * 100);
+
+    // Tighten the threshold: paraphrases stop hitting.
+    store.queryCache()->setThreshold(0.01);
+    store.queryCache()->resetStats();
+    auto qfv = images.featureForTopic(5, 5 * 7919 + 13);
+    store.getResults(store.query(qfv, 5, scn, db, 0, 0));
+    std::printf("\nwith a 1%% threshold the same paraphrase now %s\n",
+                store.queryCache()->hits() ? "hits" : "misses");
+    return 0;
+}

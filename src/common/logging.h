@@ -1,0 +1,108 @@
+/**
+ * @file
+ * gem5-style status and error reporting for the DeepStore simulators.
+ *
+ * Severity model (mirrors gem5's base/logging.hh):
+ *  - inform(): normal operating status, no connotation of error;
+ *  - warn():   something is approximated or suspicious but survivable;
+ *  - fatal():  the simulation cannot continue because of a *user* error
+ *              (bad configuration, invalid arguments); throws FatalError
+ *              so tests can assert on misuse;
+ *  - panic():  an internal invariant was violated (a simulator bug);
+ *              throws PanicError.
+ *
+ * Throwing (instead of exit/abort) keeps the library embeddable and lets
+ * the test suite exercise failure paths.
+ */
+
+#ifndef DEEPSTORE_COMMON_LOGGING_H
+#define DEEPSTORE_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace deepstore {
+
+/** Raised by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Raised by panic(): an internal simulator invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Global verbosity for inform()/warn(). */
+enum class LogLevel { Quiet, Warn, Info };
+
+/** Set the global log level. Default is Warn. */
+void setLogLevel(LogLevel level);
+
+/** Get the current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void emit(const char *prefix, const std::string &msg);
+
+} // namespace detail
+
+/** Print an informational message when the log level allows it. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info: ", detail::vformat(fmt, args...));
+}
+
+/** Print a warning when the log level allows it. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn: ", detail::vformat(fmt, args...));
+}
+
+/** Report an unrecoverable user error; always throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    std::string msg = detail::vformat(fmt, args...);
+    detail::emit("fatal: ", msg);
+    throw FatalError(msg);
+}
+
+/** Report a violated internal invariant; always throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::string msg = detail::vformat(fmt, args...);
+    detail::emit("panic: ", msg);
+    throw PanicError(msg);
+}
+
+/** panic() unless the given condition holds. */
+#define DS_ASSERT(cond)                                                 \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::deepstore::panic("assertion failed: %s", #cond);          \
+    } while (0)
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_LOGGING_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random-number generation for the simulator suite.
+ *
+ * A self-contained xoshiro256** generator keeps runs reproducible across
+ * standard libraries (std::mt19937 streams are portable, but the
+ * std::*_distribution adapters are not). All distribution sampling is
+ * implemented here so a given seed produces identical workloads
+ * everywhere.
+ */
+
+#ifndef DEEPSTORE_COMMON_RNG_H
+#define DEEPSTORE_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace deepstore {
+
+/** xoshiro256** PRNG with explicit, portable distribution sampling. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+/**
+ * Zipfian sampler over [0, n) with exponent alpha, using the inverse-CDF
+ * table method (O(log n) per sample after O(n) setup). alpha = 0
+ * degenerates to uniform.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one rank in [0, n); rank 0 is the most popular item. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    std::uint64_t n_;
+    double alpha_;
+    std::vector<double> cdf_;
+};
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_RNG_H

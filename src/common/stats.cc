@@ -1,0 +1,21 @@
+#include "common/stats.h"
+
+namespace deepstore {
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, stat] : stats_) {
+        os << (name_.empty() ? stat_name : name_ + "." + stat_name)
+           << " = " << stat.value() << "\n";
+    }
+}
+
+} // namespace deepstore

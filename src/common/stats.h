@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal statistics package in the spirit of gem5's Stats: named
+ * scalar counters and distributions owned by a StatGroup, dumpable as
+ * text. Models register counters here; benches and tests read them.
+ */
+
+#ifndef DEEPSTORE_COMMON_STATS_H
+#define DEEPSTORE_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace deepstore {
+
+/** A named scalar statistic (double-valued accumulator). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void operator+=(double v) { value_ += v; ++samples_; }
+    void set(double v) { value_ = v; samples_ = 1; }
+    void reset() { value_ = 0.0; samples_ = 0; }
+
+    double value() const { return value_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const
+    {
+        return samples_ ? value_ / static_cast<double>(samples_) : 0.0;
+    }
+
+  private:
+    double value_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/**
+ * A group of named statistics. Lookup creates on demand so models can
+ * write `stats().get("flash.pageReads") += 1` without registration
+ * boilerplate.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Get (creating if absent) the statistic with the given name. */
+    Stat &get(const std::string &stat_name) { return stats_[stat_name]; }
+
+    /** Const lookup; returns nullptr when the stat does not exist. */
+    const Stat *find(const std::string &stat_name) const
+    {
+        auto it = stats_.find(stat_name);
+        return it == stats_.end() ? nullptr : &it->second;
+    }
+
+    /** Reset every statistic in the group. */
+    void resetAll();
+
+    /** Dump "name.stat = value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return stats_.size(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_STATS_H

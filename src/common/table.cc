@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/logging.h"
+
+namespace deepstore {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DS_ASSERT(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("table row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace deepstore

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef DEEPSTORE_COMMON_TABLE_H
+#define DEEPSTORE_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepstore {
+
+/** Column-aligned table with a header row and string cells. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for cells). */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_TABLE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Units, constants, and strong-ish typedefs used across the DeepStore
+ * simulator suite.
+ *
+ * Conventions:
+ *  - time is held in double seconds for analytical models and in
+ *    uint64_t picoseconds (Tick) inside the discrete-event kernel;
+ *  - sizes are held in uint64_t bytes;
+ *  - bandwidths are bytes/second (double);
+ *  - energies are Joules (double), powers are Watts (double).
+ */
+
+#ifndef DEEPSTORE_COMMON_UNITS_H
+#define DEEPSTORE_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace deepstore {
+
+/** Simulator time base: one tick is one picosecond. */
+using Tick = std::uint64_t;
+
+/** Cycle count on some clock domain. */
+using Cycles = std::uint64_t;
+
+constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert seconds to ticks (picoseconds). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kTicksPerSecond));
+}
+
+/** Convert ticks (picoseconds) to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+// Binary sizes.
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+// Decimal rates (storage vendors use decimal units for bandwidth).
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+
+constexpr double KHz = 1e3;
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+constexpr double kPico = 1e-12;
+
+/** Bytes per IEEE-754 single-precision float (the paper's precision). */
+constexpr std::uint64_t kBytesPerFloat = 4;
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_UNITS_H

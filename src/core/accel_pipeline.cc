@@ -1,0 +1,168 @@
+#include "core/accel_pipeline.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "sim/clock.h"
+
+namespace deepstore::core {
+
+namespace {
+
+/** Mutable state of one pipeline run, driven by event callbacks. */
+struct PipelineState
+{
+    sim::EventQueue &events;
+    ssd::FlashController &channel;
+    ssd::FlashParams params;
+    PipelineRunConfig config;
+    ssd::FeatureLayout layout;
+
+    std::uint64_t totalPages = 0;
+    std::uint64_t pagesIssued = 0;
+    std::uint64_t pagesCompleted = 0;
+    std::uint64_t pagesFreed = 0;
+    std::uint64_t inflight = 0;
+
+    std::uint64_t featuresDone = 0;
+    bool computing = false;
+    Tick computeIdleSince = 0;
+
+    PipelineRunStats stats;
+
+    PipelineState(sim::EventQueue &ev, ssd::FlashController &ch,
+                  const ssd::FlashParams &p,
+                  const PipelineRunConfig &cfg)
+        : events(ev), channel(ch), params(p), config(cfg),
+          layout{cfg.featureBytes, p.pageBytes}
+    {
+        totalPages = layout.pagesForFeatures(cfg.features);
+        computeIdleSince = ev.now();
+    }
+
+    /** Page address for the i-th page of this channel's stripe:
+     *  round-robin chips, then planes, then advance block/page. */
+    ssd::PageAddress
+    pageAddress(std::uint64_t i) const
+    {
+        ssd::PageAddress a;
+        a.channel = channel.channelId();
+        a.chip = static_cast<std::uint32_t>(i % params.chipsPerChannel);
+        std::uint64_t r = i / params.chipsPerChannel;
+        a.plane = static_cast<std::uint32_t>(r % params.planesPerChip);
+        r /= params.planesPerChip;
+        a.page = static_cast<std::uint32_t>(r % params.pagesPerBlock);
+        a.block = static_cast<std::uint32_t>(
+            (r / params.pagesPerBlock) % params.blocksPerPlane);
+        return a;
+    }
+
+    /** Pages currently occupying FLASH_DFV slots (buffered or in
+     *  flight). */
+    std::uint64_t
+    slotsUsed() const
+    {
+        return inflight + (pagesCompleted - pagesFreed);
+    }
+
+    bool
+    nextFeatureReady() const
+    {
+        if (featuresDone >= config.features)
+            return false;
+        return pagesCompleted >=
+               layout.pagesForFeatures(featuresDone + 1);
+    }
+};
+
+void tryCompute(const std::shared_ptr<PipelineState> &st);
+
+void
+issueReads(const std::shared_ptr<PipelineState> &st)
+{
+    while (st->pagesIssued < st->totalPages &&
+           st->slotsUsed() < st->config.queueDepthPages) {
+        std::uint64_t idx = st->pagesIssued++;
+        ++st->inflight;
+        ssd::FlashCommand cmd;
+        cmd.op = ssd::FlashOp::Read;
+        cmd.addr = st->pageAddress(idx);
+        cmd.transferBytes = st->layout.transferBytesPerPage();
+        cmd.onComplete = [st](Tick) {
+            --st->inflight;
+            ++st->pagesCompleted;
+            ++st->stats.pageReads;
+            tryCompute(st);
+        };
+        st->channel.issue(std::move(cmd));
+    }
+}
+
+void
+tryCompute(const std::shared_ptr<PipelineState> &st)
+{
+    if (st->computing)
+        return;
+    if (!st->nextFeatureReady()) {
+        // Starved (or finished): account idle time from now until
+        // the next start.
+        return;
+    }
+    // Account starvation between the previous completion and now.
+    st->stats.starvedSeconds +=
+        ticksToSeconds(st->events.now() - st->computeIdleSince);
+    st->computing = true;
+    sim::Clock clock(st->config.frequencyHz);
+    Tick busy = clock.cyclesToTicks(st->config.computeCyclesPerFeature);
+    st->stats.computeBusySeconds += ticksToSeconds(busy);
+    st->events.scheduleAfter(busy, [st] {
+        st->computing = false;
+        ++st->featuresDone;
+        st->computeIdleSince = st->events.now();
+        // Free the FLASH_DFV slots of fully consumed pages. A page
+        // shared with the *next* feature (packed layout) stays
+        // buffered until that feature is done with it.
+        std::uint64_t consumed =
+            st->layout.pagesForFeatures(st->featuresDone);
+        if (st->featuresDone < st->config.features && consumed > 0 &&
+            st->layout.pagesForFeatures(st->featuresDone + 1) ==
+                consumed) {
+            --consumed;
+        }
+        st->pagesFreed = std::max(st->pagesFreed, consumed);
+        issueReads(st);
+        tryCompute(st);
+    });
+}
+
+} // namespace
+
+PipelineRunStats
+runAcceleratorPipeline(sim::EventQueue &events,
+                       ssd::FlashController &channel,
+                       const ssd::FlashParams &params,
+                       const PipelineRunConfig &config)
+{
+    if (config.features == 0 || config.featureBytes == 0)
+        fatal("pipeline run needs features and a feature size");
+    if (config.computeCyclesPerFeature == 0)
+        fatal("pipeline run needs a per-feature compute cost");
+    if (config.queueDepthPages == 0)
+        fatal("FLASH_DFV queue depth must be at least 1");
+
+    auto st = std::make_shared<PipelineState>(events, channel, params,
+                                              config);
+    Tick start = events.now();
+    issueReads(st);
+    events.run();
+    if (st->featuresDone != config.features)
+        panic("pipeline stalled: %llu of %llu features done",
+              static_cast<unsigned long long>(st->featuresDone),
+              static_cast<unsigned long long>(config.features));
+    st->stats.featuresProcessed = st->featuresDone;
+    st->stats.totalSeconds = ticksToSeconds(events.now() - start);
+    return st->stats;
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Event-driven model of one in-storage accelerator's scan pipeline
+ * (paper Fig. 5): the accelerator controller prefetches database
+ * feature vectors from its slice of flash into the bounded FLASH_DFV
+ * queue while the systolic array computes the SCN on earlier
+ * features.
+ *
+ * Unlike the closed-form DeepStoreModel (which assumes steady state),
+ * this model drives the *actual* event-driven flash controller —
+ * plane contention, bus serialization, retry injection and all — so
+ * it captures warm-up, queue-depth effects, and latency jitter. The
+ * test suite cross-validates the two models; the queue-depth ablation
+ * bench sweeps it.
+ */
+
+#ifndef DEEPSTORE_CORE_ACCEL_PIPELINE_H
+#define DEEPSTORE_CORE_ACCEL_PIPELINE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "ssd/flash_controller.h"
+#include "ssd/throughput.h"
+
+namespace deepstore::core {
+
+/** Static configuration of a pipeline run. */
+struct PipelineRunConfig
+{
+    /** Features this accelerator scans (its stripe of the DB). */
+    std::uint64_t features = 0;
+    /** Bytes per feature vector. */
+    std::uint64_t featureBytes = 0;
+    /** SCN cycles per feature on this accelerator's array. */
+    Cycles computeCyclesPerFeature = 0;
+    /** Array clock. */
+    double frequencyHz = 800e6;
+    /** FLASH_DFV queue capacity in flash pages. */
+    std::uint32_t queueDepthPages = 32;
+};
+
+/** Outcome of a pipeline run. */
+struct PipelineRunStats
+{
+    double totalSeconds = 0.0;
+    double computeBusySeconds = 0.0;
+    /** Time the array sat idle waiting for the FLASH_DFV queue. */
+    double starvedSeconds = 0.0;
+    std::uint64_t pageReads = 0;
+    std::uint64_t featuresProcessed = 0;
+
+    double
+    perFeatureSeconds() const
+    {
+        return featuresProcessed
+                   ? totalSeconds /
+                         static_cast<double>(featuresProcessed)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run one accelerator's scan to completion on the given event queue
+ * and channel controller. Pages are striped round-robin across the
+ * channel's chips and planes (the §4.4 layout restricted to one
+ * channel). Blocks until the event queue drains.
+ */
+PipelineRunStats runAcceleratorPipeline(sim::EventQueue &events,
+                                        ssd::FlashController &channel,
+                                        const ssd::FlashParams &params,
+                                        const PipelineRunConfig &config);
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_ACCEL_PIPELINE_H

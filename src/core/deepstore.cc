@@ -1,0 +1,432 @@
+#include "core/deepstore.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ssd/throughput.h"
+
+namespace deepstore::core {
+
+DeepStore::DeepStore(DeepStoreConfig config)
+    : config_(config),
+      ssd_(std::make_unique<ssd::Ssd>(events_, config.flash)),
+      model_(config.flash)
+{
+}
+
+double
+DeepStore::writePagesSimulated(std::uint64_t lpn_start,
+                               std::uint64_t pages)
+{
+    DS_ASSERT(pages > 0);
+    if (pages <= config_.eventSimPageLimit) {
+        Tick start = events_.now();
+        ssd_->hostWrite(lpn_start, pages, nullptr);
+        events_.run();
+        return ticksToSeconds(events_.now() - start);
+    }
+    // Closed form: programs overlap across every plane; the channel
+    // buses carry one full page each. Still register the mapping.
+    for (std::uint64_t i = 0; i < pages; ++i)
+        ssd_->ftl().write(lpn_start + i);
+    const auto &p = config_.flash;
+    double planes =
+        static_cast<double>(p.channels) * p.chipsPerChannel *
+        p.planesPerChip;
+    double program_rate = planes / p.programLatency; // pages/s
+    double bus_rate = p.internalBandwidth() /
+                      static_cast<double>(p.pageBytes);
+    return static_cast<double>(pages) /
+           std::min(program_rate, bus_rate);
+}
+
+std::uint64_t
+DeepStore::writeDB(std::shared_ptr<FeatureSource> source)
+{
+    if (!source || source->count() == 0)
+        fatal("writeDB needs a non-empty feature source");
+    std::uint64_t feature_bytes =
+        static_cast<std::uint64_t>(source->dim()) * kBytesPerFloat;
+    DbMetadata md;
+    md.featureBytes = feature_bytes;
+    md.numFeatures = source->count();
+    md.startLpn = nextFreeLpn_;
+    std::uint64_t pages = md.pageCount(config_.flash.pageBytes);
+    nextFreeLpn_ += pages;
+
+    simSeconds_ += writePagesSimulated(md.startLpn, pages);
+    md.startPpn = ssd_->ftl().translate(md.startLpn);
+
+    std::uint64_t db_id = metadata_.add(md);
+    sources_[db_id] = std::move(source);
+    return db_id;
+}
+
+void
+DeepStore::appendDB(std::uint64_t db_id,
+                    std::shared_ptr<FeatureSource> source)
+{
+    if (!source || source->count() == 0)
+        fatal("appendDB needs a non-empty feature source");
+    DbMetadata md = metadata_.lookup(db_id);
+    auto &existing = sources_.at(db_id);
+    if (source->dim() != existing->dim())
+        fatal("appendDB feature dim %lld != database dim %lld",
+              static_cast<long long>(source->dim()),
+              static_cast<long long>(existing->dim()));
+
+    std::uint64_t old_pages = md.pageCount(config_.flash.pageBytes);
+    md.numFeatures += source->count();
+    std::uint64_t new_pages = md.pageCount(config_.flash.pageBytes);
+    // Buffered append (§4.7.2): only whole new pages are programmed.
+    if (new_pages > old_pages) {
+        std::uint64_t grow = new_pages - old_pages;
+        // The append must land directly after the database; DeepStore
+        // reserves the LPN range when that is possible.
+        if (md.startLpn + old_pages != nextFreeLpn_)
+            fatal("appendDB: database %llu is not the most recently "
+                  "written database; append would break striping",
+                  static_cast<unsigned long long>(db_id));
+        simSeconds_ +=
+            writePagesSimulated(md.startLpn + old_pages, grow);
+        nextFreeLpn_ += grow;
+    }
+    metadata_.update(md);
+    existing = std::make_shared<CompositeFeatureSource>(
+        existing, std::move(source));
+    // Cached results may now be stale relative to the larger DB.
+    if (queryCache_)
+        queryCache_->invalidateAll();
+}
+
+std::vector<std::vector<float>>
+DeepStore::readDB(std::uint64_t db_id, std::uint64_t start,
+                  std::uint64_t num)
+{
+    const DbMetadata &md = metadata_.lookup(db_id);
+    if (start + num > md.numFeatures)
+        fatal("readDB range [%llu, %llu) exceeds %llu features",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(start + num),
+              static_cast<unsigned long long>(md.numFeatures));
+    // Timing: read the covering pages over the host interface.
+    ssd::FeatureLayout layout{md.featureBytes, config_.flash.pageBytes};
+    std::uint64_t first_page, last_page;
+    if (md.featureBytes <= config_.flash.pageBytes) {
+        first_page = start / layout.featuresPerPage();
+        last_page = (start + num - 1) / layout.featuresPerPage();
+    } else {
+        first_page = start * layout.pagesPerFeature();
+        last_page =
+            (start + num) * layout.pagesPerFeature() - 1;
+    }
+    std::uint64_t pages = last_page - first_page + 1;
+    if (pages <= config_.eventSimPageLimit) {
+        Tick t0 = events_.now();
+        ssd_->hostRead(md.startLpn + first_page, pages, nullptr);
+        events_.run();
+        simSeconds_ += ticksToSeconds(events_.now() - t0);
+    } else {
+        simSeconds_ +=
+            static_cast<double>(pages * config_.flash.pageBytes) /
+            config_.flash.externalBandwidth;
+    }
+
+    const auto &src = sources_.at(db_id);
+    std::vector<std::vector<float>> out;
+    out.reserve(num);
+    for (std::uint64_t i = 0; i < num; ++i)
+        out.push_back(src->featureAt(start + i));
+    return out;
+}
+
+std::uint64_t
+DeepStore::loadModel(const std::vector<std::uint8_t> &blob)
+{
+    return loadModel(nn::deserializeModel(blob));
+}
+
+std::uint64_t
+DeepStore::loadModel(nn::ModelBundle bundle)
+{
+    bundle.model.validate();
+    std::uint64_t id = nextModelId_++;
+    // Emplace first: the executor holds references into the stored
+    // bundle, and map nodes are address-stable.
+    LoadedModel &lm = models_[id];
+    lm.bundle = std::move(bundle);
+    lm.executor = std::make_unique<nn::Executor>(lm.bundle.model,
+                                                 lm.bundle.weights);
+    // Model upload: weights travel over the host interface into SSD
+    // DRAM (§4.2).
+    simSeconds_ +=
+        static_cast<double>(lm.bundle.model.totalWeightBytes()) /
+        config_.flash.externalBandwidth;
+    return id;
+}
+
+const DeepStore::LoadedModel &
+DeepStore::lookupModel(std::uint64_t model_id) const
+{
+    auto it = models_.find(model_id);
+    if (it == models_.end())
+        fatal("unknown model_id %llu",
+              static_cast<unsigned long long>(model_id));
+    return it->second;
+}
+
+void
+DeepStore::setQC(std::uint64_t qcn_model_id, double threshold,
+                 double qcn_accuracy, std::size_t capacity)
+{
+    const LoadedModel &qcn = lookupModel(qcn_model_id);
+    qcnModelId_ = qcn_model_id;
+    QueryCacheConfig cfg;
+    cfg.capacity = capacity;
+    cfg.threshold = threshold;
+    cfg.qcnAccuracy = qcn_accuracy;
+    // Score via the functional QCN over remembered query features.
+    queryCache_ = std::make_unique<QueryCache>(
+        cfg, [this, &qcn](std::uint64_t a, std::uint64_t b) {
+            DS_ASSERT(a < seenQueries_.size());
+            DS_ASSERT(b < seenQueries_.size());
+            return static_cast<double>(
+                qcn.executor->score(seenQueries_[a],
+                                    seenQueries_[b]));
+        });
+}
+
+std::uint64_t
+DeepStore::query(const std::vector<float> &qfv, std::size_t k,
+                 std::uint64_t model_id, std::uint64_t db_id,
+                 std::uint64_t db_start, std::uint64_t db_end,
+                 std::optional<Level> level_opt)
+{
+    const LoadedModel &m = lookupModel(model_id);
+    const DbMetadata &db = metadata_.lookup(db_id);
+    if (db_end == 0)
+        db_end = db.numFeatures;
+    if (db_start >= db_end || db_end > db.numFeatures)
+        fatal("query range [%llu, %llu) invalid for %llu features",
+              static_cast<unsigned long long>(db_start),
+              static_cast<unsigned long long>(db_end),
+              static_cast<unsigned long long>(db.numFeatures));
+    if (static_cast<std::int64_t>(qfv.size()) !=
+        m.bundle.model.featureDim())
+        fatal("query feature size %zu != model dim %lld", qfv.size(),
+              static_cast<long long>(m.bundle.model.featureDim()));
+    Level level = level_opt.value_or(config_.defaultLevel);
+
+    auto source = sources_.at(db_id);
+    std::uint64_t this_query = seenQueries_.size();
+    seenQueries_.push_back(qfv);
+
+    QueryResult res;
+    res.queryId = nextQueryId_++;
+
+    if (queryCache_) {
+        const LoadedModel &qcn = lookupModel(qcnModelId_);
+        CacheLookup hit = queryCache_->lookup(this_query);
+        // QCN lookups execute on the channel-level accelerators
+        // (§4.6); charge their aggregate throughput.
+        LevelPerf qcn_perf = model_.evaluateModel(
+            Level::ChannelLevel, qcn.bundle.model,
+            static_cast<std::uint64_t>(
+                qcn.bundle.model.featureDim()) *
+                kBytesPerFloat);
+        res.latencySeconds +=
+            qcn_perf.computeSeconds *
+            static_cast<double>(hit.entriesScanned) /
+            static_cast<double>(qcn_perf.placement.numAccelerators);
+        if (hit.hit) {
+            // Re-run the SCN on only the cached top-K features.
+            TopK topk(std::max<std::size_t>(k, 1));
+            for (const auto &cached : hit.cachedResults) {
+                auto dfv = source->featureAt(cached.featureId);
+                float s = m.executor->score(qfv, dfv);
+                topk.insert(
+                    ScoredResult{cached.featureId, cached.objectId, s});
+            }
+            // Cached features already sit in SSD DRAM, so the SCN on
+            // the cached entries is compute-only on a channel-level
+            // accelerator (§4.2).
+            LevelPerf compute_perf = model_.evaluateModel(
+                Level::ChannelLevel, m.bundle.model, db.featureBytes);
+            res.latencySeconds +=
+                compute_perf.computeSeconds *
+                static_cast<double>(hit.cachedResults.size());
+            res.topK = topk.results();
+            res.cacheHit = true;
+            res.featuresScanned = hit.cachedResults.size();
+            simSeconds_ += res.latencySeconds;
+            // The accelerators own the read path for the duration
+            // (§4.5); advance the device clock alongside.
+            Tick end = events_.now() +
+                       secondsToTicks(res.latencySeconds);
+            ssd_->setAcceleratorWindow(end);
+            events_.runUntil(end);
+            std::uint64_t id = res.queryId;
+            results_[id] = std::move(res);
+            return id;
+        }
+    }
+
+    QueryResult scan = executeScan(qfv, k, m, db, db_start, db_end,
+                                   level, source);
+    scan.queryId = res.queryId;
+    scan.latencySeconds += res.latencySeconds; // QC lookup cost
+    if (queryCache_)
+        queryCache_->insert(this_query, scan.topK);
+    simSeconds_ += scan.latencySeconds;
+    // Regular I/O sees a busy signal while the scan runs (§4.5).
+    Tick end = events_.now() + secondsToTicks(scan.latencySeconds);
+    ssd_->setAcceleratorWindow(end);
+    events_.runUntil(end);
+    results_[scan.queryId] = std::move(scan);
+    return res.queryId;
+}
+
+QueryResult
+DeepStore::executeScan(const std::vector<float> &qfv, std::size_t k,
+                       const LoadedModel &m, const DbMetadata &db,
+                       std::uint64_t db_start, std::uint64_t db_end,
+                       Level level,
+                       std::shared_ptr<FeatureSource> source)
+{
+    QueryResult res;
+    // Map-reduce across accelerators (§4.7.1): each accelerator
+    // scans its stripe with a private top-K, merged by the engine.
+    LevelPerf perf =
+        model_.evaluateModel(level, m.bundle.model, db.featureBytes);
+    if (!perf.supported)
+        fatal("accelerator level %s cannot execute model '%s'",
+              toString(level), m.bundle.model.name().c_str());
+
+    std::uint32_t n_accel = perf.placement.numAccelerators;
+    std::vector<TopK> partials;
+    partials.reserve(n_accel);
+    for (std::uint32_t a = 0; a < n_accel; ++a)
+        partials.emplace_back(std::max<std::size_t>(k, 1));
+
+    for (std::uint64_t i = db_start; i < db_end; ++i) {
+        auto dfv = source->featureAt(i);
+        float s = m.executor->score(qfv, dfv);
+        std::uint64_t ppn =
+            db.featurePpn(i, config_.flash.pageBytes);
+        partials[i % n_accel].insert(ScoredResult{i, ppn, s});
+    }
+    TopK merged(std::max<std::size_t>(k, 1));
+    for (const auto &p : partials)
+        merged.merge(p);
+    res.topK = merged.results();
+    res.featuresScanned = db_end - db_start;
+    res.latencySeconds = perf.aggregateSeconds *
+                         static_cast<double>(res.featuresScanned);
+    return res;
+}
+
+std::uint64_t
+DeepStore::persistMetadata()
+{
+    auto blob = metadata_.serialize();
+    const std::uint64_t page_bytes = config_.flash.pageBytes;
+    std::uint64_t pages =
+        (blob.size() + page_bytes - 1) / page_bytes;
+    // Reserved block at the very top of the LPN space, away from the
+    // append-allocated database region.
+    std::uint64_t reserved_lpn =
+        config_.flash.totalPages() -
+        ssd_->ftl().superblockPages();
+    // The table is rewritten in place on every persist; trim first so
+    // the block-level FTL does not charge a migration.
+    ssd_->ftl().trim(reserved_lpn, pages);
+    Tick t0 = events_.now();
+    ssd_->hostWrite(reserved_lpn, pages, nullptr);
+    events_.run();
+    simSeconds_ += ticksToSeconds(events_.now() - t0);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        std::size_t off = static_cast<std::size_t>(i * page_bytes);
+        std::size_t len =
+            std::min<std::size_t>(page_bytes, blob.size() - off);
+        ssd_->storePayload(reserved_lpn + i,
+                           {blob.begin() + static_cast<long>(off),
+                            blob.begin() + static_cast<long>(off) +
+                                static_cast<long>(len)});
+    }
+    persistedMetadataPages_ = pages;
+    return pages;
+}
+
+void
+DeepStore::reloadMetadata()
+{
+    if (persistedMetadataPages_ == 0)
+        fatal("no metadata has been persisted to the reserved block");
+    std::uint64_t reserved_lpn =
+        config_.flash.totalPages() -
+        ssd_->ftl().superblockPages();
+    Tick t0 = events_.now();
+    ssd_->hostRead(reserved_lpn, persistedMetadataPages_, nullptr);
+    events_.run();
+    simSeconds_ += ticksToSeconds(events_.now() - t0);
+    std::vector<std::uint8_t> blob;
+    for (std::uint64_t i = 0; i < persistedMetadataPages_; ++i) {
+        const auto *page = ssd_->payload(reserved_lpn + i);
+        if (!page)
+            panic("reserved metadata page %llu has no payload",
+                  static_cast<unsigned long long>(i));
+        blob.insert(blob.end(), page->begin(), page->end());
+    }
+    metadata_.clear();
+    metadata_.deserialize(blob);
+}
+
+void
+DeepStore::dumpStats(std::ostream &os) const
+{
+    os << "engine.databases = " << metadata_.size() << "\n";
+    os << "engine.models = " << models_.size() << "\n";
+    os << "engine.queries = " << results_.size() << "\n";
+    os << "engine.simulatedSeconds = " << simSeconds_ << "\n";
+    if (queryCache_) {
+        os << "engine.qc.hits = " << queryCache_->hits() << "\n";
+        os << "engine.qc.misses = " << queryCache_->misses() << "\n";
+        os << "engine.qc.entries = " << queryCache_->size() << "\n";
+    }
+    ssd_->stats().dump(os);
+}
+
+const QueryResult &
+DeepStore::getResults(std::uint64_t query_id) const
+{
+    auto it = results_.find(query_id);
+    if (it == results_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    return it->second;
+}
+
+CompositeFeatureSource::CompositeFeatureSource(
+    std::shared_ptr<FeatureSource> first,
+    std::shared_ptr<FeatureSource> second)
+    : first_(std::move(first)), second_(std::move(second))
+{
+    DS_ASSERT(first_ && second_);
+    DS_ASSERT(first_->dim() == second_->dim());
+}
+
+std::uint64_t
+CompositeFeatureSource::count() const
+{
+    return first_->count() + second_->count();
+}
+
+std::vector<float>
+CompositeFeatureSource::featureAt(std::uint64_t index) const
+{
+    if (index < first_->count())
+        return first_->featureAt(index);
+    return second_->featureAt(index - first_->count());
+}
+
+} // namespace deepstore::core

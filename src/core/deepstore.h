@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The DeepStore runtime system: the query engine that runs on the
+ * SSD's embedded cores (§4.7.1) plus the host-facing programming API
+ * (§4.7.2, Table 2).
+ *
+ * The engine owns the simulated SSD, the database metadata table, the
+ * loaded SCN/QCN models, and the Query Cache. Queries execute
+ * functionally (real similarity scores, real top-K) against the
+ * database's feature source, while latency comes from the analytic
+ * steady-state model (DeepStoreModel) — mirroring the paper's
+ * SSD-Sim + SCALE-Sim split. Database writes and reads run through
+ * the event-driven SSD for small transfers and switch to the
+ * closed-form throughput model beyond a page-count threshold.
+ */
+
+#ifndef DEEPSTORE_CORE_DEEPSTORE_H
+#define DEEPSTORE_CORE_DEEPSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/feature_source.h"
+#include "core/metadata.h"
+#include "core/placement.h"
+#include "core/query_cache.h"
+#include "core/query_model.h"
+#include "core/topk.h"
+#include "nn/executor.h"
+#include "nn/serialize.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+
+namespace deepstore::core {
+
+/** Construction-time configuration. */
+struct DeepStoreConfig
+{
+    ssd::FlashParams flash;
+    /** Default accelerator level for queries (channel level is the
+     *  paper's recommended design). */
+    Level defaultLevel = Level::ChannelLevel;
+    /** Page-count threshold above which database writes/reads use the
+     *  closed-form timing instead of per-page events. */
+    std::uint64_t eventSimPageLimit = 65536;
+};
+
+/** Completed query: results plus simulated execution metrics. */
+struct QueryResult
+{
+    std::uint64_t queryId = 0;
+    std::vector<ScoredResult> topK;
+    double latencySeconds = 0.0;
+    bool cacheHit = false;
+    std::uint64_t featuresScanned = 0;
+};
+
+/** The DeepStore system (engine + API facade). */
+class DeepStore
+{
+  public:
+    explicit DeepStore(DeepStoreConfig config);
+
+    // ---- Table 2 API ---------------------------------------------
+
+    /**
+     * writeDB: create a feature database from the given source
+     * (stands in for "read num features from host memory at addr").
+     * @return the new database's db_id.
+     */
+    std::uint64_t writeDB(std::shared_ptr<FeatureSource> source);
+
+    /** appendDB: append the source's features to an existing db. */
+    void appendDB(std::uint64_t db_id,
+                  std::shared_ptr<FeatureSource> source);
+
+    /** readDB: fetch `num` features starting at `start`. */
+    std::vector<std::vector<float>> readDB(std::uint64_t db_id,
+                                           std::uint64_t start,
+                                           std::uint64_t num);
+
+    /** loadModel: register a serialized model (ONNX-lite blob).
+     *  @return the model_id. */
+    std::uint64_t loadModel(const std::vector<std::uint8_t> &blob);
+
+    /** loadModel overload for an already-parsed bundle. */
+    std::uint64_t loadModel(nn::ModelBundle bundle);
+
+    /**
+     * setQC: configure the Query Cache with a loaded QCN model, an
+     * error threshold, the QCN's published accuracy, and a capacity.
+     */
+    void setQC(std::uint64_t qcn_model_id, double threshold,
+               double qcn_accuracy, std::size_t capacity);
+
+    /**
+     * query: submit a query feature vector against a database
+     * sub-range [db_start, db_end) with the given SCN model and
+     * accelerator level.
+     * @return a query_id for getResults().
+     */
+    std::uint64_t query(const std::vector<float> &qfv, std::size_t k,
+                        std::uint64_t model_id, std::uint64_t db_id,
+                        std::uint64_t db_start, std::uint64_t db_end,
+                        std::optional<Level> level = std::nullopt);
+
+    /** getResults: retrieve (and keep) a completed query's results. */
+    const QueryResult &getResults(std::uint64_t query_id) const;
+
+    // ---- introspection -------------------------------------------
+
+    const DbMetadata &databaseInfo(std::uint64_t db_id) const
+    {
+        return metadata_.lookup(db_id);
+    }
+
+    const DeepStoreModel &model() const { return model_; }
+    ssd::Ssd &ssd() { return *ssd_; }
+    QueryCache *queryCache() { return queryCache_.get(); }
+
+    /** Total simulated time consumed so far (I/O + queries). */
+    double simulatedSeconds() const { return simSeconds_; }
+
+    /** Dump engine counters and the SSD's statistics as text. */
+    void dumpStats(std::ostream &os) const;
+
+    /**
+     * Persist the database metadata table into the reserved flash
+     * block at the top of the LPN space (§4.4: "This metadata is
+     * persisted in a reserved flash block, but will be cached in SSD
+     * DRAM"). @return pages written.
+     */
+    std::uint64_t persistMetadata();
+
+    /**
+     * Drop the DRAM-cached metadata table and reload it from the
+     * reserved flash block (the power-loss recovery path). Feature
+     * sources survive (they model the flash contents themselves).
+     * fatal() if persistMetadata() was never called.
+     */
+    void reloadMetadata();
+
+  private:
+    struct LoadedModel
+    {
+        nn::ModelBundle bundle;
+        std::unique_ptr<nn::Executor> executor;
+    };
+
+    const LoadedModel &lookupModel(std::uint64_t model_id) const;
+    double writePagesSimulated(std::uint64_t lpn_start,
+                               std::uint64_t pages);
+    QueryResult executeScan(const std::vector<float> &qfv,
+                            std::size_t k, const LoadedModel &m,
+                            const DbMetadata &db,
+                            std::uint64_t db_start,
+                            std::uint64_t db_end, Level level,
+                            std::shared_ptr<FeatureSource> source);
+
+    DeepStoreConfig config_;
+    sim::EventQueue events_;
+    std::unique_ptr<ssd::Ssd> ssd_;
+    DeepStoreModel model_;
+    MetadataStore metadata_;
+
+    std::map<std::uint64_t, std::shared_ptr<FeatureSource>> sources_;
+    std::map<std::uint64_t, LoadedModel> models_;
+    std::map<std::uint64_t, QueryResult> results_;
+
+    std::unique_ptr<QueryCache> queryCache_;
+    std::uint64_t qcnModelId_ = 0;
+    /** QFVs of previously seen queries (QC scoring inputs). */
+    std::vector<std::vector<float>> seenQueries_;
+
+    std::uint64_t nextFreeLpn_ = 0;
+    std::uint64_t persistedMetadataPages_ = 0;
+    std::uint64_t nextModelId_ = 1;
+    std::uint64_t nextQueryId_ = 1;
+    double simSeconds_ = 0.0;
+};
+
+/** Concatenation of two feature sources (appendDB support). */
+class CompositeFeatureSource : public FeatureSource
+{
+  public:
+    CompositeFeatureSource(std::shared_ptr<FeatureSource> first,
+                           std::shared_ptr<FeatureSource> second);
+
+    std::uint64_t count() const override;
+    std::int64_t dim() const override { return first_->dim(); }
+    std::vector<float> featureAt(std::uint64_t index) const override;
+
+  private:
+    std::shared_ptr<FeatureSource> first_;
+    std::shared_ptr<FeatureSource> second_;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_DEEPSTORE_H

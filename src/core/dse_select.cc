@@ -1,0 +1,125 @@
+#include "core/dse_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/query_model.h"
+#include "energy/energy_model.h"
+
+namespace deepstore::core {
+
+namespace {
+
+/** Scratchpad sizes explored (§4.5 varies the scratchpad per level). */
+const std::uint64_t kSpadSizes[] = {256 * KiB, 512 * KiB, 1 * MiB,
+                                    2 * MiB, 4 * MiB, 8 * MiB};
+
+Placement
+patchedPlacement(const Placement &base, std::int64_t rows,
+                 std::int64_t cols, std::uint64_t spad_bytes)
+{
+    Placement p = base;
+    p.array.rows = rows;
+    p.array.cols = cols;
+    p.array.scratchpadBytes = spad_bytes;
+    switch (p.level) {
+      case Level::SsdLevel:
+      case Level::ChipLevel:
+        p.residentWeightBytes = spad_bytes;
+        break;
+      case Level::ChannelLevel:
+        // Weight residency lives in the shared L2 regardless of the
+        // private scratchpad size.
+        break;
+    }
+    return p;
+}
+
+} // namespace
+
+DseCandidate
+evaluateCandidate(Level level, const ssd::FlashParams &flash,
+                  const systolic::ArrayConfig &config)
+{
+    Placement base = makePlacement(level, flash);
+    Placement candidate = base;
+    candidate.array = config;
+    if (level != Level::ChannelLevel)
+        candidate.residentWeightBytes = config.scratchpadBytes;
+
+    DeepStoreModel model(flash);
+    DseCandidate out;
+    out.config = config;
+    out.areaMm2 = energy::acceleratorAreaMm2(
+        energy::EnergyParams{}, config.peCount(),
+        config.scratchpadBytes);
+
+    double log_sum = 0.0;
+    int counted = 0;
+    double peak_power = 0.0;
+    for (const auto &app : workloads::allApps()) {
+        LevelPerf perf = model.evaluatePlacement(
+            candidate, app.scn, app.featureBytes());
+        if (!perf.supported)
+            continue;
+        log_sum += std::log(perf.perAccelSeconds);
+        ++counted;
+        double per_accel_power =
+            (perf.activePowerW - kSsdBasePowerW) /
+            static_cast<double>(perf.placement.numAccelerators);
+        peak_power = std::max(peak_power, per_accel_power);
+    }
+    DS_ASSERT(counted > 0);
+    out.meanPerFeatureSeconds =
+        std::exp(log_sum / static_cast<double>(counted));
+    out.peakPowerW = peak_power;
+    // 35% margin on the §4.5 budget slice: our CACTI-like SRAM
+    // constants run hotter than the paper's (EXPERIMENTS.md,
+    // residual #4), so we hold candidates to the same *relative*
+    // standard the published configs meet under our energy model.
+    out.meetsPowerBudget = peak_power <= base.powerBudgetW * 1.35;
+    // Area budget: the Table 3 die sizes, with a 15% margin.
+    double area_cap = energy::acceleratorAreaMm2(
+                          energy::EnergyParams{},
+                          base.array.peCount(),
+                          base.array.scratchpadBytes) *
+                      1.15;
+    out.meetsAreaBudget = out.areaMm2 <= area_cap;
+    return out;
+}
+
+DseResult
+exploreLevel(Level level, const ssd::FlashParams &flash,
+             std::int64_t max_pes)
+{
+    DseResult result;
+    result.level = level;
+    Placement base = makePlacement(level, flash);
+
+    for (std::int64_t pes = 128; pes <= max_pes; pes *= 2) {
+        for (std::int64_t rows = 1; rows <= pes; rows *= 2) {
+            std::int64_t cols = pes / rows;
+            // Degenerate strips waste the element-wise row lanes
+            // (§4.3); bound the aspect ratio like the paper does
+            // (512-wide FC bound, 1024-tall conv bound).
+            if (cols > 1024 || rows > 1024)
+                continue;
+            for (std::uint64_t spad : kSpadSizes) {
+                Placement candidate =
+                    patchedPlacement(base, rows, cols, spad);
+                DseCandidate c = evaluateCandidate(level, flash,
+                                                   candidate.array);
+                result.candidates.push_back(std::move(c));
+            }
+        }
+    }
+    std::sort(result.candidates.begin(), result.candidates.end(),
+              [](const DseCandidate &a, const DseCandidate &b) {
+                  return a.betterThan(b);
+              });
+    result.table3 = evaluateCandidate(level, flash, base.array);
+    return result;
+}
+
+} // namespace deepstore::core

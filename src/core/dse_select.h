@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Budget-constrained design-space exploration (paper §4.5).
+ *
+ * The paper sizes each placement level's accelerator by sweeping the
+ * systolic-array shape and scratchpad size, eliminating designs that
+ * exceed the level's power budget, and picking the best performer
+ * across the five workloads. This module reproduces that methodology
+ * end-to-end: the ablation bench shows the chosen points and the test
+ * suite checks that the paper's Table 3 configurations sit on the
+ * resulting performance/power frontier.
+ */
+
+#ifndef DEEPSTORE_CORE_DSE_SELECT_H
+#define DEEPSTORE_CORE_DSE_SELECT_H
+
+#include <vector>
+
+#include "core/placement.h"
+#include "workloads/apps.h"
+
+namespace deepstore::core {
+
+/** One evaluated candidate configuration. */
+struct DseCandidate
+{
+    systolic::ArrayConfig config;
+    /** Geometric-mean per-feature scan time across the workloads. */
+    double meanPerFeatureSeconds = 0.0;
+    /** Worst-case (across apps) average power of one accelerator. */
+    double peakPowerW = 0.0;
+    double areaMm2 = 0.0;
+    bool meetsPowerBudget = false;
+    bool meetsAreaBudget = false;
+
+    bool feasible() const
+    {
+        return meetsPowerBudget && meetsAreaBudget;
+    }
+
+    /** Candidates that fail a budget sort last; among those that
+     *  pass, faster is better. */
+    bool
+    betterThan(const DseCandidate &o) const
+    {
+        if (feasible() != o.feasible())
+            return feasible();
+        return meanPerFeatureSeconds < o.meanPerFeatureSeconds;
+    }
+};
+
+/** Result of exploring one placement level. */
+struct DseResult
+{
+    Level level;
+    std::vector<DseCandidate> candidates; ///< sorted best-first
+    DseCandidate table3;                  ///< the paper's choice
+
+    const DseCandidate &best() const { return candidates.front(); }
+};
+
+/**
+ * Explore the design space for one placement level over the given
+ * SSD geometry and the five Table 1 workloads: PE budgets (powers of
+ * two up to `max_pes`), power-of-two aspect ratios, and scratchpad
+ * sizes, under the level's §4.5 power budget.
+ */
+DseResult exploreLevel(Level level, const ssd::FlashParams &flash,
+                       std::int64_t max_pes = 4096);
+
+/**
+ * Evaluate one explicit candidate configuration at a level (exposed
+ * for the dataflow/L2 ablation benches).
+ */
+DseCandidate evaluateCandidate(Level level,
+                               const ssd::FlashParams &flash,
+                               const systolic::ArrayConfig &config);
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_DSE_SELECT_H

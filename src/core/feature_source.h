@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Feature providers backing a DeepStore database.
+ *
+ * writeDB() conceptually copies feature vectors from host memory into
+ * flash; for simulation we keep a provider per database so the
+ * functional query path can fetch any feature on demand without
+ * materializing multi-terabyte datasets: either an explicit in-memory
+ * list (examples, tests) or the deterministic latent-topic generator
+ * (large benchmark databases).
+ */
+
+#ifndef DEEPSTORE_CORE_FEATURE_SOURCE_H
+#define DEEPSTORE_CORE_FEATURE_SOURCE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "workloads/feature_gen.h"
+
+namespace deepstore::core {
+
+/** Read-only source of feature vectors for one database. */
+class FeatureSource
+{
+  public:
+    virtual ~FeatureSource() = default;
+
+    /** Number of features available. */
+    virtual std::uint64_t count() const = 0;
+
+    /** Feature vector length in floats. */
+    virtual std::int64_t dim() const = 0;
+
+    /** The index-th feature vector. @pre index < count(). */
+    virtual std::vector<float> featureAt(std::uint64_t index) const = 0;
+};
+
+/** Explicit in-memory feature list. */
+class VectorFeatureSource : public FeatureSource
+{
+  public:
+    VectorFeatureSource(std::vector<std::vector<float>> features,
+                        std::int64_t dim)
+        : features_(std::move(features)), dim_(dim)
+    {
+        for (const auto &f : features_) {
+            if (static_cast<std::int64_t>(f.size()) != dim_)
+                fatal("feature size %zu != dim %lld", f.size(),
+                      static_cast<long long>(dim_));
+        }
+    }
+
+    std::uint64_t count() const override { return features_.size(); }
+    std::int64_t dim() const override { return dim_; }
+
+    std::vector<float>
+    featureAt(std::uint64_t index) const override
+    {
+        DS_ASSERT(index < features_.size());
+        return features_[index];
+    }
+
+  private:
+    std::vector<std::vector<float>> features_;
+    std::int64_t dim_;
+};
+
+/** Deterministic synthetic database (latent-topic generator). */
+class GeneratedFeatureSource : public FeatureSource
+{
+  public:
+    GeneratedFeatureSource(workloads::FeatureGenerator generator,
+                           std::uint64_t count)
+        : generator_(std::move(generator)), count_(count)
+    {
+    }
+
+    std::uint64_t count() const override { return count_; }
+    std::int64_t dim() const override { return generator_.dim(); }
+
+    std::vector<float>
+    featureAt(std::uint64_t index) const override
+    {
+        DS_ASSERT(index < count_);
+        return generator_.featureAt(index);
+    }
+
+    const workloads::FeatureGenerator &generator() const
+    {
+        return generator_;
+    }
+
+  private:
+    workloads::FeatureGenerator generator_;
+    std::uint64_t count_;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_FEATURE_SOURCE_H

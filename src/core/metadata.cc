@@ -1,0 +1,117 @@
+#include "core/metadata.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+namespace {
+
+constexpr std::uint64_t kMetadataMagic = 0x4454454D53445344ULL;
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    const auto *b = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), b, b + sizeof(v));
+}
+
+std::uint64_t
+getU64(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    if (pos + 8 > in.size())
+        fatal("metadata blob truncated at offset %zu", pos);
+    std::uint64_t v;
+    std::memcpy(&v, in.data() + pos, sizeof(v));
+    pos += 8;
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+MetadataStore::add(DbMetadata metadata)
+{
+    metadata.dbId = nextId_++;
+    std::uint64_t id = metadata.dbId;
+    table_[id] = metadata;
+    return id;
+}
+
+const DbMetadata &
+MetadataStore::lookup(std::uint64_t db_id) const
+{
+    auto it = table_.find(db_id);
+    if (it == table_.end())
+        fatal("unknown db_id %llu",
+              static_cast<unsigned long long>(db_id));
+    return it->second;
+}
+
+void
+MetadataStore::update(const DbMetadata &metadata)
+{
+    auto it = table_.find(metadata.dbId);
+    if (it == table_.end())
+        fatal("update of unknown db_id %llu",
+              static_cast<unsigned long long>(metadata.dbId));
+    it->second = metadata;
+}
+
+std::vector<std::uint8_t>
+MetadataStore::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    putU64(out, kMetadataMagic);
+    putU64(out, table_.size());
+    for (const auto &[id, md] : table_) {
+        // The paper's 32-byte record (§4.7.2)...
+        putU64(out, md.dbId);
+        putU64(out, md.startPpn);
+        putU64(out, md.featureBytes);
+        putU64(out, md.numFeatures);
+        // ...plus the logical start, which the simulation needs to
+        // drive host-path reads (a real device recovers it from the
+        // FTL's own persisted state).
+        putU64(out, md.startLpn);
+    }
+    return out;
+}
+
+void
+MetadataStore::deserialize(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t pos = 0;
+    if (getU64(blob, pos) != kMetadataMagic)
+        fatal("metadata blob corrupt: bad magic");
+    std::uint64_t count = getU64(blob, pos);
+    std::map<std::uint64_t, DbMetadata> restored;
+    std::uint64_t max_id = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DbMetadata md;
+        md.dbId = getU64(blob, pos);
+        md.startPpn = getU64(blob, pos);
+        md.featureBytes = getU64(blob, pos);
+        md.numFeatures = getU64(blob, pos);
+        md.startLpn = getU64(blob, pos);
+        if (md.featureBytes == 0 || md.numFeatures == 0)
+            fatal("metadata blob corrupt: empty database record");
+        restored[md.dbId] = md;
+        max_id = std::max(max_id, md.dbId);
+    }
+    if (pos != blob.size())
+        fatal("metadata blob has trailing bytes");
+    table_ = std::move(restored);
+    nextId_ = max_id + 1;
+}
+
+void
+MetadataStore::clear()
+{
+    table_.clear();
+    nextId_ = 1;
+}
+
+} // namespace deepstore::core

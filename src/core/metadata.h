@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Database metadata management (paper §4.4, §4.7.2).
+ *
+ * Writing a database produces a 32-byte metadata record — db_id,
+ * starting physical address, per-feature size, and feature count —
+ * persisted in a reserved flash block and cached in SSD DRAM for fast
+ * lookup during query execution. The query engine hands the record
+ * (plus channel/chip counts) to the accelerator controllers, which
+ * compute each feature's physical address by pure offset arithmetic,
+ * skipping FTL translation.
+ */
+
+#ifndef DEEPSTORE_CORE_METADATA_H
+#define DEEPSTORE_CORE_METADATA_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ssd/throughput.h"
+
+namespace deepstore::core {
+
+/** The 32-byte per-database metadata record of §4.7.2. */
+struct DbMetadata
+{
+    std::uint64_t dbId = 0;
+    /** Starting physical page number of the striped database. */
+    std::uint64_t startPpn = 0;
+    /** Bytes per feature vector. */
+    std::uint64_t featureBytes = 0;
+    /** Number of feature vectors stored. */
+    std::uint64_t numFeatures = 0;
+
+    // Derived (not part of the 32-byte record).
+    std::uint64_t startLpn = 0; ///< logical placement
+
+    /** Pages this database occupies. */
+    std::uint64_t
+    pageCount(std::uint64_t page_bytes) const
+    {
+        ssd::FeatureLayout layout{featureBytes, page_bytes};
+        return layout.pagesForFeatures(numFeatures);
+    }
+
+    /**
+     * Physical page of the index-th feature, by offset arithmetic
+     * (the controller-side fast path of §4.4).
+     */
+    std::uint64_t
+    featurePpn(std::uint64_t index, std::uint64_t page_bytes) const
+    {
+        ssd::FeatureLayout layout{featureBytes, page_bytes};
+        if (featureBytes <= page_bytes)
+            return startPpn + index / layout.featuresPerPage();
+        return startPpn + index * layout.pagesPerFeature();
+    }
+};
+
+/** DRAM-cached metadata table keyed by db_id. */
+class MetadataStore
+{
+  public:
+    MetadataStore() = default;
+
+    /** Register a new database; returns its assigned db_id. */
+    std::uint64_t add(DbMetadata metadata);
+
+    /** Lookup; fatal() on an unknown db_id (host error). */
+    const DbMetadata &lookup(std::uint64_t db_id) const;
+
+    /** Update an existing record (appendDB grows numFeatures). */
+    void update(const DbMetadata &metadata);
+
+    bool contains(std::uint64_t db_id) const
+    {
+        return table_.count(db_id) != 0;
+    }
+
+    std::size_t size() const { return table_.size(); }
+
+    /** Serialized size of the persisted table (32 B per record). */
+    std::uint64_t
+    persistedBytes() const
+    {
+        return table_.size() * 32;
+    }
+
+    /**
+     * Serialize the table for the reserved flash block (§4.4):
+     * a 16-byte header (magic + record count) followed by the
+     * 32-byte records.
+     */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Replace the table with the contents of a serialized blob.
+     * fatal() on a corrupt blob. The id allocator resumes after the
+     * largest restored id.
+     */
+    void deserialize(const std::vector<std::uint8_t> &blob);
+
+    void clear();
+
+  private:
+    std::map<std::uint64_t, DbMetadata> table_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_METADATA_H

@@ -1,0 +1,219 @@
+#include "core/nvme_front.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+std::uint64_t
+HostBufferRegistry::add(std::vector<float> data)
+{
+    std::uint64_t prp = next_;
+    next_ += 0x1000;
+    buffers_[prp] = std::move(data);
+    return prp;
+}
+
+const std::vector<float> *
+HostBufferRegistry::find(std::uint64_t prp) const
+{
+    auto it = buffers_.find(prp);
+    return it == buffers_.end() ? nullptr : &it->second;
+}
+
+std::vector<float> *
+HostBufferRegistry::findMutable(std::uint64_t prp)
+{
+    auto it = buffers_.find(prp);
+    return it == buffers_.end() ? nullptr : &it->second;
+}
+
+void
+HostBufferRegistry::release(std::uint64_t prp)
+{
+    buffers_.erase(prp);
+}
+
+NvmeFrontEnd::NvmeFrontEnd(DeepStore &store, std::size_t sq_depth)
+    : store_(store), sqDepth_(sq_depth)
+{
+    if (sq_depth == 0)
+        fatal("submission queue depth must be positive");
+}
+
+bool
+NvmeFrontEnd::submit(const NvmeCommand &cmd)
+{
+    if (sq_.size() >= sqDepth_)
+        return false; // queue full: host must back off
+    sq_.push_back(cmd);
+    return true;
+}
+
+void
+NvmeFrontEnd::process()
+{
+    while (!sq_.empty()) {
+        NvmeCommand cmd = sq_.front();
+        sq_.pop_front();
+        cq_.push_back(execute(cmd));
+    }
+}
+
+std::optional<NvmeCompletion>
+NvmeFrontEnd::pollCompletion()
+{
+    if (cq_.empty())
+        return std::nullopt;
+    NvmeCompletion c = cq_.front();
+    cq_.pop_front();
+    return c;
+}
+
+NvmeCompletion
+NvmeFrontEnd::execute(const NvmeCommand &cmd)
+{
+    NvmeCompletion done;
+    done.cid = cmd.cid;
+    try {
+        switch (cmd.opcode) {
+          case NvmeOpcode::WriteDB: {
+            const auto *buf = buffers_.find(cmd.prp);
+            auto dim = static_cast<std::int64_t>(cmd.cdw[0]);
+            if (!buf || dim <= 0 ||
+                buf->size() % static_cast<std::size_t>(dim) != 0) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            std::vector<std::vector<float>> features;
+            for (std::size_t off = 0; off < buf->size();
+                 off += static_cast<std::size_t>(dim)) {
+                features.emplace_back(
+                    buf->begin() + static_cast<long>(off),
+                    buf->begin() + static_cast<long>(off) + dim);
+            }
+            done.result = store_.writeDB(
+                std::make_shared<VectorFeatureSource>(
+                    std::move(features), dim));
+            break;
+          }
+          case NvmeOpcode::AppendDB: {
+            const auto *buf = buffers_.find(cmd.prp);
+            if (!buf) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            auto dim = static_cast<std::int64_t>(
+                store_.databaseInfo(cmd.cdw[0]).featureBytes /
+                kBytesPerFloat);
+            if (buf->size() % static_cast<std::size_t>(dim) != 0) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            std::vector<std::vector<float>> features;
+            for (std::size_t off = 0; off < buf->size();
+                 off += static_cast<std::size_t>(dim)) {
+                features.emplace_back(
+                    buf->begin() + static_cast<long>(off),
+                    buf->begin() + static_cast<long>(off) + dim);
+            }
+            store_.appendDB(cmd.cdw[0],
+                            std::make_shared<VectorFeatureSource>(
+                                std::move(features), dim));
+            done.result = cmd.cdw[0];
+            break;
+          }
+          case NvmeOpcode::ReadDB: {
+            auto *out = buffers_.findMutable(cmd.prp);
+            if (!out) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            auto features =
+                store_.readDB(cmd.cdw[0], cmd.cdw[1], cmd.cdw[2]);
+            out->clear();
+            for (const auto &f : features)
+                out->insert(out->end(), f.begin(), f.end());
+            done.result = features.size();
+            break;
+          }
+          case NvmeOpcode::LoadModel: {
+            // prp references a serialized model blob packed into the
+            // float buffer (4 bytes per element).
+            const auto *buf = buffers_.find(cmd.prp);
+            if (!buf) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            std::vector<std::uint8_t> blob(buf->size() * 4);
+            std::memcpy(blob.data(), buf->data(), blob.size());
+            blob.resize(static_cast<std::size_t>(cmd.cdw[0]));
+            done.result = store_.loadModel(blob);
+            break;
+          }
+          case NvmeOpcode::Query: {
+            const auto *qfv = buffers_.find(cmd.prp);
+            if (!qfv) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            std::optional<Level> level;
+            if (cmd.cdw[5] != 0)
+                level = static_cast<Level>(cmd.cdw[5] - 1);
+            done.result = store_.query(
+                *qfv, static_cast<std::size_t>(cmd.cdw[0]),
+                cmd.cdw[1], cmd.cdw[2], cmd.cdw[3], cmd.cdw[4],
+                level);
+            break;
+          }
+          case NvmeOpcode::GetResults: {
+            auto *out = buffers_.findMutable(cmd.prp);
+            if (!out) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            const QueryResult &res = store_.getResults(cmd.cdw[0]);
+            out->clear();
+            for (const auto &r : res.topK) {
+                out->push_back(static_cast<float>(r.featureId));
+                out->push_back(r.score);
+            }
+            done.result = res.topK.size();
+            break;
+          }
+          case NvmeOpcode::SetQC:
+            store_.setQC(cmd.cdw[0],
+                         static_cast<double>(cmd.cdw[1]) / 1e4,
+                         static_cast<double>(cmd.cdw[2]) / 1e4,
+                         static_cast<std::size_t>(cmd.cdw[3]));
+            break;
+          case NvmeOpcode::Read:
+          case NvmeOpcode::Write:
+          case NvmeOpcode::Dsm: {
+            // Standard I/O path: cdw0 = LPN, cdw1 = page count.
+            bool ok = false;
+            auto cb = [&ok](Tick) { ok = true; };
+            if (cmd.opcode == NvmeOpcode::Read)
+                store_.ssd().hostRead(cmd.cdw[0], cmd.cdw[1], cb);
+            else if (cmd.opcode == NvmeOpcode::Write)
+                store_.ssd().hostWrite(cmd.cdw[0], cmd.cdw[1], cb);
+            else
+                store_.ssd().hostTrim(cmd.cdw[0], cmd.cdw[1], cb);
+            store_.ssd().events().run();
+            done.status = ok ? NvmeStatus::Success
+                             : NvmeStatus::InternalError;
+            break;
+          }
+          default:
+            done.status = NvmeStatus::InvalidField;
+        }
+    } catch (const FatalError &) {
+        done.status = NvmeStatus::InvalidField;
+    } catch (const PanicError &) {
+        done.status = NvmeStatus::InternalError;
+    }
+    return done;
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * NVMe-style front end for the DeepStore API.
+ *
+ * The paper's programming APIs "internally use new NVMe commands to
+ * interact with the query engine" (§4.7.2). This module models that
+ * wire level: vendor-specific opcodes alongside the standard I/O set,
+ * a bounded submission queue, completion entries with NVMe-like
+ * status codes (host errors surface as failed completions, not
+ * exceptions), and a PRP-style handle registry standing in for host
+ * memory buffers.
+ */
+
+#ifndef DEEPSTORE_CORE_NVME_FRONT_H
+#define DEEPSTORE_CORE_NVME_FRONT_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/deepstore.h"
+
+namespace deepstore::core {
+
+/** Command opcodes: the standard NVMe I/O set plus DeepStore's
+ *  vendor-specific extensions (Table 2). */
+enum class NvmeOpcode : std::uint8_t
+{
+    Write = 0x01,
+    Read = 0x02,
+    Dsm = 0x09, ///< dataset management (trim)
+
+    // Vendor-specific (0xC0+): the DeepStore command set.
+    WriteDB = 0xC0,
+    ReadDB = 0xC1,
+    AppendDB = 0xC2,
+    LoadModel = 0xC3,
+    Query = 0xC4,
+    GetResults = 0xC5,
+    SetQC = 0xC6,
+};
+
+/** NVMe-like status codes returned in completions. */
+enum class NvmeStatus : std::uint16_t
+{
+    Success = 0x0,
+    InvalidField = 0x2,
+    InternalError = 0x6,
+    CommandAborted = 0x7,
+};
+
+/** A 64-byte-SQE-shaped command. */
+struct NvmeCommand
+{
+    NvmeOpcode opcode = NvmeOpcode::Read;
+    std::uint16_t cid = 0; ///< command identifier (host-chosen)
+    std::uint64_t prp = 0; ///< host buffer handle (see buffers below)
+    /** Command dwords; meaning depends on the opcode:
+     *  WriteDB:   cdw0 = feature dim (floats)
+     *  AppendDB:  cdw0 = db_id
+     *  ReadDB:    cdw0 = db_id, cdw1 = start, cdw2 = count
+     *  Query:     cdw0 = k, cdw1 = model_id, cdw2 = db_id,
+     *             cdw3 = db_start, cdw4 = db_end, cdw5 = level+1
+     *             (0 = engine default)
+     *  GetResults:cdw0 = query_id
+     *  SetQC:     cdw0 = qcn model_id, cdw1 = threshold * 1e4,
+     *             cdw2 = accuracy * 1e4, cdw3 = capacity */
+    std::uint64_t cdw[6] = {0, 0, 0, 0, 0, 0};
+};
+
+/** Completion-queue entry. */
+struct NvmeCompletion
+{
+    std::uint16_t cid = 0;
+    NvmeStatus status = NvmeStatus::Success;
+    /** Opcode-specific result (db_id / model_id / query_id / count). */
+    std::uint64_t result = 0;
+};
+
+/** Host-memory stand-in: float buffers addressed by PRP handles. */
+class HostBufferRegistry
+{
+  public:
+    /** Register a buffer; returns its PRP handle. */
+    std::uint64_t add(std::vector<float> data);
+
+    const std::vector<float> *find(std::uint64_t prp) const;
+    std::vector<float> *findMutable(std::uint64_t prp);
+    void release(std::uint64_t prp);
+
+  private:
+    std::map<std::uint64_t, std::vector<float>> buffers_;
+    std::uint64_t next_ = 0x1000;
+};
+
+/** Bounded submission queue + completion queue over a DeepStore. */
+class NvmeFrontEnd
+{
+  public:
+    explicit NvmeFrontEnd(DeepStore &store,
+                          std::size_t sq_depth = 256);
+
+    HostBufferRegistry &buffers() { return buffers_; }
+
+    /** Ring the doorbell with one command.
+     *  @return false when the submission queue is full. */
+    bool submit(const NvmeCommand &cmd);
+
+    /** Process every queued command in order (the engine runs on the
+     *  embedded cores between doorbell writes). */
+    void process();
+
+    /** Pop the oldest completion, if any. */
+    std::optional<NvmeCompletion> pollCompletion();
+
+    std::size_t submissionDepth() const { return sqDepth_; }
+    std::size_t pending() const { return sq_.size(); }
+
+  private:
+    NvmeCompletion execute(const NvmeCommand &cmd);
+
+    DeepStore &store_;
+    std::size_t sqDepth_;
+    std::deque<NvmeCommand> sq_;
+    std::deque<NvmeCompletion> cq_;
+    HostBufferRegistry buffers_;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_NVME_FRONT_H

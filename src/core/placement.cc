@@ -1,0 +1,96 @@
+#include "core/placement.h"
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+const char *
+toString(Level level)
+{
+    switch (level) {
+      case Level::SsdLevel: return "SSD";
+      case Level::ChannelLevel: return "Channel";
+      case Level::ChipLevel: return "Chip";
+    }
+    return "?";
+}
+
+Placement
+makePlacement(Level level, const ssd::FlashParams &flash)
+{
+    Placement p;
+    p.level = level;
+    systolic::ArrayConfig &a = p.array;
+    a.wordBytes = kBytesPerFloat;
+
+    switch (level) {
+      case Level::SsdLevel:
+        // Table 3: 32x64 OS systolic array @ 800 MHz, 8 MB scratchpad.
+        a.name = "ssd-accel";
+        a.rows = 32;
+        a.cols = 64;
+        a.dataflow = systolic::Dataflow::OutputStationary;
+        a.frequencyHz = 800 * MHz;
+        a.scratchpadBytes = 8 * MiB;
+        a.sharedL2Bytes = 0;
+        a.dramBandwidth = flash.dramBandwidth; // full DRAM bandwidth
+        p.sramModel = energy::SramModel::ItrsHp;
+        p.numAccelerators = 1;
+        p.powerBudgetW = kAcceleratorPowerBudgetW;
+        p.wsGroupSize = 1;
+        p.residentWeightBytes = a.scratchpadBytes;
+        break;
+
+      case Level::ChannelLevel:
+        // Table 3: 16x64 OS @ 800 MHz, 512 KB private scratchpad,
+        // sharing the SSD-level 8 MB scratchpad as a weight L2.
+        a.name = "channel-accel";
+        a.rows = 16;
+        a.cols = 64;
+        a.dataflow = systolic::Dataflow::OutputStationary;
+        a.frequencyHz = 800 * MHz;
+        a.scratchpadBytes = 512 * KiB;
+        a.sharedL2Bytes = 8 * MiB;
+        a.dramBandwidth = flash.dramBandwidth /
+                          static_cast<double>(flash.channels);
+        p.sramModel = energy::SramModel::ItrsHp;
+        p.numAccelerators = flash.channels;
+        p.powerBudgetW = kAcceleratorPowerBudgetW /
+                         static_cast<double>(flash.channels);
+        p.wsGroupSize = 1;
+        // The engine reserves the top 384 KiB of the shared
+        // scratchpad for its staging buffers (QFV broadcast, result
+        // collection), so slightly less than the full 8 MiB holds
+        // resident weights.
+        p.residentWeightBytes = a.sharedL2Bytes - 384 * KiB;
+        break;
+
+      case Level::ChipLevel:
+        // Table 3: 4x32 WS @ 400 MHz, 512 KB scratchpad, itrs-low
+        // SRAMs; weights stream in lockstep over the channel bus.
+        a.name = "chip-accel";
+        a.rows = 4;
+        a.cols = 32;
+        a.dataflow = systolic::Dataflow::WeightStationary;
+        a.frequencyHz = 400 * MHz;
+        a.scratchpadBytes = 512 * KiB;
+        a.sharedL2Bytes = 0;
+        a.dramBandwidth =
+            flash.dramBandwidth /
+            static_cast<double>(flash.totalChips());
+        p.sramModel = energy::SramModel::ItrsLow;
+        p.numAccelerators = flash.totalChips();
+        p.powerBudgetW = kAcceleratorPowerBudgetW /
+                         static_cast<double>(flash.totalChips());
+        p.wsGroupSize = 2; // lockstep double buffering (§4.5)
+        p.residentWeightBytes = a.scratchpadBytes;
+        p.dfvQueueDepthPages = 8; // small in-chip staging buffer
+        break;
+    }
+    a.validate();
+    if (p.numAccelerators == 0)
+        panic("placement produced zero accelerators");
+    return p;
+}
+
+} // namespace deepstore::core

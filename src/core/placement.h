@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Accelerator placement levels and the Table 3 configurations.
+ *
+ * DeepStore places accelerators at three levels of SSD parallelism
+ * (Fig. 3): one SSD-level accelerator behind the internal bus, one
+ * accelerator per flash channel, or one per flash chip. The design
+ * parameters (array shape, dataflow, frequency, scratchpad, power
+ * budget) come from the paper's design-space exploration (§4.5,
+ * Table 3).
+ */
+
+#ifndef DEEPSTORE_CORE_PLACEMENT_H
+#define DEEPSTORE_CORE_PLACEMENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "energy/energy_model.h"
+#include "ssd/flash_params.h"
+#include "systolic/array_config.h"
+
+namespace deepstore::core {
+
+/** Placement level of the in-storage accelerators. */
+enum class Level
+{
+    SsdLevel,
+    ChannelLevel,
+    ChipLevel,
+};
+
+const char *toString(Level level);
+
+/** Full static description of one placement choice. */
+struct Placement
+{
+    Level level = Level::ChannelLevel;
+    systolic::ArrayConfig array;
+    energy::SramModel sramModel = energy::SramModel::ItrsHp;
+
+    /** Number of accelerator instances in the SSD. */
+    std::uint32_t numAccelerators = 0;
+
+    /** Power budget per accelerator instance (W), from the 55 W SSD
+     *  budget (§4.5). */
+    double powerBudgetW = 0.0;
+
+    /** Weight-stationary feature group: how many features each
+     *  chip-level accelerator double-buffers per lockstep weight
+     *  pass (1 for the OS levels, which stream weights instead). */
+    std::int64_t wsGroupSize = 1;
+
+    /** Capacity (bytes) of weight storage that is resident across
+     *  features: the private scratchpad at SSD level, the shared
+     *  SSD-level scratchpad (used as an L2) at channel level, and the
+     *  private scratchpad at chip level. */
+    std::uint64_t residentWeightBytes = 0;
+
+    /** FLASH_DFV prefetch-queue depth in flash pages (§4.4). The
+     *  queue refills in bursts of this many pages; each burst exposes
+     *  one array-read latency (Fig. 9's residual sensitivity). */
+    std::uint32_t dfvQueueDepthPages = 32;
+};
+
+/**
+ * Build the Table 3 configuration for a level, sized for an SSD with
+ * the given geometry (the accelerator count follows the channel/chip
+ * counts; Fig. 10a scales channels).
+ */
+Placement makePlacement(Level level, const ssd::FlashParams &flash);
+
+/** Total power budget available to in-storage accelerators (§4.5):
+ *  75 W PCIe limit minus ~20 W for the existing SSD hardware. */
+constexpr double kAcceleratorPowerBudgetW = 55.0;
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_PLACEMENT_H

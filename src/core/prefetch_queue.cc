@@ -1,0 +1,53 @@
+#include "core/prefetch_queue.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+PipelineResult
+simulatePrefetchPipeline(std::uint64_t items, std::uint64_t queue_depth,
+                         const std::function<double(std::uint64_t)>
+                             &produce_time,
+                         const std::function<double(std::uint64_t)>
+                             &consume_time)
+{
+    if (queue_depth == 0)
+        fatal("prefetch queue depth must be at least 1");
+    PipelineResult res;
+    res.items = items;
+    if (items == 0)
+        return res;
+
+    // Rolling window of consumer start times for slot reclamation.
+    std::vector<double> consume_start(items, 0.0);
+    double producer_free = 0.0; // when the producer can begin the next
+    double consumer_free = 0.0; // when the consumer finishes its item
+
+    for (std::uint64_t i = 0; i < items; ++i) {
+        // The producer needs a free queue slot: item i may only be
+        // deposited after item (i - depth) has left the queue.
+        double space_ready =
+            i >= queue_depth ? consume_start[i - queue_depth] : 0.0;
+        double start = std::max(producer_free, space_ready);
+        res.producerStallSeconds += start - producer_free;
+        double pt = produce_time(i);
+        DS_ASSERT(pt >= 0.0);
+        double produced = start + pt;
+        producer_free = produced;
+
+        // The consumer takes items in order.
+        double cstart = std::max(produced, consumer_free);
+        res.consumerStallSeconds += cstart - consumer_free;
+        consume_start[i] = cstart;
+        double ct = consume_time(i);
+        DS_ASSERT(ct >= 0.0);
+        consumer_free = cstart + ct;
+    }
+    res.totalSeconds = consumer_free;
+    return res;
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FLASH_DFV prefetch-queue pipeline model (paper §4.4, Fig. 5).
+ *
+ * The accelerator controller prefetches database feature vectors from
+ * flash into a bounded queue while the systolic array computes on a
+ * different set of features; the queue decouples (and overlaps) the
+ * two. This model simulates a producer (flash supply) and consumer
+ * (SCN compute) through a queue of configurable depth, supporting
+ * per-item time variation so the depth's smoothing effect on latency
+ * jitter is measurable (the queue-depth ablation bench uses this).
+ */
+
+#ifndef DEEPSTORE_CORE_PREFETCH_QUEUE_H
+#define DEEPSTORE_CORE_PREFETCH_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+
+namespace deepstore::core {
+
+/** Result of simulating a bounded producer/consumer pipeline. */
+struct PipelineResult
+{
+    double totalSeconds = 0.0;
+    double producerStallSeconds = 0.0; ///< waiting for queue space
+    double consumerStallSeconds = 0.0; ///< waiting for data
+    std::uint64_t items = 0;
+
+    double
+    perItemSeconds() const
+    {
+        return items ? totalSeconds / static_cast<double>(items) : 0.0;
+    }
+};
+
+/**
+ * Simulate `items` elements flowing through a queue of depth
+ * `queue_depth`. `produce_time(i)` / `consume_time(i)` give the
+ * per-item service times in seconds (allowing jittered flash reads).
+ * The producer may work ahead while at most `queue_depth` finished
+ * items are buffered; the consumer handles items in order.
+ */
+PipelineResult
+simulatePrefetchPipeline(std::uint64_t items, std::uint64_t queue_depth,
+                         const std::function<double(std::uint64_t)>
+                             &produce_time,
+                         const std::function<double(std::uint64_t)>
+                             &consume_time);
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_PREFETCH_QUEUE_H

@@ -1,0 +1,260 @@
+#include "core/query_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ssd/throughput.h"
+#include "systolic/systolic_sim.h"
+
+namespace deepstore::core {
+
+DeepStoreModel::DeepStoreModel(ssd::FlashParams flash,
+                               energy::EnergyParams eparams)
+    : flash_(flash), eparams_(eparams)
+{
+    flash_.validate();
+}
+
+LevelPerf
+DeepStoreModel::evaluate(Level level,
+                         const workloads::AppInfo &app) const
+{
+    return evaluateModel(level, app.scn, app.featureBytes());
+}
+
+LevelPerf
+DeepStoreModel::evaluateModel(Level level, const nn::Model &model,
+                              std::uint64_t feature_bytes) const
+{
+    return evaluatePlacement(makePlacement(level, flash_), model,
+                             feature_bytes);
+}
+
+LevelPerf
+DeepStoreModel::evaluatePlacement(Placement placement,
+                                  const nn::Model &model,
+                                  std::uint64_t feature_bytes) const
+{
+    Level level = placement.level;
+    LevelPerf perf;
+    perf.placement = std::move(placement);
+    const Placement &pl = perf.placement;
+
+    // The chip-level accelerator cannot buffer im2col working sets
+    // for convolutional models within its 512 KB scratchpad (§6.2:
+    // it "can not execute ReId due to limited compute and on-chip
+    // memory resources").
+    if (level == Level::ChipLevel &&
+        model.countLayers(nn::LayerKind::Conv2D) > 0) {
+        perf.supported = false;
+        return perf;
+    }
+
+    const std::uint64_t weight_bytes = model.totalWeightBytes();
+    const bool weights_resident =
+        weight_bytes <= pl.residentWeightBytes;
+    const std::uint64_t excess_bytes =
+        weights_resident ? 0 : weight_bytes - pl.residentWeightBytes;
+
+    // Chip-level lockstep scheduling: when the weights stay pinned in
+    // the chip scratchpad the controller double-buffers features
+    // (group of 2); when weight tiles must stream through, every
+    // feature walks the full fold sequence individually (§4.5).
+    if (level == Level::ChipLevel && !weights_resident)
+        perf.placement.wsGroupSize = 1;
+
+    // ---- compute leg --------------------------------------------
+    // Traffic/cycles of one inference. Weight streaming is accounted
+    // separately below (the resident portion reads from scratchpad or
+    // the shared L2), so the systolic model runs with on-chip
+    // weights; the L2-vs-private split only affects energy, which the
+    // channel configuration's sharedL2Bytes routes correctly.
+    systolic::SystolicSim sim(pl.array);
+    // Channel-level accelerators read weights through the shared
+    // SSD-level scratchpad (their L2); the other levels stream from
+    // their private scratchpads. The non-resident remainder's DRAM
+    // traffic and supply time are added explicitly below.
+    systolic::WeightSource source =
+        level == Level::ChannelLevel
+            ? systolic::WeightSource::SharedL2
+            : systolic::WeightSource::Scratchpad;
+    perf.modelRun =
+        sim.runModelWithSource(model, source, pl.wsGroupSize);
+    perf.computeSeconds =
+        static_cast<double>(perf.modelRun.totalCycles()) /
+        pl.array.frequencyHz;
+
+    // ---- flash + weight legs ------------------------------------
+    ssd::FeatureLayout layout{feature_bytes, flash_.pageBytes};
+    switch (level) {
+      case Level::SsdLevel: {
+        // One consumer fed by the full internal flash bandwidth.
+        perf.flashSeconds =
+            1.0 / ssd::ssdInternalFeatureRate(flash_, feature_bytes);
+        // Non-resident weights stream from DRAM once per feature
+        // (fully pipelined with compute, §4.5).
+        perf.weightStreamSeconds =
+            static_cast<double>(excess_bytes) / flash_.dramBandwidth;
+        break;
+      }
+      case Level::ChannelLevel: {
+        perf.flashSeconds =
+            1.0 / ssd::channelFeatureRate(flash_, feature_bytes);
+        if (pl.array.sharedL2Bytes > 0) {
+            // Non-resident weights broadcast from DRAM into the
+            // shared L2; one stream serves every channel accelerator
+            // in the same feature wave (32x reuse, §4.5).
+            perf.weightStreamSeconds =
+                static_cast<double>(excess_bytes) /
+                flash_.dramBandwidth;
+        } else {
+            // No shared scratchpad: each accelerator pulls its own
+            // weight copy through its DRAM bandwidth share.
+            perf.weightStreamSeconds =
+                static_cast<double>(excess_bytes) /
+                (flash_.dramBandwidth /
+                 static_cast<double>(pl.numAccelerators));
+        }
+        break;
+      }
+      case Level::ChipLevel: {
+        // Each chip streams its own features, but the channel bus is
+        // shared by the channel's chips *and* the lockstep weight
+        // broadcast (the chip accelerator cannot master the bus,
+        // §4.5).
+        // The chip-level accelerator sits at the flash chip (Fig. 3)
+        // and consumes pages straight from the chip's page buffers.
+        // Its minimal controller re-reads a page per lockstep slot
+        // (wsGroupSize features) rather than caching pages across
+        // slots — which is why the paper's Fig. 12 shows chip-level
+        // energy dominated by flash accesses.
+        double group = static_cast<double>(pl.wsGroupSize);
+        double plane_rate = static_cast<double>(flash_.planesPerChip) /
+                            flash_.readLatency;
+        double dfv_pages_per_feature =
+            feature_bytes <= flash_.pageBytes
+                ? 1.0 / group
+                : static_cast<double>(layout.pagesPerFeature());
+        perf.flashSeconds = dfv_pages_per_feature / plane_rate;
+        // Non-resident weights broadcast from SSD DRAM, scheduled in
+        // lockstep by the channel-side controller (§4.5): one stream
+        // serves every chip accelerator working on the same weight
+        // tile, so a group of numAccelerators x wsGroupSize features
+        // shares one pass over the excess weights. The lockstep
+        // broadcast is a weight-stationary property — with any other
+        // dataflow each chip must pull its own weight stream through
+        // its share of the DRAM bandwidth (the dataflow ablation
+        // exercises this).
+        if (pl.array.dataflow ==
+            systolic::Dataflow::WeightStationary) {
+            perf.weightStreamSeconds =
+                static_cast<double>(excess_bytes) /
+                flash_.dramBandwidth / group;
+        } else {
+            perf.weightStreamSeconds =
+                static_cast<double>(excess_bytes) /
+                (flash_.dramBandwidth /
+                 static_cast<double>(pl.numAccelerators));
+        }
+        break;
+      }
+    }
+
+    perf.perAccelSeconds =
+        std::max({perf.computeSeconds, perf.flashSeconds,
+                  perf.weightStreamSeconds});
+
+    // FLASH_DFV queue refill exposure (§4.4): the bounded prefetch
+    // queue refills in bursts; each burst of `depth` pages exposes
+    // one flash array-read latency that overlap cannot hide. This is
+    // what makes Fig. 9's slow-flash points cost a few percent.
+    double pages_per_feature_supply =
+        feature_bytes <= flash_.pageBytes
+            ? 1.0 / static_cast<double>(layout.featuresPerPage())
+            : static_cast<double>(layout.pagesPerFeature());
+    perf.perAccelSeconds += flash_.readLatency *
+                            pages_per_feature_supply /
+                            static_cast<double>(pl.dfvQueueDepthPages);
+
+    perf.aggregateSeconds =
+        perf.perAccelSeconds /
+        static_cast<double>(pl.numAccelerators);
+
+    // ---- energy --------------------------------------------------
+    energy::AcceleratorEnergyModel emodel(eparams_, pl.array,
+                                          pl.sramModel);
+    // Flash array reads per feature (fractional for packed layouts).
+    double pages_per_feature =
+        feature_bytes <= flash_.pageBytes
+            ? 1.0 / static_cast<double>(layout.featuresPerPage())
+            : static_cast<double>(layout.pagesPerFeature());
+    if (level == Level::ChipLevel &&
+        feature_bytes <= flash_.pageBytes) {
+        // Per-slot page re-reads (no page caching, see above).
+        pages_per_feature =
+            1.0 / static_cast<double>(pl.wsGroupSize);
+    }
+    systolic::LayerRun traffic = perf.modelRun.total;
+    // Per-feature share of the non-resident weight DRAM stream.
+    double excess_share = 0.0;
+    switch (level) {
+      case Level::SsdLevel:
+        excess_share = static_cast<double>(excess_bytes);
+        break;
+      case Level::ChannelLevel:
+        excess_share =
+            pl.array.sharedL2Bytes > 0
+                ? static_cast<double>(excess_bytes) /
+                      static_cast<double>(pl.numAccelerators)
+                : static_cast<double>(excess_bytes);
+        break;
+      case Level::ChipLevel:
+        // One DRAM broadcast serves every chip's lockstep group.
+        excess_share = static_cast<double>(excess_bytes) /
+                       static_cast<double>(pl.numAccelerators *
+                                           pl.wsGroupSize);
+        break;
+    }
+    traffic.dramReadBytes +=
+        static_cast<std::uint64_t>(excess_share);
+    perf.energyPerFeature = emodel.energyOf(
+        traffic, 0);
+    perf.energyPerFeature.flashJ =
+        pages_per_feature * eparams_.flashPageReadEnergy;
+
+    // Active power: every accelerator finishes one feature each
+    // perAccelSeconds; add leakage for all instances.
+    double features_per_second =
+        1.0 / perf.aggregateSeconds;
+    perf.activePowerW =
+        perf.energyPerFeature.total() * features_per_second +
+        emodel.staticPower() *
+            static_cast<double>(pl.numAccelerators) +
+        kSsdBasePowerW;
+    return perf;
+}
+
+double
+DeepStoreModel::scanSeconds(Level level, const workloads::AppInfo &app,
+                            std::uint64_t features) const
+{
+    LevelPerf perf = evaluate(level, app);
+    if (!perf.supported)
+        fatal("level %s cannot execute %s", toString(level),
+              app.name.c_str());
+    return perf.aggregateSeconds * static_cast<double>(features);
+}
+
+double
+DeepStoreModel::scanEnergyPerFeature(
+    Level level, const workloads::AppInfo &app) const
+{
+    LevelPerf perf = evaluate(level, app);
+    if (!perf.supported)
+        fatal("level %s cannot execute %s", toString(level),
+              app.name.c_str());
+    return perf.energyPerFeature.total();
+}
+
+} // namespace deepstore::core

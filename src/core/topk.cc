@@ -1,0 +1,86 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+TopK::TopK(std::size_t k) : k_(k)
+{
+    if (k == 0)
+        fatal("top-K capacity must be positive");
+    tags_.resize(k);
+    table_.resize(k);
+    for (std::size_t i = 0; i < k; ++i)
+        tags_[i] = static_cast<std::uint32_t>(i);
+}
+
+void
+TopK::insert(const ScoredResult &result)
+{
+    if (used_ == k_ && result.score <= table_[tags_[used_ - 1]].score)
+        return; // does not beat the current K-th best
+
+    // Binary search for the insertion position among the used
+    // entries: first position whose score is strictly below the new
+    // one (stable for ties).
+    std::size_t lo = 0, hi = used_;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (table_[tags_[mid]].score >= result.score)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    std::size_t pos = lo;
+
+    // Shift lower-priority tags down by one; the last tag (either a
+    // free slot or the dropped entry) is recycled for the new result.
+    std::size_t last = used_ < k_ ? used_ : k_ - 1;
+    std::uint32_t freed = tags_[last];
+    for (std::size_t i = last; i > pos; --i) {
+        tags_[i] = tags_[i - 1];
+        ++shifts_;
+    }
+    tags_[pos] = freed;
+    table_[freed] = result;
+    if (used_ < k_)
+        ++used_;
+}
+
+std::vector<ScoredResult>
+TopK::results() const
+{
+    std::vector<ScoredResult> out;
+    out.reserve(used_);
+    for (std::size_t i = 0; i < used_; ++i)
+        out.push_back(table_[tags_[i]]);
+    return out;
+}
+
+float
+TopK::kthScore() const
+{
+    if (used_ == 0)
+        return -1.0f;
+    return table_[tags_[used_ - 1]].score;
+}
+
+void
+TopK::merge(const TopK &other)
+{
+    for (const auto &r : other.results())
+        insert(r);
+}
+
+void
+TopK::clear()
+{
+    used_ = 0;
+    shifts_ = 0;
+    for (std::size_t i = 0; i < k_; ++i)
+        tags_[i] = static_cast<std::uint32_t>(i);
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardware-style top-K priority queue (paper §4.3).
+ *
+ * The accelerator controller keeps the running top-K results in a
+ * priority queue implemented as a sorted tag array plus a mapping
+ * table: on a new similarity score it binary-searches the tag array,
+ * shifts lower-priority entries down by one, drops the last, and
+ * re-points the freed tag at the new entry. We model exactly that
+ * structure (including the shift work, which the timing model can
+ * charge) and verify it against a sort-based oracle in the tests.
+ */
+
+#ifndef DEEPSTORE_CORE_TOPK_H
+#define DEEPSTORE_CORE_TOPK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace deepstore::core {
+
+/** One retrieved result: database feature id + similarity score. */
+struct ScoredResult
+{
+    std::uint64_t featureId = 0;
+    /** Physical address of the feature (the ObjectID of §4.2). */
+    std::uint64_t objectId = 0;
+    float score = 0.0f;
+
+    bool
+    operator==(const ScoredResult &o) const
+    {
+        return featureId == o.featureId && objectId == o.objectId &&
+               score == o.score;
+    }
+};
+
+/** Fixed-capacity top-K tracker with tag-array semantics. */
+class TopK
+{
+  public:
+    explicit TopK(std::size_t k);
+
+    /** Offer a result; kept only if it beats the current K-th best.
+     *  Ties are broken toward the earlier-inserted entry (stable). */
+    void insert(const ScoredResult &result);
+
+    /** Number of entries currently held (<= k). */
+    std::size_t size() const { return used_; }
+    std::size_t capacity() const { return k_; }
+
+    /** Results ordered best-first. */
+    std::vector<ScoredResult> results() const;
+
+    /** Lowest retained score (the eviction threshold). */
+    float kthScore() const;
+
+    /** Total tag-array entry shifts performed (timing proxy). */
+    std::uint64_t shiftCount() const { return shifts_; }
+
+    /** Merge another tracker's entries into this one (map-reduce
+     *  reduction step, §4.7.1). */
+    void merge(const TopK &other);
+
+    void clear();
+
+  private:
+    std::size_t k_;
+    std::size_t used_ = 0;
+    std::uint64_t shifts_ = 0;
+    /** tag array: sorted best-first; tags_[i] indexes table_. */
+    std::vector<std::uint32_t> tags_;
+    std::vector<ScoredResult> table_;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_TOPK_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace replay: feed a timestamped query trace (paper §5) through a
+ * single-server queueing model of a query system — the GPU+SSD
+ * baseline or a DeepStore level, with or without the Query Cache —
+ * and report throughput and the response-time distribution.
+ *
+ * Queries are served FIFO: one scan owns the accelerators (or the
+ * GPU) at a time, so a query's response time is its queueing delay
+ * plus its own service time (cache lookup + hit/miss work).
+ */
+
+#ifndef DEEPSTORE_CORE_TRACE_REPLAY_H
+#define DEEPSTORE_CORE_TRACE_REPLAY_H
+
+#include <functional>
+
+#include "core/query_cache.h"
+#include "workloads/trace.h"
+
+namespace deepstore::core {
+
+/** Service-time model for one query system. */
+struct ReplayService
+{
+    /** Full database scan (cache miss, or no cache). */
+    double scanSeconds = 0.0;
+    /** Cache lookup over all entries (0 when no cache). */
+    double lookupSeconds = 0.0;
+    /** SCN over the cached top-K on a hit. */
+    double hitExtraSeconds = 0.0;
+};
+
+/** Response-time statistics from a replay. */
+struct ReplayStats
+{
+    std::uint64_t queries = 0;
+    double missRate = 0.0;   ///< 1.0 when no cache is configured
+    double meanSeconds = 0.0;
+    double p50Seconds = 0.0;
+    double p95Seconds = 0.0;
+    double p99Seconds = 0.0;
+    double maxSeconds = 0.0;
+    /** Server busy fraction over the trace span. */
+    double utilization = 0.0;
+    /** Completed-work rate (queries/second of wall time). */
+    double throughput = 0.0;
+};
+
+/**
+ * Replay a trace against the service model. When `cache` is non-null
+ * it is consulted (and updated) per query using Algorithm 1; pass
+ * nullptr for a cache-less system.
+ */
+ReplayStats replayTrace(const workloads::QueryTrace &trace,
+                        const ReplayService &service,
+                        QueryCache *cache);
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_TRACE_REPLAY_H

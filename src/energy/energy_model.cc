@@ -1,0 +1,104 @@
+#include "energy/energy_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepstore::energy {
+
+double
+sramAccessEnergy(const EnergyParams &params, std::uint64_t capacity_bytes,
+                 SramModel model)
+{
+    if (capacity_bytes == 0)
+        fatal("SRAM capacity must be positive");
+    // CACTI 6.5 trend: per-access energy grows roughly with
+    // capacity^0.3 for word-wide reads.
+    double ratio = static_cast<double>(capacity_bytes) /
+                   static_cast<double>(8 * KiB);
+    double e = params.sramBaseEnergy * std::pow(ratio, 0.3);
+    if (model == SramModel::ItrsLow)
+        e *= params.sramLowPowerFactor;
+    return e;
+}
+
+double
+acceleratorAreaMm2(const EnergyParams &params, std::int64_t pe_count,
+                   std::uint64_t private_sram_bytes)
+{
+    DS_ASSERT(pe_count > 0);
+    return static_cast<double>(pe_count) * params.peAreaMm2 +
+           static_cast<double>(private_sram_bytes) /
+               static_cast<double>(MiB) * params.sramAreaMm2PerMiB +
+           params.controllerAreaMm2;
+}
+
+AcceleratorEnergyModel::AcceleratorEnergyModel(
+    EnergyParams params, systolic::ArrayConfig config,
+    SramModel sram_model)
+    : params_(params), config_(std::move(config)), sramModel_(sram_model)
+{
+    config_.validate();
+    spadAccessEnergy_ =
+        sramAccessEnergy(params_, config_.scratchpadBytes, sramModel_);
+    l2AccessEnergy_ =
+        config_.sharedL2Bytes > 0
+            ? sramAccessEnergy(params_, config_.sharedL2Bytes,
+                               SramModel::ItrsHp)
+            : 0.0;
+    // Wire length to the shared L2 scales with the die edge.
+    double edge_mm = std::sqrt(areaMm2());
+    nocEnergyPerByte_ = params_.wireEnergyPerBitMm * 8.0 * edge_mm;
+}
+
+double
+AcceleratorEnergyModel::areaMm2() const
+{
+    return acceleratorAreaMm2(params_, config_.peCount(),
+                              config_.scratchpadBytes);
+}
+
+EnergyBreakdown
+AcceleratorEnergyModel::energyOf(const systolic::LayerRun &run,
+                                 std::uint64_t flash_pages_read) const
+{
+    EnergyBreakdown e;
+    e.computeJ = static_cast<double>(run.macs) * params_.macEnergy;
+
+    double spad = static_cast<double>(run.spadReads + run.spadWrites) *
+                  spadAccessEnergy_;
+    double l2 = static_cast<double>(run.l2Reads) *
+                (l2AccessEnergy_ +
+                 nocEnergyPerByte_ *
+                     static_cast<double>(config_.wordBytes));
+    double dram = static_cast<double>(run.dramReadBytes +
+                                      run.dramWriteBytes) *
+                  params_.dramEnergyPerByte;
+    e.memoryJ = spad + l2 + dram;
+
+    e.flashJ = static_cast<double>(flash_pages_read) *
+               params_.flashPageReadEnergy;
+    return e;
+}
+
+double
+AcceleratorEnergyModel::staticPower() const
+{
+    double density = sramModel_ == SramModel::ItrsLow
+                         ? params_.staticPowerPerMm2Low
+                         : params_.staticPowerPerMm2Hp;
+    return areaMm2() * density;
+}
+
+double
+AcceleratorEnergyModel::averagePower(const systolic::LayerRun &run,
+                                     std::uint64_t flash_pages_read,
+                                     double seconds) const
+{
+    if (seconds <= 0.0)
+        fatal("averagePower needs a positive duration");
+    return energyOf(run, flash_pages_read).total() / seconds +
+           staticPower();
+}
+
+} // namespace deepstore::energy

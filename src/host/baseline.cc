@@ -1,0 +1,72 @@
+#include "host/baseline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ssd/throughput.h"
+
+namespace deepstore::host {
+
+GpuSsdSystem::GpuSsdSystem(GpuSpec gpu, int num_ssds)
+    : gpu_(std::move(gpu)), numSsds_(num_ssds)
+{
+    if (gpu_.effectiveFlops <= 0.0)
+        fatal("GPU effective FLOP/s must be positive");
+    if (num_ssds < 1)
+        fatal("need at least one SSD");
+}
+
+BatchBreakdown
+GpuSsdSystem::batchTime(const workloads::AppInfo &app,
+                        std::int64_t batch) const
+{
+    DS_ASSERT(batch > 0);
+    BatchBreakdown b;
+    double bytes = static_cast<double>(app.featureBytes()) *
+                   static_cast<double>(batch);
+    double ssd_bw =
+        effectiveSsdBandwidth(app.id) * static_cast<double>(numSsds_);
+    b.ssdReadSeconds = bytes / ssd_bw;
+    b.memcpySeconds = bytes / kPcieBandwidth;
+    double flops = static_cast<double>(app.scn.totalFlops()) *
+                   static_cast<double>(batch);
+    b.computeSeconds =
+        flops / gpu_.effectiveFlops + kBatchOverheadSeconds;
+    return b;
+}
+
+double
+GpuSsdSystem::perFeatureSeconds(const workloads::AppInfo &app) const
+{
+    BatchBreakdown b = batchTime(app, app.evalBatchSize);
+    return b.pipelinedTotal() / static_cast<double>(app.evalBatchSize);
+}
+
+double
+GpuSsdSystem::scanSeconds(const workloads::AppInfo &app,
+                          std::uint64_t features) const
+{
+    return perFeatureSeconds(app) * static_cast<double>(features);
+}
+
+WimpySystem::WimpySystem(WimpySpec spec, ssd::FlashParams flash)
+    : spec_(std::move(spec)), flash_(flash)
+{
+    if (spec_.effectiveFlops <= 0.0)
+        fatal("wimpy effective FLOP/s must be positive");
+}
+
+double
+WimpySystem::perFeatureSeconds(const workloads::AppInfo &app) const
+{
+    // The embedded cores sit inside the SSD, so they see the full
+    // internal flash bandwidth; compute dominates regardless (§3,
+    // Observation 2).
+    double compute = static_cast<double>(app.scn.totalFlops()) /
+                     spec_.effectiveFlops;
+    double flash =
+        1.0 / ssd::ssdInternalFeatureRate(flash_, app.featureBytes());
+    return std::max(compute, flash);
+}
+
+} // namespace deepstore::host

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The state-of-the-art baseline the paper compares against (§3, §6.1):
+ * a GPU fed from an NVMe SSD, with batches of database feature vectors
+ * prefetched to host memory while the GPU runs the similarity
+ * comparison network on the previous batch. Also the wimpy-core
+ * baseline (§6.2): running the SCN on the SSD's embedded ARM cores.
+ */
+
+#ifndef DEEPSTORE_HOST_BASELINE_H
+#define DEEPSTORE_HOST_BASELINE_H
+
+#include "host/calibration.h"
+#include "ssd/flash_params.h"
+#include "workloads/apps.h"
+
+namespace deepstore::host {
+
+/** Per-batch time split reported in Fig. 2. */
+struct BatchBreakdown
+{
+    double ssdReadSeconds = 0.0;
+    double memcpySeconds = 0.0;
+    double computeSeconds = 0.0;
+
+    /** Sum of components (the Fig. 2 stacked presentation). */
+    double
+    total() const
+    {
+        return ssdReadSeconds + memcpySeconds + computeSeconds;
+    }
+
+    /** Steady-state per-batch time with prefetch overlap (§3: the
+     *  GPU+SSD system prefetches the next batch during compute). */
+    double
+    pipelinedTotal() const
+    {
+        return ssdReadSeconds > memcpySeconds + computeSeconds
+                   ? ssdReadSeconds
+                   : memcpySeconds + computeSeconds;
+    }
+
+    /** Fraction of the stacked total spent on storage I/O. */
+    double
+    ioFraction() const
+    {
+        double t = total();
+        return t > 0.0 ? ssdReadSeconds / t : 0.0;
+    }
+};
+
+/** Analytical GPU+SSD system model. */
+class GpuSsdSystem
+{
+  public:
+    /**
+     * @param gpu which GPU generation to model
+     * @param num_ssds aggregate external I/O from this many SSDs
+     *        (Fig. 10b scales this)
+     */
+    explicit GpuSsdSystem(GpuSpec gpu, int num_ssds = 1);
+
+    /** Time components for one batch of database features. */
+    BatchBreakdown batchTime(const workloads::AppInfo &app,
+                             std::int64_t batch) const;
+
+    /**
+     * Steady-state per-feature query time with prefetch overlap,
+     * at the app's evaluation batch size.
+     */
+    double perFeatureSeconds(const workloads::AppInfo &app) const;
+
+    /** Wall time to scan a database of `features` entries. */
+    double scanSeconds(const workloads::AppInfo &app,
+                       std::uint64_t features) const;
+
+    /** System power while querying (GPU board dominates). */
+    double powerW() const { return gpu_.averagePowerW; }
+
+    const GpuSpec &gpu() const { return gpu_; }
+
+  private:
+    GpuSpec gpu_;
+    int numSsds_;
+};
+
+/** In-SSD wimpy-core baseline (§6.2). */
+class WimpySystem
+{
+  public:
+    explicit WimpySystem(WimpySpec spec = wimpySpec(),
+                         ssd::FlashParams flash = {});
+
+    /** Steady-state per-feature query time. */
+    double perFeatureSeconds(const workloads::AppInfo &app) const;
+
+  private:
+    WimpySpec spec_;
+    ssd::FlashParams flash_;
+};
+
+} // namespace deepstore::host
+
+#endif // DEEPSTORE_HOST_BASELINE_H

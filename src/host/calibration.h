@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Calibration constants for the host-side baseline models.
+ *
+ * The paper's GPU+SSD baseline is *measured* on a real testbed (Titan
+ * Xp / Titan V + Intel DC P4500, §3/§6.1); we cannot re-run that
+ * hardware, so this header centralizes the constants that stand in
+ * for those measurements (DESIGN.md, substitutions). Values are
+ * derived from:
+ *
+ *  - vendor specs (peak FLOP/s, TDP, PCIe bandwidth);
+ *  - the paper's own observations (Volta's SCN layers run 33% faster
+ *    than Pascal's, §3; external SSD bandwidth up to 3.2 GB/s, §6.1);
+ *  - back-calibration of the *effective* per-application SSD read
+ *    bandwidth from the paper's published results. Using Table 4's
+ *    channel-level speedups together with our accelerator model gives
+ *    a per-app effective bandwidth; notably MIR and TIR (both 2 KB
+ *    features) back-solve to the *same* value, which supports the
+ *    reading that the baseline's effective storage bandwidth depends
+ *    on the feature layout rather than on the app logic.
+ *
+ * EXPERIMENTS.md discusses the residual differences.
+ */
+
+#ifndef DEEPSTORE_HOST_CALIBRATION_H
+#define DEEPSTORE_HOST_CALIBRATION_H
+
+#include <string>
+
+#include "common/units.h"
+#include "workloads/apps.h"
+
+namespace deepstore::host {
+
+/** A GPU model used by the baseline system. */
+struct GpuSpec
+{
+    std::string name;
+    /** Effective FLOP/s sustained on SCN layers (batch-1 GEMV-heavy
+     *  kernels run far below peak; ~25-30% of peak FP32). */
+    double effectiveFlops = 0.0;
+    /** Average board power during SCN execution (nvidia-smi-class). */
+    double averagePowerW = 0.0;
+};
+
+/** NVIDIA Titan Xp (Pascal), §3. */
+inline GpuSpec
+pascalSpec()
+{
+    return GpuSpec{"Titan Xp (Pascal)", 3.5e12, 220.0};
+}
+
+/** NVIDIA Titan V (Volta): SCN layers 33% faster than Pascal (§3). */
+inline GpuSpec
+voltaSpec()
+{
+    return GpuSpec{"Titan V (Volta)", 4.655e12, 250.0};
+}
+
+/** Host PCIe 3.0 x16 effective copy bandwidth (cudaMemcpy, pinned). */
+constexpr double kPcieBandwidth = 12.0 * GB;
+
+/** Fixed per-batch overhead (kernel launch + NVMe submission). */
+constexpr double kBatchOverheadSeconds = 30e-6;
+
+/**
+ * Effective external SSD read bandwidth the baseline achieves for
+ * each application's feature database (back-calibrated; see file
+ * comment). The P4500's peak sequential 3.2 GB/s is only approached
+ * by the large-feature ReId database.
+ */
+inline double
+effectiveSsdBandwidth(workloads::AppId app)
+{
+    using workloads::AppId;
+    switch (app) {
+      case AppId::ReId: return 2.80 * GB;
+      case AppId::MIR: return 0.68 * GB;
+      case AppId::ESTP: return 0.54 * GB;
+      case AppId::TIR: return 0.68 * GB;
+      case AppId::TextQA: return 1.45 * GB;
+    }
+    return 3.2 * GB;
+}
+
+/** In-SSD embedded CPU complex (8x ARM A57-class, §6.2). */
+struct WimpySpec
+{
+    std::string name = "8x ARM A57 @ 2 GHz";
+    /** Effective FLOP/s on batch-1 SCN kernels: the cores are
+     *  memory-bound on GEMV and reach only ~8% of their 128 GFLOP/s
+     *  NEON peak. */
+    double effectiveFlops = 10e9;
+    double averagePowerW = 8.0;
+};
+
+inline WimpySpec
+wimpySpec()
+{
+    return WimpySpec{};
+}
+
+} // namespace deepstore::host
+
+#endif // DEEPSTORE_HOST_CALIBRATION_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reference (functional) executor for SCN/QCN models.
+ *
+ * This is the ground-truth math: examples use it to produce real
+ * similarity scores, the test suite uses it to cross-check the layer
+ * shape arithmetic, and the Query Cache uses it for QCN scoring. It is
+ * a straightforward scalar implementation — the architecture paper's
+ * performance claims come from the timing models, not from this code.
+ */
+
+#ifndef DEEPSTORE_NN_EXECUTOR_H
+#define DEEPSTORE_NN_EXECUTOR_H
+
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/weights.h"
+
+namespace deepstore::nn {
+
+/** Evaluates a Model functionally on (QFV, DFV) pairs. */
+class Executor
+{
+  public:
+    /** Bind an executor to a validated model and matching weights. */
+    Executor(const Model &model, const ModelWeights &weights);
+
+    /**
+     * Run the full pipeline on one (query, database) feature pair.
+     * @return the raw output vector of the last layer.
+     */
+    std::vector<float> run(const std::vector<float> &qfv,
+                           const std::vector<float> &dfv) const;
+
+    /**
+     * Similarity score in [0, 1]: sigmoid of a 1-d output, softmax
+     * "match" probability (index 1) of a 2-d output, and sigmoid of
+     * the mean otherwise.
+     */
+    float score(const std::vector<float> &qfv,
+                const std::vector<float> &dfv) const;
+
+    /** Collapse a raw output vector to a score as described above. */
+    static float scoreFromOutput(const std::vector<float> &out);
+
+    const Model &model() const { return model_; }
+
+  private:
+    std::vector<float> runLayer(std::size_t idx,
+                                const std::vector<float> &in,
+                                const std::vector<float> &aux) const;
+
+    const Model &model_;
+    const ModelWeights &weights_;
+};
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_EXECUTOR_H

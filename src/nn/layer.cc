@@ -1,0 +1,198 @@
+#include "nn/layer.h"
+
+#include "common/logging.h"
+
+namespace deepstore::nn {
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::FullyConnected: return "FC";
+      case LayerKind::Conv2D: return "Conv2D";
+      case LayerKind::ElementWise: return "ElementWise";
+    }
+    return "?";
+}
+
+const char *
+toString(EwOp op)
+{
+    switch (op) {
+      case EwOp::Add: return "add";
+      case EwOp::Subtract: return "sub";
+      case EwOp::Multiply: return "mul";
+      case EwOp::DotProduct: return "dot";
+    }
+    return "?";
+}
+
+const char *
+toString(Activation act)
+{
+    switch (act) {
+      case Activation::None: return "none";
+      case Activation::ReLU: return "relu";
+      case Activation::Sigmoid: return "sigmoid";
+    }
+    return "?";
+}
+
+Layer
+Layer::fc(std::string name, std::int64_t in, std::int64_t out,
+          Activation act, bool bias)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::FullyConnected;
+    l.activation = act;
+    l.fcIn = in;
+    l.fcOut = out;
+    l.fcBias = bias;
+    l.validate();
+    return l;
+}
+
+Layer
+Layer::conv2d(std::string name, std::int64_t in_h, std::int64_t in_w,
+              std::int64_t in_c, std::int64_t k_h, std::int64_t k_w,
+              std::int64_t out_c, std::int64_t stride, std::int64_t pad,
+              Activation act)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::Conv2D;
+    l.activation = act;
+    l.inH = in_h;
+    l.inW = in_w;
+    l.inC = in_c;
+    l.kH = k_h;
+    l.kW = k_w;
+    l.outC = out_c;
+    l.stride = stride;
+    l.pad = pad;
+    l.validate();
+    return l;
+}
+
+Layer
+Layer::elementWise(std::string name, EwOp op, std::int64_t size)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.kind = LayerKind::ElementWise;
+    l.activation = Activation::None;
+    l.ewOp = op;
+    l.ewSize = size;
+    l.validate();
+    return l;
+}
+
+std::int64_t
+Layer::outH() const
+{
+    DS_ASSERT(kind == LayerKind::Conv2D);
+    return (inH + 2 * pad - kH) / stride + 1;
+}
+
+std::int64_t
+Layer::outW() const
+{
+    DS_ASSERT(kind == LayerKind::Conv2D);
+    return (inW + 2 * pad - kW) / stride + 1;
+}
+
+std::int64_t
+Layer::inputCount() const
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return fcIn;
+      case LayerKind::Conv2D:
+        return inH * inW * inC;
+      case LayerKind::ElementWise:
+        // Both operands; DotProduct and binary ops take two vectors.
+        return 2 * ewSize;
+    }
+    return 0;
+}
+
+std::int64_t
+Layer::outputCount() const
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return fcOut;
+      case LayerKind::Conv2D:
+        return outH() * outW() * outC;
+      case LayerKind::ElementWise:
+        return ewOp == EwOp::DotProduct ? 1 : ewSize;
+    }
+    return 0;
+}
+
+std::int64_t
+Layer::weightCount() const
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return fcIn * fcOut + (fcBias ? fcOut : 0);
+      case LayerKind::Conv2D:
+        return kH * kW * inC * outC + outC; // kernel + per-channel bias
+      case LayerKind::ElementWise:
+        return 0;
+    }
+    return 0;
+}
+
+std::int64_t
+Layer::macs() const
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return fcIn * fcOut;
+      case LayerKind::Conv2D:
+        return outH() * outW() * outC * kH * kW * inC;
+      case LayerKind::ElementWise:
+        return ewOp == EwOp::DotProduct ? ewSize : 0;
+    }
+    return 0;
+}
+
+std::int64_t
+Layer::flops() const
+{
+    if (kind == LayerKind::ElementWise && ewOp != EwOp::DotProduct)
+        return ewSize;
+    return 2 * macs();
+}
+
+void
+Layer::validate() const
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        if (fcIn <= 0 || fcOut <= 0)
+            fatal("FC layer '%s' needs positive dims (in=%lld out=%lld)",
+                  name.c_str(), static_cast<long long>(fcIn),
+                  static_cast<long long>(fcOut));
+        break;
+      case LayerKind::Conv2D:
+        if (inH <= 0 || inW <= 0 || inC <= 0 || kH <= 0 || kW <= 0 ||
+            outC <= 0 || stride <= 0 || pad < 0) {
+            fatal("Conv2D layer '%s' has non-positive dims",
+                  name.c_str());
+        }
+        if (inH + 2 * pad < kH || inW + 2 * pad < kW)
+            fatal("Conv2D layer '%s': kernel larger than padded input",
+                  name.c_str());
+        break;
+      case LayerKind::ElementWise:
+        if (ewSize <= 0)
+            fatal("element-wise layer '%s' needs positive size",
+                  name.c_str());
+        break;
+    }
+}
+
+} // namespace deepstore::nn

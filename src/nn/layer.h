@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Layer descriptors for similarity-comparison networks (SCNs).
+ *
+ * The paper's workload study (§3, Table 1) finds SCNs are built from
+ * convolutional, fully-connected, and element-wise layers plus a final
+ * top-K sort; these descriptors capture exactly that operation set.
+ * Each descriptor knows its shape arithmetic (outputs, MACs, FLOPs,
+ * weight counts) so both the functional executor and the systolic
+ * timing model can consume it.
+ */
+
+#ifndef DEEPSTORE_NN_LAYER_H
+#define DEEPSTORE_NN_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+namespace deepstore::nn {
+
+/** The operation a layer performs. */
+enum class LayerKind
+{
+    FullyConnected,
+    Conv2D,
+    ElementWise,
+};
+
+/** Element-wise operation variants (paper §4.3). */
+enum class EwOp
+{
+    Add,
+    Subtract,
+    Multiply,
+    DotProduct, ///< multiply + horizontal reduce to a scalar
+};
+
+/** Pointwise activation applied after a layer. */
+enum class Activation
+{
+    None,
+    ReLU,
+    Sigmoid,
+};
+
+const char *toString(LayerKind kind);
+const char *toString(EwOp op);
+const char *toString(Activation act);
+
+/**
+ * A single SCN layer. A tagged struct rather than a class hierarchy:
+ * the set of operations is closed (per the workload study) and flat
+ * data keeps the timing models trivial to drive.
+ */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::FullyConnected;
+    Activation activation = Activation::None;
+
+    // FullyConnected: y[out] = W[out][in] * x[in] + b[out]
+    std::int64_t fcIn = 0;
+    std::int64_t fcOut = 0;
+    bool fcBias = true;
+
+    // Conv2D: input (H, W, C), kernel (kH, kW, C, outC), stride, pad.
+    std::int64_t inH = 0, inW = 0, inC = 0;
+    std::int64_t kH = 0, kW = 0, outC = 0;
+    std::int64_t stride = 1;
+    std::int64_t pad = 0;
+
+    // ElementWise over vectors of `ewSize` elements.
+    EwOp ewOp = EwOp::Add;
+    std::int64_t ewSize = 0;
+
+    /** Build a fully-connected layer. */
+    static Layer fc(std::string name, std::int64_t in, std::int64_t out,
+                    Activation act = Activation::ReLU, bool bias = true);
+
+    /** Build a 2-D convolution layer ("same" channel-last layout). */
+    static Layer conv2d(std::string name, std::int64_t in_h,
+                        std::int64_t in_w, std::int64_t in_c,
+                        std::int64_t k_h, std::int64_t k_w,
+                        std::int64_t out_c, std::int64_t stride = 1,
+                        std::int64_t pad = 0,
+                        Activation act = Activation::ReLU);
+
+    /** Build an element-wise layer. */
+    static Layer elementWise(std::string name, EwOp op, std::int64_t size);
+
+    /** Spatial output height (Conv2D only). */
+    std::int64_t outH() const;
+    /** Spatial output width (Conv2D only). */
+    std::int64_t outW() const;
+
+    /** Number of input scalars the layer consumes. */
+    std::int64_t inputCount() const;
+    /** Number of output scalars the layer produces. */
+    std::int64_t outputCount() const;
+
+    /** Trainable parameter count (weights + biases). */
+    std::int64_t weightCount() const;
+
+    /** Multiply-accumulate count for one inference. */
+    std::int64_t macs() const;
+
+    /**
+     * Floating-point operations for one inference. Follows the common
+     * convention (used by Table 1 of the paper) of 2 FLOPs per MAC; an
+     * element-wise Add/Subtract/Multiply counts 1 FLOP per element and
+     * DotProduct counts 2 (multiply + add into the reduction).
+     */
+    std::int64_t flops() const;
+
+    /** Validate internal consistency; fatal() on a malformed layer. */
+    void validate() const;
+};
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_LAYER_H

@@ -1,0 +1,107 @@
+#include "nn/model.h"
+
+#include "common/logging.h"
+
+namespace deepstore::nn {
+
+Model::Model(std::string name, std::int64_t feature_dim,
+             bool concat_inputs)
+    : modelName_(std::move(name)), featureDim_(feature_dim),
+      concatInputs_(concat_inputs)
+{
+    if (feature_dim <= 0)
+        fatal("model '%s': feature dimension must be positive",
+              modelName_.c_str());
+}
+
+void
+Model::addLayer(Layer layer)
+{
+    layer.validate();
+    layers_.push_back(std::move(layer));
+}
+
+std::int64_t
+Model::layerInputDim(std::size_t i) const
+{
+    DS_ASSERT(i < layers_.size());
+    if (i == 0) {
+        if (layers_[0].kind == LayerKind::ElementWise)
+            return featureDim_; // per-branch; combiner takes two
+        return concatInputs_ ? 2 * featureDim_ : featureDim_;
+    }
+    return layers_[i - 1].outputCount();
+}
+
+std::int64_t
+Model::outputDim() const
+{
+    DS_ASSERT(!layers_.empty());
+    return layers_.back().outputCount();
+}
+
+std::int64_t
+Model::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.macs();
+    return total;
+}
+
+std::int64_t
+Model::totalFlops() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.flops();
+    return total;
+}
+
+std::int64_t
+Model::totalWeightCount() const
+{
+    std::int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l.weightCount();
+    return total;
+}
+
+std::size_t
+Model::countLayers(LayerKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &l : layers_)
+        if (l.kind == kind)
+            ++n;
+    return n;
+}
+
+void
+Model::validate() const
+{
+    if (layers_.empty())
+        fatal("model '%s' has no layers", modelName_.c_str());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const Layer &l = layers_[i];
+        l.validate();
+        if (l.kind == LayerKind::ElementWise && i != 0) {
+            fatal("model '%s': element-wise layer '%s' must be the pair "
+                  "combiner (layer 0)",
+                  modelName_.c_str(), l.name.c_str());
+        }
+        std::int64_t expect = layerInputDim(i);
+        std::int64_t have = (l.kind == LayerKind::ElementWise)
+                                ? l.ewSize
+                                : l.inputCount();
+        if (have != expect) {
+            fatal("model '%s': layer %zu ('%s') consumes %lld scalars "
+                  "but predecessor provides %lld",
+                  modelName_.c_str(), i, l.name.c_str(),
+                  static_cast<long long>(have),
+                  static_cast<long long>(expect));
+        }
+    }
+}
+
+} // namespace deepstore::nn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Similarity-comparison network (SCN) model graphs.
+ *
+ * An SCN takes a query feature vector (QFV) and a database feature
+ * vector (DFV), combines them, pushes the result through a pipeline of
+ * layers, and emits a similarity score (paper Fig. 1c). A Query
+ * Comparison Network (QCN, §4.6) has the same structure, so this class
+ * represents both.
+ *
+ * Pair combination follows the two-branch architectures the paper's
+ * applications use: either the two features are concatenated, or an
+ * element-wise layer (subtract / multiply / dot) fuses them as the
+ * first pipeline stage. Table 1's "element-wise layer" counts include
+ * that fusing layer.
+ */
+
+#ifndef DEEPSTORE_NN_MODEL_H
+#define DEEPSTORE_NN_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "nn/layer.h"
+
+namespace deepstore::nn {
+
+/** An SCN/QCN: feature dimension, combine mode, and a layer pipeline. */
+class Model
+{
+  public:
+    Model() = default;
+
+    /**
+     * @param name model name (used in traces and serialization)
+     * @param feature_dim per-branch feature vector length (floats)
+     * @param concat_inputs when true and the first layer is not
+     *        element-wise, the pipeline input is concat(QFV, DFV)
+     *        of length 2*feature_dim; otherwise the first layer must
+     *        be an element-wise combiner over feature_dim elements.
+     */
+    Model(std::string name, std::int64_t feature_dim, bool concat_inputs);
+
+    /** Append a layer; chain consistency is checked in validate(). */
+    void addLayer(Layer layer);
+
+    const std::string &name() const { return modelName_; }
+    std::int64_t featureDim() const { return featureDim_; }
+    bool concatInputs() const { return concatInputs_; }
+    const std::vector<Layer> &layers() const { return layers_; }
+    std::size_t numLayers() const { return layers_.size(); }
+
+    /** Feature vector size in bytes (FP32, per Table 1). */
+    std::uint64_t featureBytes() const
+    {
+        return static_cast<std::uint64_t>(featureDim_) * kBytesPerFloat;
+    }
+
+    /** Scalar count entering layer i (after any flatten/concat). */
+    std::int64_t layerInputDim(std::size_t i) const;
+
+    /** Scalar count leaving the last layer. */
+    std::int64_t outputDim() const;
+
+    std::int64_t totalMacs() const;
+    std::int64_t totalFlops() const;
+    std::int64_t totalWeightCount() const;
+    std::uint64_t totalWeightBytes() const
+    {
+        return static_cast<std::uint64_t>(totalWeightCount()) *
+               kBytesPerFloat;
+    }
+
+    /** Number of layers of the given kind (Table 1 columns). */
+    std::size_t countLayers(LayerKind kind) const;
+
+    /**
+     * Check the layer chain: positive dims, element-wise layers only as
+     * the pair combiner (position 0), and each layer's input count
+     * matching its predecessor's output count. fatal() on violation.
+     */
+    void validate() const;
+
+  private:
+    std::string modelName_;
+    std::int64_t featureDim_ = 0;
+    bool concatInputs_ = false;
+    std::vector<Layer> layers_;
+};
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_MODEL_H

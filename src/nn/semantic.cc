@@ -1,0 +1,171 @@
+#include "nn/semantic.h"
+
+#include "common/logging.h"
+
+namespace deepstore::nn {
+
+namespace {
+
+/**
+ * State threaded through the construction: whether the running
+ * activations grow with similarity (+1) or with distance (-1), and
+ * whether the absolute-value trick still needs to be realized by the
+ * next weighted layer.
+ */
+struct BuildState
+{
+    int polarity = +1;
+    bool needAbs = false;
+};
+
+void
+buildFirstAbsFc(const Layer &l, std::int64_t branch_dim, bool concat,
+                Tensor &kernel, Tensor &bias)
+{
+    // Rows come in +/- pairs, each tapping one input dimension, so
+    // ReLU(W x) holds the positive and negative parts of the
+    // difference across sampled dimensions.
+    kernel = Tensor({l.fcOut, l.fcIn});
+    for (std::int64_t j = 0; j < l.fcOut; ++j) {
+        float sign = (j % 2 == 0) ? 1.0f : -1.0f;
+        std::int64_t dim = (j / 2) % branch_dim;
+        if (concat) {
+            // (q - d) projection: +1 on q's copy, -1 on d's copy.
+            kernel[static_cast<std::size_t>(j * l.fcIn + dim)] = sign;
+            kernel[static_cast<std::size_t>(j * l.fcIn + branch_dim +
+                                            dim)] = -sign;
+        } else {
+            kernel[static_cast<std::size_t>(j * l.fcIn + dim)] = sign;
+        }
+    }
+    if (l.fcBias)
+        bias = Tensor({l.fcOut});
+}
+
+void
+buildFirstAbsConv(const Layer &l, Tensor &kernel, Tensor &bias)
+{
+    // Single-tap kernels in +/- channel pairs (see buildFirstAbsFc).
+    kernel = Tensor({l.kH, l.kW, l.inC, l.outC});
+    std::int64_t cy = l.kH / 2, cx = l.kW / 2;
+    for (std::int64_t o = 0; o < l.outC; ++o) {
+        float sign = (o % 2 == 0) ? 1.0f : -1.0f;
+        std::int64_t c = (o / 2) % l.inC;
+        kernel[static_cast<std::size_t>(
+            ((cy * l.kW + cx) * l.inC + c) * l.outC + o)] = sign;
+    }
+    bias = Tensor({l.outC});
+}
+
+void
+buildAveragingFc(const Layer &l, float scale, Tensor &kernel,
+                 Tensor &bias)
+{
+    kernel = Tensor({l.fcOut, l.fcIn});
+    float w = scale / static_cast<float>(l.fcIn);
+    for (std::size_t i = 0; i < kernel.volume(); ++i)
+        kernel[i] = w;
+    if (l.fcBias)
+        bias = Tensor({l.fcOut});
+}
+
+void
+buildAveragingConv(const Layer &l, Tensor &kernel, Tensor &bias)
+{
+    kernel = Tensor({l.kH, l.kW, l.inC, l.outC});
+    float w = 1.0f / static_cast<float>(l.kH * l.kW * l.inC);
+    for (std::size_t i = 0; i < kernel.volume(); ++i)
+        kernel[i] = w;
+    bias = Tensor({l.outC});
+}
+
+/** Output head: polarity decides the sign so that "match" logits
+ *  grow with similarity. */
+void
+buildHeadFc(const Layer &l, int polarity, Tensor &kernel, Tensor &bias)
+{
+    constexpr float kLogitScale = 8.0f;
+    kernel = Tensor({l.fcOut, l.fcIn});
+    float w = kLogitScale * static_cast<float>(polarity) /
+              static_cast<float>(l.fcIn);
+    if (l.fcOut == 2) {
+        // Row 0 = "no match", row 1 = "match" (softmax index 1).
+        for (std::int64_t i = 0; i < l.fcIn; ++i) {
+            kernel[static_cast<std::size_t>(i)] = -w;
+            kernel[static_cast<std::size_t>(l.fcIn + i)] = w;
+        }
+    } else {
+        for (std::size_t i = 0; i < kernel.volume(); ++i)
+            kernel[i] = w;
+    }
+    if (l.fcBias)
+        bias = Tensor({l.fcOut});
+}
+
+} // namespace
+
+ModelWeights
+semanticWeights(const Model &model)
+{
+    model.validate();
+    ModelWeights out;
+    const auto &layers = model.layers();
+
+    BuildState state;
+    if (layers[0].kind == LayerKind::ElementWise) {
+        switch (layers[0].ewOp) {
+          case EwOp::Multiply:
+          case EwOp::DotProduct:
+          case EwOp::Add:
+            state.polarity = +1;
+            state.needAbs = false;
+            break;
+          case EwOp::Subtract:
+            state.polarity = -1;
+            state.needAbs = true;
+            break;
+        }
+    } else if (model.concatInputs()) {
+        state.polarity = -1;
+        state.needAbs = true;
+    } else {
+        fatal("semanticWeights: model '%s' is neither element-wise "
+              "fused nor concatenated",
+              model.name().c_str());
+    }
+
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Layer &l = layers[i];
+        Tensor kernel, bias;
+        bool last = (i + 1 == layers.size());
+        switch (l.kind) {
+          case LayerKind::ElementWise:
+            break; // no parameters
+          case LayerKind::FullyConnected:
+            if (state.needAbs) {
+                bool concat = model.concatInputs() && i == 0;
+                std::int64_t branch =
+                    concat ? model.featureDim() : l.fcIn;
+                buildFirstAbsFc(l, branch, concat, kernel, bias);
+                state.needAbs = false;
+            } else if (last) {
+                buildHeadFc(l, state.polarity, kernel, bias);
+            } else {
+                buildAveragingFc(l, 1.0f, kernel, bias);
+            }
+            break;
+          case LayerKind::Conv2D:
+            if (state.needAbs) {
+                buildFirstAbsConv(l, kernel, bias);
+                state.needAbs = false;
+            } else {
+                buildAveragingConv(l, kernel, bias);
+            }
+            break;
+        }
+        out.append(std::move(kernel), std::move(bias));
+    }
+    return out;
+}
+
+} // namespace deepstore::nn

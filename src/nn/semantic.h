@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hand-crafted "semantic" weights.
+ *
+ * The paper's applications use trained networks; we cannot train
+ * (DESIGN.md, substitutions), but for runnable examples we still want
+ * the real SCN topologies to produce *meaningful* similarity scores.
+ * This helper constructs weights analytically so the network output
+ * is a monotone function of feature similarity:
+ *
+ *  - multiply-fused models (TIR, TextQA): the element-wise product
+ *    q (*) d is averaged through the FC stack, so correlated features
+ *    score high;
+ *  - subtract-fused models (ReId): ReLU keeps the positive part of
+ *    the difference, whose mean grows with distance; the output head
+ *    negates it, so nearby features score high;
+ *  - concatenation models (MIR, ESTP): the first FC computes
+ *    ReLU(q - d) projections (a +1/-1 weight pair per dimension),
+ *    reducing to the subtract case.
+ *
+ * The test suite verifies top-K retrieval against ground-truth topics
+ * for all five application topologies.
+ */
+
+#ifndef DEEPSTORE_NN_SEMANTIC_H
+#define DEEPSTORE_NN_SEMANTIC_H
+
+#include "nn/model.h"
+#include "nn/weights.h"
+
+namespace deepstore::nn {
+
+/**
+ * Build weights for `model` such that Executor::score(q, d) is a
+ * monotone proxy of the similarity between q and d.
+ * fatal() if the topology is not one of the supported SCN families
+ * (element-wise fuse or concat, followed by Conv2D/FC layers).
+ */
+ModelWeights semanticWeights(const Model &model);
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_SEMANTIC_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * "ONNX-lite" serialization for SCN/QCN models.
+ *
+ * The paper's loadModel API ships a computational graph plus weights
+ * in an exchange format (ONNX, §4.7.2). We implement a self-contained
+ * binary equivalent (magic "DSNN", version 1) so the DeepStore API can
+ * accept a model as a flat byte blob, exactly like the real system
+ * would receive it over NVMe.
+ */
+
+#ifndef DEEPSTORE_NN_SERIALIZE_H
+#define DEEPSTORE_NN_SERIALIZE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/weights.h"
+
+namespace deepstore::nn {
+
+/** A model bundled with its weights, as shipped to loadModel(). */
+struct ModelBundle
+{
+    Model model;
+    ModelWeights weights;
+};
+
+/** Serialize a model + weights into a flat byte blob. */
+std::vector<std::uint8_t> serializeModel(const Model &model,
+                                         const ModelWeights &weights);
+
+/**
+ * Parse a blob produced by serializeModel().
+ * fatal()s on a truncated or corrupt blob (bad magic/version/shape).
+ */
+ModelBundle deserializeModel(const std::vector<std::uint8_t> &blob);
+
+/** Write a serialized bundle to a file. fatal() on I/O failure. */
+void saveModelFile(const std::string &path, const Model &model,
+                   const ModelWeights &weights);
+
+/** Read a bundle from a file. fatal() on I/O failure or corruption. */
+ModelBundle loadModelFile(const std::string &path);
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_SERIALIZE_H

@@ -1,0 +1,87 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace deepstore::nn {
+
+namespace {
+
+std::size_t
+shapeVolume(const std::vector<std::int64_t> &shape)
+{
+    std::size_t v = 1;
+    for (auto d : shape) {
+        DS_ASSERT(d >= 0);
+        v *= static_cast<std::size_t>(d);
+    }
+    return shape.empty() ? 0 : v;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), data_(shapeVolume(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    if (data_.size() != shapeVolume(shape_))
+        panic("tensor data size %zu does not match shape volume %zu",
+              data_.size(), shapeVolume(shape_));
+}
+
+Tensor
+Tensor::vector1d(std::vector<float> data)
+{
+    auto n = static_cast<std::int64_t>(data.size());
+    return Tensor({n}, std::move(data));
+}
+
+float &
+Tensor::at3(std::int64_t h, std::int64_t w, std::int64_t c)
+{
+    DS_ASSERT(shape_.size() == 3);
+    return data_[static_cast<std::size_t>(
+        (h * shape_[1] + w) * shape_[2] + c)];
+}
+
+float
+Tensor::at3(std::int64_t h, std::int64_t w, std::int64_t c) const
+{
+    DS_ASSERT(shape_.size() == 3);
+    return data_[static_cast<std::size_t>(
+        (h * shape_[1] + w) * shape_[2] + c)];
+}
+
+void
+Tensor::fillRandom(std::uint64_t seed, float scale)
+{
+    Rng rng(seed);
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(-scale, scale));
+}
+
+double
+Tensor::norm() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * static_cast<double>(v);
+    return std::sqrt(s);
+}
+
+void
+Tensor::reshape(std::vector<std::int64_t> shape)
+{
+    if (shapeVolume(shape) != data_.size())
+        panic("reshape volume mismatch: %zu vs %zu",
+              shapeVolume(shape), data_.size());
+    shape_ = std::move(shape);
+}
+
+} // namespace deepstore::nn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Dense float tensor used by the reference (functional) executor.
+ *
+ * The timing/energy models never touch tensor data — they work from
+ * layer shapes alone — so this class stays deliberately simple: a shape
+ * plus a flat float buffer in row-major order.
+ */
+
+#ifndef DEEPSTORE_NN_TENSOR_H
+#define DEEPSTORE_NN_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace deepstore::nn {
+
+/** Row-major dense float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+
+    /** Construct from shape and data. @pre data.size() == volume. */
+    Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+    /** 1-D convenience constructor. */
+    static Tensor vector1d(std::vector<float> data);
+
+    const std::vector<std::int64_t> &shape() const { return shape_; }
+    std::size_t volume() const { return data_.size(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** Element access for a 3-D (H, W, C) tensor. */
+    float &at3(std::int64_t h, std::int64_t w, std::int64_t c);
+    float at3(std::int64_t h, std::int64_t w, std::int64_t c) const;
+
+    /** Fill with deterministic pseudo-random values in [-scale, scale]. */
+    void fillRandom(std::uint64_t seed, float scale = 1.0f);
+
+    /** Euclidean norm of the flattened tensor. */
+    double norm() const;
+
+    /** Reshape in place; the volume must be preserved. */
+    void reshape(std::vector<std::int64_t> shape);
+
+    std::vector<float> &storage() { return data_; }
+    const std::vector<float> &storage() const { return data_; }
+
+  private:
+    std::vector<std::int64_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_TENSOR_H

@@ -1,0 +1,71 @@
+#include "nn/weights.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace deepstore::nn {
+
+ModelWeights
+ModelWeights::random(const Model &model, std::uint64_t seed)
+{
+    ModelWeights w;
+    const auto &layers = model.layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Layer &l = layers[i];
+        Tensor kernel;
+        Tensor bias;
+        switch (l.kind) {
+          case LayerKind::FullyConnected: {
+            kernel = Tensor({l.fcOut, l.fcIn});
+            double s = std::sqrt(
+                6.0 / static_cast<double>(l.fcIn + l.fcOut));
+            kernel.fillRandom(seed + 2 * i, static_cast<float>(s));
+            if (l.fcBias) {
+                bias = Tensor({l.fcOut});
+                bias.fillRandom(seed + 2 * i + 1,
+                                static_cast<float>(s * 0.1));
+            }
+            break;
+          }
+          case LayerKind::Conv2D: {
+            kernel = Tensor({l.kH, l.kW, l.inC, l.outC});
+            double fan_in = static_cast<double>(l.kH * l.kW * l.inC);
+            double fan_out = static_cast<double>(l.kH * l.kW * l.outC);
+            double s = std::sqrt(6.0 / (fan_in + fan_out));
+            kernel.fillRandom(seed + 2 * i, static_cast<float>(s));
+            bias = Tensor({l.outC});
+            bias.fillRandom(seed + 2 * i + 1,
+                            static_cast<float>(s * 0.1));
+            break;
+          }
+          case LayerKind::ElementWise:
+            // No parameters.
+            break;
+        }
+        w.kernels_.push_back(std::move(kernel));
+        w.biases_.push_back(std::move(bias));
+    }
+    return w;
+}
+
+std::int64_t
+ModelWeights::parameterCount() const
+{
+    std::int64_t n = 0;
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+        n += static_cast<std::int64_t>(kernels_[i].volume());
+        n += static_cast<std::int64_t>(biases_[i].volume());
+    }
+    return n;
+}
+
+void
+ModelWeights::append(Tensor kernel, Tensor bias)
+{
+    kernels_.push_back(std::move(kernel));
+    biases_.push_back(std::move(bias));
+}
+
+} // namespace deepstore::nn

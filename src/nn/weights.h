@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Weight storage for SCN/QCN models.
+ *
+ * Weights exist so the functional executor can produce real similarity
+ * scores in tests and examples; the timing and energy models only use
+ * the weight *sizes*. Deterministic initialization from a seed stands
+ * in for training (see DESIGN.md, substitutions).
+ */
+
+#ifndef DEEPSTORE_NN_WEIGHTS_H
+#define DEEPSTORE_NN_WEIGHTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/tensor.h"
+
+namespace deepstore::nn {
+
+/** Per-layer weight tensors for a Model. */
+class ModelWeights
+{
+  public:
+    ModelWeights() = default;
+
+    /**
+     * Xavier-style deterministic initialization: every parameter is
+     * drawn uniform in [-s, s] with s = sqrt(6 / (fan_in + fan_out)).
+     */
+    static ModelWeights random(const Model &model, std::uint64_t seed);
+
+    /** Kernel/weight tensor for layer i (empty for element-wise). */
+    const Tensor &kernel(std::size_t i) const { return kernels_[i]; }
+    Tensor &kernel(std::size_t i) { return kernels_[i]; }
+
+    /** Bias tensor for layer i (may be empty). */
+    const Tensor &bias(std::size_t i) const { return biases_[i]; }
+    Tensor &bias(std::size_t i) { return biases_[i]; }
+
+    std::size_t numLayers() const { return kernels_.size(); }
+
+    /** Total parameter count across all layers. */
+    std::int64_t parameterCount() const;
+
+    /** Append raw per-layer tensors (used by the deserializer). */
+    void append(Tensor kernel, Tensor bias);
+
+  private:
+    std::vector<Tensor> kernels_;
+    std::vector<Tensor> biases_;
+};
+
+} // namespace deepstore::nn
+
+#endif // DEEPSTORE_NN_WEIGHTS_H

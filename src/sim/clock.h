@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Clock-domain helper converting between cycles on a fixed-frequency
+ * clock and simulator ticks (picoseconds).
+ */
+
+#ifndef DEEPSTORE_SIM_CLOCK_H
+#define DEEPSTORE_SIM_CLOCK_H
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace deepstore::sim {
+
+/** A fixed-frequency clock domain (e.g., the 800 MHz accelerator clock). */
+class Clock
+{
+  public:
+    /** @param frequency_hz clock frequency; must be positive. */
+    explicit Clock(double frequency_hz)
+        : frequencyHz_(frequency_hz)
+    {
+        if (frequency_hz <= 0.0)
+            fatal("clock frequency must be positive (got %g)",
+                  frequency_hz);
+        period_ = static_cast<double>(kTicksPerSecond) / frequency_hz;
+    }
+
+    double frequencyHz() const { return frequencyHz_; }
+
+    /** Tick duration of one cycle (may round when printed; internal
+     *  conversions use the exact double period). */
+    double periodTicks() const { return period_; }
+
+    /** Convert a cycle count to ticks, rounding up to whole ticks. */
+    Tick
+    cyclesToTicks(Cycles cycles) const
+    {
+        return static_cast<Tick>(
+            std::ceil(static_cast<double>(cycles) * period_));
+    }
+
+    /** Convert a cycle count to seconds. */
+    double
+    cyclesToSeconds(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / frequencyHz_;
+    }
+
+    /** Convert a duration in seconds to (rounded-up) cycles. */
+    Cycles
+    secondsToCycles(double seconds) const
+    {
+        return static_cast<Cycles>(std::ceil(seconds * frequencyHz_));
+    }
+
+  private:
+    double frequencyHz_;
+    double period_;
+};
+
+} // namespace deepstore::sim
+
+#endif // DEEPSTORE_SIM_CLOCK_H

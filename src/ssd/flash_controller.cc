@@ -1,0 +1,167 @@
+#include "ssd/flash_controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::ssd {
+
+void
+FlashParams::validate() const
+{
+    if (channels == 0 || chipsPerChannel == 0 || planesPerChip == 0 ||
+        blocksPerPlane == 0 || pagesPerBlock == 0 || pageBytes == 0)
+        fatal("flash geometry has a zero dimension");
+    if (readLatency <= 0.0 || programLatency <= 0.0 ||
+        eraseLatency <= 0.0)
+        fatal("flash latencies must be positive");
+    if (channelBandwidth <= 0.0 || externalBandwidth <= 0.0 ||
+        dramBandwidth <= 0.0)
+        fatal("bandwidths must be positive");
+}
+
+FlashController::FlashController(sim::EventQueue &events,
+                                 const FlashParams &params,
+                                 std::uint32_t channel_id,
+                                 StatGroup &stats)
+    : events_(events), params_(params), channelId_(channel_id),
+      stats_(stats),
+      planeBusy_(static_cast<std::size_t>(params.chipsPerChannel) *
+                     params.planesPerChip,
+                 0)
+{
+    params_.validate();
+    if (channel_id >= params_.channels)
+        fatal("channel id %u out of range", channel_id);
+}
+
+Tick &
+FlashController::planeBusyUntil(const PageAddress &addr)
+{
+    DS_ASSERT(addr.chip < params_.chipsPerChannel);
+    DS_ASSERT(addr.plane < params_.planesPerChip);
+    return planeBusy_[static_cast<std::size_t>(addr.chip) *
+                          params_.planesPerChip +
+                      addr.plane];
+}
+
+Tick
+FlashController::planeBusyUntilConst(const PageAddress &addr) const
+{
+    return planeBusy_[static_cast<std::size_t>(addr.chip) *
+                          params_.planesPerChip +
+                      addr.plane];
+}
+
+void
+FlashController::issue(FlashCommand cmd)
+{
+    if (cmd.addr.channel != channelId_)
+        panic("command for channel %u issued to controller %u",
+              cmd.addr.channel, channelId_);
+    if (cmd.transferBytes > params_.pageBytes)
+        fatal("transfer of %llu bytes exceeds the %llu-byte page",
+              static_cast<unsigned long long>(cmd.transferBytes),
+              static_cast<unsigned long long>(params_.pageBytes));
+
+    const Tick now = events_.now();
+    Tick &plane = planeBusyUntil(cmd.addr);
+
+    switch (cmd.op) {
+      case FlashOp::Read: {
+        // Array read: plane busy for the read latency, stretched by
+        // a deterministic retry when failure injection is enabled.
+        double latency = params_.readLatency;
+        if (params_.readRetryProbability > 0.0 &&
+            needsRetry(cmd.addr)) {
+            latency *= 1.0 + params_.readRetryPenalty;
+            stats_.get("flash.readRetries") += 1;
+        }
+        Tick read_start = std::max(now, plane);
+        Tick read_done = read_start + secondsToTicks(latency);
+        // Bus transfer after the page lands in the page buffer.
+        Tick xfer_start = std::max(read_done, busBusyUntil_);
+        Tick xfer_done =
+            xfer_start +
+            secondsToTicks(params_.channelTransferTime(
+                cmd.transferBytes));
+        plane = read_done;
+        busBusyUntil_ = xfer_done;
+        stats_.get("flash.pageReads") += 1;
+        stats_.get("flash.readBytes") +=
+            static_cast<double>(cmd.transferBytes);
+        if (cmd.onComplete) {
+            events_.schedule(xfer_done,
+                             [cb = std::move(cmd.onComplete),
+                              xfer_done] { cb(xfer_done); });
+        }
+        break;
+      }
+      case FlashOp::Program: {
+        // Bus transfer into the page buffer, then the program pulse.
+        Tick xfer_start = std::max(now, busBusyUntil_);
+        Tick xfer_done =
+            xfer_start +
+            secondsToTicks(params_.channelTransferTime(
+                cmd.transferBytes));
+        Tick prog_start = std::max(xfer_done, plane);
+        Tick prog_done =
+            prog_start + secondsToTicks(params_.programLatency);
+        busBusyUntil_ = xfer_done;
+        plane = prog_done;
+        stats_.get("flash.pagePrograms") += 1;
+        stats_.get("flash.writeBytes") +=
+            static_cast<double>(cmd.transferBytes);
+        if (cmd.onComplete) {
+            events_.schedule(prog_done,
+                             [cb = std::move(cmd.onComplete),
+                              prog_done] { cb(prog_done); });
+        }
+        break;
+      }
+      case FlashOp::Erase: {
+        Tick start = std::max(now, plane);
+        Tick done = start + secondsToTicks(params_.eraseLatency);
+        plane = done;
+        stats_.get("flash.blockErases") += 1;
+        if (cmd.onComplete) {
+            events_.schedule(
+                done, [cb = std::move(cmd.onComplete), done] {
+                    cb(done);
+                });
+        }
+        break;
+      }
+    }
+}
+
+bool
+FlashController::needsRetry(const PageAddress &addr) const
+{
+    // splitmix-style hash of the physical address -> uniform [0,1).
+    std::uint64_t x = (static_cast<std::uint64_t>(addr.block) << 40) ^
+                      (static_cast<std::uint64_t>(addr.page) << 24) ^
+                      (static_cast<std::uint64_t>(addr.chip) << 16) ^
+                      (static_cast<std::uint64_t>(addr.plane) << 8) ^
+                      addr.channel ^ 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+    return u < params_.readRetryProbability;
+}
+
+Tick
+FlashController::estimateReadCompletion(const PageAddress &addr,
+                                        std::uint64_t bytes) const
+{
+    const Tick now = events_.now();
+    Tick read_done = std::max(now, planeBusyUntilConst(addr)) +
+                     secondsToTicks(params_.readLatency);
+    Tick xfer_done =
+        std::max(read_done, busBusyUntil_) +
+        secondsToTicks(params_.channelTransferTime(bytes));
+    return xfer_done;
+}
+
+} // namespace deepstore::ssd

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-channel flash controller: schedules page reads/programs against
+ * plane-level timing and channel-bus contention.
+ *
+ * The timing model is the standard one for NAND: a read occupies the
+ * target plane for the array read latency (moving the page into the
+ * plane's page buffer), then the data transfer occupies the shared
+ * channel bus for bytes / bus-bandwidth. Planes on the same chip and
+ * chips on the same channel overlap their array reads; only the bus
+ * serializes. Partial-page transfers are supported (ONFI column
+ * addressing), which matters for small feature vectors.
+ */
+
+#ifndef DEEPSTORE_SSD_FLASH_CONTROLLER_H
+#define DEEPSTORE_SSD_FLASH_CONTROLLER_H
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/event_queue.h"
+#include "ssd/geometry.h"
+
+namespace deepstore::ssd {
+
+/** Kind of flash operation. */
+enum class FlashOp
+{
+    Read,
+    Program,
+    Erase,
+};
+
+/** One flash command against a page (or block, for erase). */
+struct FlashCommand
+{
+    FlashOp op = FlashOp::Read;
+    PageAddress addr;
+    /** Bytes to move over the bus (<= pageBytes; 0 for erase). */
+    std::uint64_t transferBytes = 0;
+    /** Completion callback (fires when data is on the bus-side). */
+    std::function<void(Tick)> onComplete;
+};
+
+/**
+ * Controller for one flash channel. Uses time-stamped resource
+ * reservation: per-plane busy-until and bus busy-until timestamps,
+ * with completions delivered through the event queue.
+ */
+class FlashController
+{
+  public:
+    FlashController(sim::EventQueue &events, const FlashParams &params,
+                    std::uint32_t channel_id, StatGroup &stats);
+
+    /** Issue a command now; completion arrives via the event queue. */
+    void issue(FlashCommand cmd);
+
+    /**
+     * Earliest tick at which a newly issued read to the given plane
+     * would complete (used by schedulers for load estimates).
+     */
+    Tick estimateReadCompletion(const PageAddress &addr,
+                                std::uint64_t bytes) const;
+
+    std::uint32_t channelId() const { return channelId_; }
+
+    /** Tick at which the channel bus frees up. */
+    Tick busBusyUntil() const { return busBusyUntil_; }
+
+  private:
+    Tick &planeBusyUntil(const PageAddress &addr);
+    Tick planeBusyUntilConst(const PageAddress &addr) const;
+
+    /** Deterministic failure-injection decision for a page. */
+    bool needsRetry(const PageAddress &addr) const;
+
+    sim::EventQueue &events_;
+    FlashParams params_;
+    std::uint32_t channelId_;
+    StatGroup &stats_;
+
+    /** busy-until per (chip, plane). */
+    std::vector<Tick> planeBusy_;
+    Tick busBusyUntil_ = 0;
+};
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_FLASH_CONTROLLER_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Flash and SSD geometry/timing parameters (the SSD-Sim config block).
+ *
+ * Defaults follow the paper's evaluation setup (§6.1): 53 us flash
+ * array read latency, 32 channels, 4 chips per channel, 8 planes per
+ * chip, 512 blocks per plane, 128 pages per block, 16 KB pages, and
+ * 800 MB/s per-channel bus bandwidth.
+ */
+
+#ifndef DEEPSTORE_SSD_FLASH_PARAMS_H
+#define DEEPSTORE_SSD_FLASH_PARAMS_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace deepstore::ssd {
+
+/** Static SSD configuration. */
+struct FlashParams
+{
+    std::uint32_t channels = 32;
+    std::uint32_t chipsPerChannel = 4;
+    std::uint32_t planesPerChip = 8;
+    std::uint32_t blocksPerPlane = 512;
+    std::uint32_t pagesPerBlock = 128;
+    std::uint64_t pageBytes = 16 * KiB;
+
+    /** Flash array read latency (cell array -> page buffer). */
+    double readLatency = 53e-6;
+    /** Program (write) latency (page buffer -> cell array). */
+    double programLatency = 500e-6;
+    /** Block erase latency. */
+    double eraseLatency = 3.5e-3;
+
+    /** Per-channel bus bandwidth (ONFI-class, bytes/s). */
+    double channelBandwidth = 800.0 * MB;
+
+    /** Host interface (PCIe/NVMe) bandwidth, bytes/s (§6.1: 3.2 GB/s
+     *  measured external bandwidth of the Intel DC P4500). */
+    double externalBandwidth = 3.2 * GB;
+
+    /** SSD DRAM bandwidth shared by controller + accelerators. */
+    double dramBandwidth = 20.0 * GB;
+
+    /** Embedded-CPU overhead to parse/dispatch one I/O command. */
+    double commandOverhead = 2e-6;
+
+    // ---- failure injection -------------------------------------
+    // Real NAND occasionally needs read retries (charge drift, read
+    // disturb). The controller models them deterministically from a
+    // hash of the page address so runs stay reproducible.
+
+    /** Probability that a page read needs a retry (0 disables). */
+    double readRetryProbability = 0.0;
+
+    /** Extra array-read latencies paid by a retried read. */
+    double readRetryPenalty = 3.0;
+
+    // ---- derived quantities -------------------------------------
+
+    std::uint64_t
+    pagesPerPlane() const
+    {
+        return static_cast<std::uint64_t>(blocksPerPlane) * pagesPerBlock;
+    }
+
+    std::uint64_t
+    pagesPerChip() const
+    {
+        return pagesPerPlane() * planesPerChip;
+    }
+
+    std::uint64_t
+    pagesPerChannel() const
+    {
+        return pagesPerChip() * chipsPerChannel;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return pagesPerChannel() * channels;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return totalPages() * pageBytes;
+    }
+
+    std::uint32_t
+    totalChips() const
+    {
+        return channels * chipsPerChannel;
+    }
+
+    /** Seconds to move `bytes` over one channel bus. */
+    double
+    channelTransferTime(std::uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / channelBandwidth;
+    }
+
+    /** Aggregate internal bandwidth across all channel buses. */
+    double
+    internalBandwidth() const
+    {
+        return channelBandwidth * channels;
+    }
+
+    /** Validate the geometry; fatal() when malformed. */
+    void validate() const;
+};
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_FLASH_PARAMS_H

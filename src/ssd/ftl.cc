@@ -1,0 +1,154 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::ssd {
+
+Ftl::Ftl(const FlashParams &params, StatGroup &stats)
+    : params_(params), stats_(stats)
+{
+    params_.validate();
+    superPages_ = static_cast<std::uint64_t>(params_.channels) *
+                  params_.chipsPerChannel * params_.planesPerChip *
+                  params_.pagesPerBlock;
+    superCount_ = params_.blocksPerPlane;
+    map_.assign(superCount_, kUnmapped);
+    freeSb_.assign(superCount_, true);
+    eraseCount_.assign(superCount_, 0);
+    valid_.assign(params_.totalPages(), false);
+    validCount_.assign(superCount_, 0);
+}
+
+bool
+Ftl::isMapped(std::uint64_t lpn) const
+{
+    if (lpn >= valid_.size())
+        return false;
+    std::uint64_t sb = lpn / superPages_;
+    return map_[sb] != kUnmapped && valid_[lpn];
+}
+
+std::uint64_t
+Ftl::translate(std::uint64_t lpn) const
+{
+    if (lpn >= valid_.size())
+        fatal("LPN %llu beyond device capacity",
+              static_cast<unsigned long long>(lpn));
+    std::uint64_t sb = lpn / superPages_;
+    std::uint64_t off = lpn % superPages_;
+    if (map_[sb] == kUnmapped || !valid_[lpn])
+        fatal("read of unmapped LPN %llu",
+              static_cast<unsigned long long>(lpn));
+    return static_cast<std::uint64_t>(map_[sb]) * superPages_ + off;
+}
+
+std::uint32_t
+Ftl::allocateSuperblock()
+{
+    // Wear-leveling allocator: among free superblocks, pick the least
+    // erased one.
+    std::uint32_t best = kUnmapped;
+    for (std::uint32_t i = 0; i < superCount_; ++i) {
+        if (!freeSb_[i])
+            continue;
+        if (best == kUnmapped || eraseCount_[i] < eraseCount_[best])
+            best = i;
+    }
+    if (best == kUnmapped)
+        fatal("SSD out of free superblocks (device full)");
+    freeSb_[best] = false;
+    return best;
+}
+
+void
+Ftl::eraseSuperblock(std::uint32_t phys)
+{
+    DS_ASSERT(phys < superCount_);
+    ++eraseCount_[phys];
+    freeSb_[phys] = true;
+    stats_.get("ftl.superblockErases") += 1;
+}
+
+WriteResult
+Ftl::write(std::uint64_t lpn)
+{
+    if (lpn >= valid_.size())
+        fatal("write to LPN %llu beyond device capacity",
+              static_cast<unsigned long long>(lpn));
+    WriteResult res;
+    std::uint64_t sb = lpn / superPages_;
+    std::uint64_t off = lpn % superPages_;
+
+    if (map_[sb] == kUnmapped)
+        map_[sb] = allocateSuperblock();
+
+    if (valid_[lpn]) {
+        // In-place overwrite: block-level mapping forces a
+        // read-modify-write migration to a fresh superblock.
+        std::uint32_t old_phys = map_[sb];
+        std::uint32_t new_phys = allocateSuperblock();
+        res.migratedPages = validCount_[sb] - 1; // all but the page
+        res.erasedBlocks = 1;
+        stats_.get("ftl.migratedPages") +=
+            static_cast<double>(res.migratedPages);
+        eraseSuperblock(old_phys);
+        map_[sb] = new_phys;
+    } else {
+        valid_[lpn] = true;
+        ++validCount_[sb];
+    }
+
+    stats_.get("ftl.pageWrites") += 1;
+    res.ppn = static_cast<std::uint64_t>(map_[sb]) * superPages_ + off;
+    return res;
+}
+
+std::vector<std::uint32_t>
+Ftl::trim(std::uint64_t lpn_start, std::uint64_t count)
+{
+    std::vector<std::uint32_t> erased;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t lpn = lpn_start + i;
+        if (lpn >= valid_.size())
+            break;
+        if (!valid_[lpn])
+            continue;
+        valid_[lpn] = false;
+        std::uint64_t sb = lpn / superPages_;
+        DS_ASSERT(validCount_[sb] > 0);
+        if (--validCount_[sb] == 0 && map_[sb] != kUnmapped) {
+            erased.push_back(map_[sb]);
+            eraseSuperblock(map_[sb]);
+            map_[sb] = kUnmapped;
+        }
+    }
+    return erased;
+}
+
+std::uint32_t
+Ftl::freeSuperblocks() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(freeSb_.begin(), freeSb_.end(), true));
+}
+
+std::uint64_t
+Ftl::totalErases() const
+{
+    std::uint64_t total = 0;
+    for (auto e : eraseCount_)
+        total += e;
+    return total;
+}
+
+std::uint64_t
+Ftl::eraseSpread() const
+{
+    auto [mn, mx] =
+        std::minmax_element(eraseCount_.begin(), eraseCount_.end());
+    return *mx - *mn;
+}
+
+} // namespace deepstore::ssd

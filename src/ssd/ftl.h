@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Block-level Flash Translation Layer.
+ *
+ * DeepStore "employs a regular block-level FTL" (§4.4): the engine
+ * asks it once for a database's starting physical address and the
+ * accelerators compute page offsets directly, avoiding per-page
+ * translation. We implement a superblock FTL: one logical superblock
+ * (the same block index across every plane of every channel) maps to
+ * one physical superblock. With the channel-major PPN striping in
+ * Geometry, a superblock is a contiguous PPN range, so any page of a
+ * sequentially written database is reachable by pure offset
+ * arithmetic — exactly the property §4.4 relies on.
+ *
+ * Writes are expected to be append-style (intelligent-query databases
+ * are write-once, read-many). An in-place overwrite forces a
+ * read-modify-write migration of the containing superblock, which the
+ * model charges and counts; erase counters provide wear statistics
+ * and a greedy least-worn allocator provides wear leveling.
+ */
+
+#ifndef DEEPSTORE_SSD_FTL_H
+#define DEEPSTORE_SSD_FTL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "ssd/geometry.h"
+
+namespace deepstore::ssd {
+
+/** Result of a page write through the FTL. */
+struct WriteResult
+{
+    std::uint64_t ppn = 0;
+    /** Pages migrated by a forced read-modify-write (0 normally). */
+    std::uint64_t migratedPages = 0;
+    /** Blocks erased as part of this write (0 normally). */
+    std::uint64_t erasedBlocks = 0;
+};
+
+/** Superblock-granularity block-level FTL. */
+class Ftl
+{
+  public:
+    Ftl(const FlashParams &params, StatGroup &stats);
+
+    /** Pages per superblock (contiguous PPN run). */
+    std::uint64_t superblockPages() const { return superPages_; }
+
+    /** Number of superblocks in the logical and physical spaces. */
+    std::uint32_t superblockCount() const { return superCount_; }
+
+    /** True when the LPN has been written and not trimmed. */
+    bool isMapped(std::uint64_t lpn) const;
+
+    /**
+     * Translate a mapped LPN to its PPN.
+     * fatal() on an unmapped page (a read of never-written data is a
+     * host error).
+     */
+    std::uint64_t translate(std::uint64_t lpn) const;
+
+    /**
+     * Record a write to `lpn`, allocating a physical superblock on
+     * first touch. Rewriting an already-valid page triggers a
+     * superblock migration (see file comment).
+     */
+    WriteResult write(std::uint64_t lpn);
+
+    /**
+     * Invalidate `count` pages starting at `lpn_start`. Superblocks
+     * whose pages all become invalid are erased and returned to the
+     * free pool.
+     * @return the physical superblocks that were erased.
+     */
+    std::vector<std::uint32_t> trim(std::uint64_t lpn_start,
+                                    std::uint64_t count);
+
+    /** Superblocks currently free. */
+    std::uint32_t freeSuperblocks() const;
+
+    /** Total erases across all physical superblocks. */
+    std::uint64_t totalErases() const;
+
+    /** Max minus min per-superblock erase count (wear spread). */
+    std::uint64_t eraseSpread() const;
+
+  private:
+    static constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+
+    std::uint32_t allocateSuperblock();
+    void eraseSuperblock(std::uint32_t phys);
+
+    FlashParams params_;
+    StatGroup &stats_;
+    std::uint64_t superPages_ = 0;
+    std::uint32_t superCount_ = 0;
+
+    /** logical superblock -> physical superblock (or kUnmapped). */
+    std::vector<std::uint32_t> map_;
+    /** physical superblock -> free? */
+    std::vector<bool> freeSb_;
+    /** physical superblock erase counters (wear). */
+    std::vector<std::uint64_t> eraseCount_;
+    /** valid-page bitmap, indexed by LPN. */
+    std::vector<bool> valid_;
+    /** count of valid pages per logical superblock. */
+    std::vector<std::uint64_t> validCount_;
+};
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_FTL_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical page addressing for the flash hierarchy
+ * (channel / chip / plane / block / page) and conversions to and from
+ * flat physical page numbers (PPNs).
+ *
+ * The PPN layout stripes consecutive PPNs across channels first, then
+ * chips, then planes — the order that maximizes parallelism for the
+ * sequential, striped feature-database layout DeepStore uses (§4.4).
+ */
+
+#ifndef DEEPSTORE_SSD_GEOMETRY_H
+#define DEEPSTORE_SSD_GEOMETRY_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "ssd/flash_params.h"
+
+namespace deepstore::ssd {
+
+/** Fully-qualified physical flash page address. */
+struct PageAddress
+{
+    std::uint32_t channel = 0;
+    std::uint32_t chip = 0;
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+
+    bool
+    operator==(const PageAddress &o) const
+    {
+        return channel == o.channel && chip == o.chip &&
+               plane == o.plane && block == o.block && page == o.page;
+    }
+};
+
+/** PPN <-> PageAddress conversions for a given geometry. */
+class Geometry
+{
+  public:
+    explicit Geometry(const FlashParams &params) : p_(params) {}
+
+    /**
+     * Decode a flat PPN with channel-major striping:
+     * ppn = (((page-stripe * planes + plane) * chips + chip)
+     *          * channels + channel)
+     * so consecutive PPNs round-robin across channels, then chips,
+     * then planes, then advance to the next page within the plane.
+     */
+    PageAddress
+    decode(std::uint64_t ppn) const
+    {
+        DS_ASSERT(ppn < p_.totalPages());
+        PageAddress a;
+        a.channel = static_cast<std::uint32_t>(ppn % p_.channels);
+        ppn /= p_.channels;
+        a.chip = static_cast<std::uint32_t>(ppn % p_.chipsPerChannel);
+        ppn /= p_.chipsPerChannel;
+        a.plane = static_cast<std::uint32_t>(ppn % p_.planesPerChip);
+        ppn /= p_.planesPerChip;
+        // Remaining bits select the page within the plane, filled
+        // page-within-block first.
+        a.page = static_cast<std::uint32_t>(ppn % p_.pagesPerBlock);
+        a.block = static_cast<std::uint32_t>(ppn / p_.pagesPerBlock);
+        DS_ASSERT(a.block < p_.blocksPerPlane);
+        return a;
+    }
+
+    /** Inverse of decode(). */
+    std::uint64_t
+    encode(const PageAddress &a) const
+    {
+        DS_ASSERT(a.channel < p_.channels);
+        DS_ASSERT(a.chip < p_.chipsPerChannel);
+        DS_ASSERT(a.plane < p_.planesPerChip);
+        DS_ASSERT(a.block < p_.blocksPerPlane);
+        DS_ASSERT(a.page < p_.pagesPerBlock);
+        std::uint64_t stripe =
+            static_cast<std::uint64_t>(a.block) * p_.pagesPerBlock +
+            a.page;
+        std::uint64_t ppn = stripe;
+        ppn = ppn * p_.planesPerChip + a.plane;
+        ppn = ppn * p_.chipsPerChannel + a.chip;
+        ppn = ppn * p_.channels + a.channel;
+        return ppn;
+    }
+
+    const FlashParams &params() const { return p_; }
+
+  private:
+    FlashParams p_;
+};
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_GEOMETRY_H

@@ -1,0 +1,200 @@
+#include "ssd/ssd.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::ssd {
+
+Ssd::Ssd(sim::EventQueue &events, FlashParams params)
+    : events_(events), params_(params), geometry_(params_),
+      stats_("ssd"), ftl_(params_, stats_)
+{
+    params_.validate();
+    controllers_.reserve(params_.channels);
+    for (std::uint32_t c = 0; c < params_.channels; ++c) {
+        controllers_.push_back(std::make_unique<FlashController>(
+            events_, params_, c, stats_));
+    }
+}
+
+FlashController &
+Ssd::controller(std::uint32_t channel)
+{
+    if (channel >= controllers_.size())
+        panic("channel %u out of range", channel);
+    return *controllers_[channel];
+}
+
+Tick
+Ssd::hostDispatchTick() const
+{
+    // Regular I/O gets a busy signal while the accelerators own the
+    // read path (§4.5); the command re-dispatches after the window.
+    Tick dispatch =
+        events_.now() + secondsToTicks(params_.commandOverhead);
+    return std::max(dispatch, accelBusyUntil_);
+}
+
+void
+Ssd::setAcceleratorWindow(Tick until)
+{
+    accelBusyUntil_ = std::max(accelBusyUntil_, until);
+}
+
+void
+Ssd::hostWrite(std::uint64_t lpn_start, std::uint64_t count,
+               Completion on_complete)
+{
+    DS_ASSERT(count > 0);
+    stats_.get("host.writeCommands") += 1;
+    auto remaining = std::make_shared<std::uint64_t>(count);
+    auto last = std::make_shared<Tick>(0);
+
+    events_.schedule(hostDispatchTick(), [this, lpn_start, count,
+                                          remaining, last,
+                                          cb = std::move(
+                                              on_complete)] {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t lpn = lpn_start + i;
+            WriteResult wr = ftl_.write(lpn);
+            PageAddress addr = geometry_.decode(wr.ppn);
+            FlashCommand cmd;
+            cmd.op = FlashOp::Program;
+            cmd.addr = addr;
+            cmd.transferBytes = params_.pageBytes;
+            cmd.onComplete = [remaining, last, cb](Tick t) {
+                *last = std::max(*last, t);
+                if (--*remaining == 0 && cb)
+                    cb(*last);
+            };
+            controllers_[addr.channel]->issue(std::move(cmd));
+        }
+    });
+}
+
+void
+Ssd::hostRead(std::uint64_t lpn_start, std::uint64_t count,
+              Completion on_complete)
+{
+    DS_ASSERT(count > 0);
+    stats_.get("host.readCommands") += 1;
+    auto remaining = std::make_shared<std::uint64_t>(count);
+    auto last = std::make_shared<Tick>(0);
+
+    events_.schedule(hostDispatchTick(), [this, lpn_start, count,
+                                          remaining, last,
+                                          cb = std::move(
+                                              on_complete)] {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t lpn = lpn_start + i;
+            std::uint64_t ppn = ftl_.translate(lpn);
+            PageAddress addr = geometry_.decode(ppn);
+            FlashCommand cmd;
+            cmd.op = FlashOp::Read;
+            cmd.addr = addr;
+            cmd.transferBytes = params_.pageBytes;
+            cmd.onComplete = [this, remaining, last, cb](Tick t) {
+                // External interface transfer serializes at the
+                // PCIe-class bandwidth.
+                Tick xfer_start = std::max(t, externalBusyUntil_);
+                Tick xfer_done =
+                    xfer_start +
+                    secondsToTicks(
+                        static_cast<double>(params_.pageBytes) /
+                        params_.externalBandwidth);
+                externalBusyUntil_ = xfer_done;
+                stats_.get("host.readBytes") +=
+                    static_cast<double>(params_.pageBytes);
+                events_.schedule(xfer_done,
+                                 [remaining, last, cb, xfer_done] {
+                    *last = std::max(*last, xfer_done);
+                    if (--*remaining == 0 && cb)
+                        cb(*last);
+                });
+            };
+            controllers_[addr.channel]->issue(std::move(cmd));
+        }
+    });
+}
+
+void
+Ssd::hostTrim(std::uint64_t lpn_start, std::uint64_t count,
+              Completion on_complete)
+{
+    DS_ASSERT(count > 0);
+    stats_.get("host.trimCommands") += 1;
+    events_.schedule(hostDispatchTick(), [this, lpn_start, count,
+                                          cb = std::move(
+                                              on_complete)] {
+        auto erased = ftl_.trim(lpn_start, count);
+        if (erased.empty()) {
+            if (cb)
+                cb(events_.now());
+            return;
+        }
+        // Erase the superblock on every plane it spans.
+        auto remaining = std::make_shared<std::uint64_t>(
+            static_cast<std::uint64_t>(erased.size()) *
+            params_.channels * params_.chipsPerChannel *
+            params_.planesPerChip);
+        auto last = std::make_shared<Tick>(0);
+        for (std::uint32_t sb : erased) {
+            for (std::uint32_t ch = 0; ch < params_.channels; ++ch) {
+                for (std::uint32_t chip = 0;
+                     chip < params_.chipsPerChannel; ++chip) {
+                    for (std::uint32_t plane = 0;
+                         plane < params_.planesPerChip; ++plane) {
+                        FlashCommand cmd;
+                        cmd.op = FlashOp::Erase;
+                        cmd.addr = PageAddress{ch, chip, plane, sb, 0};
+                        cmd.onComplete = [remaining, last,
+                                          cb](Tick t) {
+                            *last = std::max(*last, t);
+                            if (--*remaining == 0 && cb)
+                                cb(*last);
+                        };
+                        controllers_[ch]->issue(std::move(cmd));
+                    }
+                }
+            }
+        }
+    });
+}
+
+void
+Ssd::internalRead(std::uint64_t ppn, std::uint64_t bytes,
+                  Completion on_complete)
+{
+    PageAddress addr = geometry_.decode(ppn);
+    FlashCommand cmd;
+    cmd.op = FlashOp::Read;
+    cmd.addr = addr;
+    cmd.transferBytes = std::min(bytes, params_.pageBytes);
+    cmd.onComplete = std::move(on_complete);
+    stats_.get("internal.reads") += 1;
+    controllers_[addr.channel]->issue(std::move(cmd));
+}
+
+PageAddress
+Ssd::physicalAddress(std::uint64_t lpn) const
+{
+    return geometry_.decode(ftl_.translate(lpn));
+}
+
+void
+Ssd::storePayload(std::uint64_t lpn, std::vector<std::uint8_t> bytes)
+{
+    if (bytes.size() > params_.pageBytes)
+        fatal("payload of %zu bytes exceeds page size", bytes.size());
+    payloads_[lpn] = std::move(bytes);
+}
+
+const std::vector<std::uint8_t> *
+Ssd::payload(std::uint64_t lpn) const
+{
+    auto it = payloads_.find(lpn);
+    return it == payloads_.end() ? nullptr : &it->second;
+}
+
+} // namespace deepstore::ssd

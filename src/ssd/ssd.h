@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Top-level SSD model: host interface, embedded-CPU command overhead,
+ * per-channel flash controllers, FTL, and an optional sparse backing
+ * store for page payloads (used by the functional API path; the pure
+ * timing benches skip payloads entirely).
+ */
+
+#ifndef DEEPSTORE_SSD_SSD_H
+#define DEEPSTORE_SSD_SSD_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/event_queue.h"
+#include "ssd/flash_controller.h"
+#include "ssd/ftl.h"
+#include "ssd/geometry.h"
+
+namespace deepstore::ssd {
+
+/** Completion callback carrying the completion tick. */
+using Completion = std::function<void(Tick)>;
+
+/** An SSD instance bound to an event queue. */
+class Ssd
+{
+  public:
+    Ssd(sim::EventQueue &events, FlashParams params);
+
+    const FlashParams &params() const { return params_; }
+    const Geometry &geometry() const { return geometry_; }
+    Ftl &ftl() { return ftl_; }
+    StatGroup &stats() { return stats_; }
+    sim::EventQueue &events() { return events_; }
+
+    /**
+     * Host-path write of `count` pages starting at LPN `lpn_start`
+     * (full-page programs through the FTL). Completion fires when the
+     * last program finishes.
+     */
+    void hostWrite(std::uint64_t lpn_start, std::uint64_t count,
+                   Completion on_complete);
+
+    /**
+     * Host-path read of `count` pages starting at LPN `lpn_start`:
+     * embedded-CPU command overhead, flash array reads and channel
+     * transfers (parallel across channels), then the external
+     * interface transfer, which serializes at the PCIe-class
+     * bandwidth. Completion fires when the last byte reaches the
+     * host.
+     */
+    void hostRead(std::uint64_t lpn_start, std::uint64_t count,
+                  Completion on_complete);
+
+    /**
+     * Internal read used by in-storage accelerators: goes straight to
+     * the channel controller with a partial-page transfer, bypassing
+     * the external interface (paper Fig. 5).
+     */
+    void internalRead(std::uint64_t ppn, std::uint64_t bytes,
+                      Completion on_complete);
+
+    /**
+     * Host-path trim of `count` pages starting at `lpn_start`.
+     * Fully invalidated superblocks are erased on the affected
+     * planes; completion fires when the last erase finishes (or
+     * immediately after the command overhead when nothing needed
+     * erasing).
+     */
+    void hostTrim(std::uint64_t lpn_start, std::uint64_t count,
+                  Completion on_complete);
+
+    /** Resolve an LPN to its physical page address. */
+    PageAddress physicalAddress(std::uint64_t lpn) const;
+
+    /** Attach payload bytes to an LPN (functional path). */
+    void storePayload(std::uint64_t lpn,
+                      std::vector<std::uint8_t> bytes);
+
+    /** Fetch payload bytes (empty when none stored). */
+    const std::vector<std::uint8_t> *payload(std::uint64_t lpn) const;
+
+    /** Controller for a channel (exposed for accelerator wiring). */
+    FlashController &controller(std::uint32_t channel);
+
+    /**
+     * Mark the flash read path as owned by the in-storage
+     * accelerators until the given tick (§4.5 "Accelerator
+     * Placement": the read path is multiplexed between regular reads
+     * and the accelerator response; during query operations the
+     * controller answers regular I/O with a busy signal). Host reads
+     * and writes dispatched inside the window are deferred to its
+     * end.
+     */
+    void setAcceleratorWindow(Tick until);
+
+    /** End of the current accelerator-owned window (0 if none). */
+    Tick acceleratorWindowEnd() const { return accelBusyUntil_; }
+
+  private:
+    sim::EventQueue &events_;
+    FlashParams params_;
+    Geometry geometry_;
+    StatGroup stats_;
+    Ftl ftl_;
+    std::vector<std::unique_ptr<FlashController>> controllers_;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        payloads_;
+    Tick externalBusyUntil_ = 0;
+    Tick accelBusyUntil_ = 0;
+
+    /** Dispatch tick for a host command issued now. */
+    Tick hostDispatchTick() const;
+};
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_SSD_H

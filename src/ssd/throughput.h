@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Closed-form steady-state flash streaming throughput.
+ *
+ * The event-driven model is exact but costs one event per page; the
+ * paper's largest experiments stream hundreds of millions of features,
+ * so the query-level simulations use this closed form and the test
+ * suite cross-validates it against the event-driven controller.
+ *
+ * For a channel streaming features laid out per §4.4 (features never
+ * straddle pages; small features pack per page; large features span
+ * ceil(size/page) pages):
+ *
+ *   plane-limited page rate = planes_per_channel / read_latency
+ *   bus-limited page rate   = bus_bw / transferred_bytes_per_page
+ *   page rate               = min(plane rate, bus rate)
+ */
+
+#ifndef DEEPSTORE_SSD_THROUGHPUT_H
+#define DEEPSTORE_SSD_THROUGHPUT_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "ssd/flash_params.h"
+
+namespace deepstore::ssd {
+
+/** Feature-vector flash layout arithmetic (paper §4.4 / §6.4). */
+struct FeatureLayout
+{
+    std::uint64_t featureBytes = 0;
+    std::uint64_t pageBytes = 0;
+
+    /** Features stored per page (>= 1 region granularity). */
+    std::uint64_t
+    featuresPerPage() const
+    {
+        DS_ASSERT(featureBytes > 0 && pageBytes > 0);
+        return std::max<std::uint64_t>(1, pageBytes / featureBytes);
+    }
+
+    /** Pages occupied by one feature (1 for packed small features). */
+    std::uint64_t
+    pagesPerFeature() const
+    {
+        DS_ASSERT(featureBytes > 0 && pageBytes > 0);
+        return (featureBytes + pageBytes - 1) / pageBytes;
+    }
+
+    /** Pages needed to store n features. */
+    std::uint64_t
+    pagesForFeatures(std::uint64_t n) const
+    {
+        if (featureBytes <= pageBytes) {
+            std::uint64_t fpp = featuresPerPage();
+            return (n + fpp - 1) / fpp;
+        }
+        return n * pagesPerFeature();
+    }
+
+    /** Bytes moved over the channel bus per page of this database
+     *  (partial-page transfer of the useful payload only). */
+    std::uint64_t
+    transferBytesPerPage() const
+    {
+        if (featureBytes <= pageBytes)
+            return featuresPerPage() * featureBytes;
+        // Large features: average useful bytes per occupied page (the
+        // final page of each feature may be partial).
+        return featureBytes / pagesPerFeature();
+    }
+};
+
+/** Steady-state page read rate of one channel (pages/second). */
+inline double
+channelPageRate(const FlashParams &p, std::uint64_t transfer_bytes)
+{
+    double plane_rate =
+        static_cast<double>(p.planesPerChip) * p.chipsPerChannel /
+        p.readLatency;
+    double bus_rate =
+        transfer_bytes == 0
+            ? plane_rate
+            : p.channelBandwidth / static_cast<double>(transfer_bytes);
+    return std::min(plane_rate, bus_rate);
+}
+
+/** Steady-state rate at which one channel delivers whole features. */
+inline double
+channelFeatureRate(const FlashParams &p, std::uint64_t feature_bytes)
+{
+    FeatureLayout layout{feature_bytes, p.pageBytes};
+    double pages_per_sec =
+        channelPageRate(p, layout.transferBytesPerPage());
+    if (feature_bytes <= p.pageBytes)
+        return pages_per_sec *
+               static_cast<double>(layout.featuresPerPage());
+    return pages_per_sec /
+           static_cast<double>(layout.pagesPerFeature());
+}
+
+/** Aggregate feature delivery rate of the whole SSD's internal side. */
+inline double
+ssdInternalFeatureRate(const FlashParams &p, std::uint64_t feature_bytes)
+{
+    return channelFeatureRate(p, feature_bytes) * p.channels;
+}
+
+} // namespace deepstore::ssd
+
+#endif // DEEPSTORE_SSD_THROUGHPUT_H

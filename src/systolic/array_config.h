@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Systolic-array configuration (the SCALE-Sim "config" block).
+ *
+ * A DeepStore accelerator is a rectangular array of processing engines
+ * (PEs) fed by a scratchpad, optionally backed by a shared second-level
+ * scratchpad (the SSD-level 8 MB SRAM that channel-level accelerators
+ * use as an L2 for weights, paper §4.5), and by SSD DRAM.
+ */
+
+#ifndef DEEPSTORE_SYSTOLIC_ARRAY_CONFIG_H
+#define DEEPSTORE_SYSTOLIC_ARRAY_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace deepstore::systolic {
+
+/** Mapping strategy for the systolic array (paper Table 3). */
+enum class Dataflow
+{
+    OutputStationary, ///< outputs accumulate in PEs (SSD/channel level)
+    WeightStationary, ///< weights pinned in PEs (chip level)
+    InputStationary,  ///< inputs pinned in PEs (for DSE comparisons)
+};
+
+const char *toString(Dataflow df);
+
+/** Where a layer's weights are resident during SCN execution. */
+enum class WeightSource
+{
+    Scratchpad, ///< fit in the accelerator's private scratchpad
+    SharedL2,   ///< fetched from the shared SSD-level scratchpad
+    Dram,       ///< streamed from SSD DRAM every inference
+};
+
+/** Static configuration of one accelerator's systolic array. */
+struct ArrayConfig
+{
+    std::string name = "accel";
+    std::int64_t rows = 32;
+    std::int64_t cols = 64;
+    Dataflow dataflow = Dataflow::OutputStationary;
+    double frequencyHz = 800 * MHz;
+
+    /** Private scratchpad capacity in bytes. */
+    std::uint64_t scratchpadBytes = 8 * MiB;
+
+    /** Shared second-level scratchpad (0 = none). */
+    std::uint64_t sharedL2Bytes = 0;
+
+    /** DRAM bandwidth available to this accelerator (bytes/s). */
+    double dramBandwidth = 20.0 * GB;
+
+    /** Operand width in bytes (32-bit FP per paper §5). */
+    std::uint64_t wordBytes = kBytesPerFloat;
+
+    std::int64_t peCount() const { return rows * cols; }
+
+    /** DRAM bytes deliverable per accelerator clock cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramBandwidth / frequencyHz;
+    }
+
+    /** Validate the configuration; fatal() when malformed. */
+    void validate() const;
+};
+
+} // namespace deepstore::systolic
+
+#endif // DEEPSTORE_SYSTOLIC_ARRAY_CONFIG_H

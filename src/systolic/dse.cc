@@ -1,0 +1,61 @@
+#include "systolic/dse.h"
+
+#include "common/logging.h"
+
+namespace deepstore::systolic {
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+aspectRatios(std::int64_t pe_count)
+{
+    if (pe_count <= 0 || (pe_count & (pe_count - 1)) != 0)
+        fatal("PE count %lld must be a positive power of two",
+              static_cast<long long>(pe_count));
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    for (std::int64_t r = 1; r <= pe_count; r *= 2)
+        out.emplace_back(r, pe_count / r);
+    return out;
+}
+
+DsePoint
+bestShapeFor(const nn::Layer &layer, std::int64_t pe_count,
+             Dataflow dataflow)
+{
+    DsePoint best;
+    best.peCount = pe_count;
+    for (auto [r, c] : aspectRatios(pe_count)) {
+        ArrayConfig cfg;
+        cfg.name = "dse";
+        cfg.rows = r;
+        cfg.cols = c;
+        cfg.dataflow = dataflow;
+        // Infinite memory bandwidth: make DRAM supply a non-factor.
+        cfg.dramBandwidth = 1e18;
+        cfg.scratchpadBytes = 1 * GiB;
+        SystolicSim sim(cfg);
+        Cycles cycles = sim.idealComputeCycles(layer);
+        if (best.cycles == 0 || cycles < best.cycles) {
+            best.rows = r;
+            best.cols = c;
+            best.cycles = cycles;
+        }
+    }
+    return best;
+}
+
+std::vector<DsePoint>
+sweepPeCounts(const nn::Layer &layer, const std::vector<std::int64_t> &pes,
+              Dataflow dataflow)
+{
+    std::vector<DsePoint> out;
+    out.reserve(pes.size());
+    for (auto pe : pes)
+        out.push_back(bestShapeFor(layer, pe, dataflow));
+    if (!out.empty()) {
+        double base = static_cast<double>(out.front().cycles);
+        for (auto &p : out)
+            p.speedup = base / static_cast<double>(p.cycles);
+    }
+    return out;
+}
+
+} // namespace deepstore::systolic

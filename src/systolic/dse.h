@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Design-space exploration over systolic-array shapes (paper §4.5,
+ * Fig. 6): sweep PE counts and aspect ratios under an
+ * infinite-memory-bandwidth assumption and report the best-performing
+ * shape per PE budget.
+ */
+
+#ifndef DEEPSTORE_SYSTOLIC_DSE_H
+#define DEEPSTORE_SYSTOLIC_DSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "systolic/array_config.h"
+#include "systolic/systolic_sim.h"
+
+namespace deepstore::systolic {
+
+/** Best shape found for one PE budget. */
+struct DsePoint
+{
+    std::int64_t peCount = 0;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    Cycles cycles = 0;
+    double speedup = 0.0; ///< vs the smallest PE budget in the sweep
+};
+
+/**
+ * Enumerate power-of-two (rows, cols) splits of `pe_count`.
+ * @pre pe_count is a positive power of two.
+ */
+std::vector<std::pair<std::int64_t, std::int64_t>>
+aspectRatios(std::int64_t pe_count);
+
+/**
+ * Find the fastest aspect ratio for a layer at a fixed PE budget,
+ * assuming infinite memory bandwidth (paper Fig. 6 methodology).
+ */
+DsePoint bestShapeFor(const nn::Layer &layer, std::int64_t pe_count,
+                      Dataflow dataflow);
+
+/**
+ * Sweep PE budgets (each a power of two) and report the best shape and
+ * the speedup relative to the first budget in the list.
+ */
+std::vector<DsePoint> sweepPeCounts(const nn::Layer &layer,
+                                    const std::vector<std::int64_t> &pes,
+                                    Dataflow dataflow);
+
+} // namespace deepstore::systolic
+
+#endif // DEEPSTORE_SYSTOLIC_DSE_H

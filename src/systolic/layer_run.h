@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Result records produced by the systolic timing model: cycle counts,
+ * utilization, and memory-traffic tallies consumed by the energy model
+ * and by the accelerator-level pipeline simulation.
+ */
+
+#ifndef DEEPSTORE_SYSTOLIC_LAYER_RUN_H
+#define DEEPSTORE_SYSTOLIC_LAYER_RUN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace deepstore::systolic {
+
+/** Timing and traffic for one layer of one inference. */
+struct LayerRun
+{
+    Cycles computeCycles = 0;     ///< busy cycles of the array
+    Cycles memoryStallCycles = 0; ///< extra cycles waiting on DRAM
+    Cycles totalCycles = 0;       ///< max(compute, memory supply)
+
+    double utilization = 0.0; ///< MACs / (totalCycles * PEs)
+
+    std::uint64_t macs = 0;
+
+    // On-chip traffic (words, not bytes).
+    std::uint64_t spadReads = 0;
+    std::uint64_t spadWrites = 0;
+    std::uint64_t l2Reads = 0; ///< shared second-level scratchpad
+
+    // Off-chip traffic (bytes).
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+
+    /** Accumulate another record into this one. */
+    void add(const LayerRun &o);
+};
+
+/** Timing and traffic for a full SCN inference on one feature pair. */
+struct ModelRun
+{
+    LayerRun total;                ///< sums across layers
+    std::vector<LayerRun> layers;  ///< per-layer breakdown
+
+    Cycles totalCycles() const { return total.totalCycles; }
+};
+
+} // namespace deepstore::systolic
+
+#endif // DEEPSTORE_SYSTOLIC_LAYER_RUN_H

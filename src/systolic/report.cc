@@ -1,0 +1,60 @@
+#include "systolic/report.h"
+
+#include "common/table.h"
+
+namespace deepstore::systolic {
+
+std::vector<LayerReportRow>
+layerReport(const SystolicSim &sim, const nn::Model &model,
+            WeightSource source, std::int64_t ws_group)
+{
+    model.validate();
+    std::vector<LayerReportRow> rows;
+    ModelRun run = sim.runModelWithSource(model, source, ws_group);
+    const auto &layers = model.layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        LayerReportRow row;
+        row.name = layers[i].name;
+        row.kind = toString(layers[i].kind);
+        row.run = run.layers[i];
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+printLayerReport(std::ostream &os,
+                 const std::vector<LayerReportRow> &rows,
+                 const ArrayConfig &config)
+{
+    os << "array " << config.rows << "x" << config.cols << " ("
+       << toString(config.dataflow) << ") @ "
+       << config.frequencyHz / 1e6 << " MHz\n";
+    TextTable t({"Layer", "Kind", "Cycles", "Util%", "SpadRd",
+                 "SpadWr", "L2Rd", "DramRd(B)", "Time(us)"});
+    LayerRun total;
+    for (const auto &row : rows) {
+        const LayerRun &r = row.run;
+        t.addRow({row.name, row.kind, std::to_string(r.totalCycles),
+                  TextTable::num(r.utilization * 100.0, 1),
+                  std::to_string(r.spadReads),
+                  std::to_string(r.spadWrites),
+                  std::to_string(r.l2Reads),
+                  std::to_string(r.dramReadBytes),
+                  TextTable::num(static_cast<double>(r.totalCycles) /
+                                     config.frequencyHz * 1e6,
+                                 3)});
+        total.add(r);
+    }
+    t.addRow({"TOTAL", "-", std::to_string(total.totalCycles), "-",
+              std::to_string(total.spadReads),
+              std::to_string(total.spadWrites),
+              std::to_string(total.l2Reads),
+              std::to_string(total.dramReadBytes),
+              TextTable::num(static_cast<double>(total.totalCycles) /
+                                 config.frequencyHz * 1e6,
+                             3)});
+    t.print(os);
+}
+
+} // namespace deepstore::systolic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SCALE-Sim-style per-layer report: for one model on one array
+ * configuration, the cycles, utilization, and memory traffic of every
+ * layer (the real SCALE-Sim emits this as per-layer CSV; we print an
+ * aligned table and expose the rows programmatically).
+ */
+
+#ifndef DEEPSTORE_SYSTOLIC_REPORT_H
+#define DEEPSTORE_SYSTOLIC_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "systolic/systolic_sim.h"
+
+namespace deepstore::systolic {
+
+/** One row of the per-layer report. */
+struct LayerReportRow
+{
+    std::string name;
+    std::string kind;
+    LayerRun run;
+};
+
+/** Per-layer rows for one inference (weights on-chip). */
+std::vector<LayerReportRow> layerReport(const SystolicSim &sim,
+                                        const nn::Model &model,
+                                        WeightSource source,
+                                        std::int64_t ws_group = 1);
+
+/** Print the rows as an aligned table with a totals line. */
+void printLayerReport(std::ostream &os,
+                      const std::vector<LayerReportRow> &rows,
+                      const ArrayConfig &config);
+
+} // namespace deepstore::systolic
+
+#endif // DEEPSTORE_SYSTOLIC_REPORT_H

@@ -1,0 +1,337 @@
+#include "systolic/systolic_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepstore::systolic {
+
+namespace {
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+const char *
+toString(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::OutputStationary: return "OS";
+      case Dataflow::WeightStationary: return "WS";
+      case Dataflow::InputStationary: return "IS";
+    }
+    return "?";
+}
+
+void
+ArrayConfig::validate() const
+{
+    if (rows <= 0 || cols <= 0)
+        fatal("array '%s': non-positive dimensions %lldx%lld",
+              name.c_str(), static_cast<long long>(rows),
+              static_cast<long long>(cols));
+    if (frequencyHz <= 0.0)
+        fatal("array '%s': non-positive frequency", name.c_str());
+    if (dramBandwidth <= 0.0)
+        fatal("array '%s': non-positive DRAM bandwidth", name.c_str());
+    if (scratchpadBytes == 0)
+        fatal("array '%s': zero scratchpad", name.c_str());
+}
+
+void
+LayerRun::add(const LayerRun &o)
+{
+    computeCycles += o.computeCycles;
+    memoryStallCycles += o.memoryStallCycles;
+    totalCycles += o.totalCycles;
+    macs += o.macs;
+    spadReads += o.spadReads;
+    spadWrites += o.spadWrites;
+    l2Reads += o.l2Reads;
+    dramReadBytes += o.dramReadBytes;
+    dramWriteBytes += o.dramWriteBytes;
+    // Utilization of the concatenation is recomputed by callers that
+    // care; keep the max as a hint.
+    utilization = std::max(utilization, o.utilization);
+}
+
+SystolicSim::SystolicSim(ArrayConfig config) : config_(std::move(config))
+{
+    config_.validate();
+}
+
+SystolicSim::Gemm
+SystolicSim::lowerToGemm(const nn::Layer &layer)
+{
+    using nn::LayerKind;
+    switch (layer.kind) {
+      case LayerKind::FullyConnected:
+        // One feature vector at a time (paper §4.5): GEMV.
+        return Gemm{1, layer.fcOut, layer.fcIn};
+      case LayerKind::Conv2D:
+        // im2col: every output pixel is a row.
+        return Gemm{layer.outH() * layer.outW(), layer.outC,
+                    layer.kH * layer.kW * layer.inC};
+      case LayerKind::ElementWise:
+        panic("element-wise layers are not GEMMs");
+    }
+    return Gemm{0, 0, 0};
+}
+
+LayerRun
+SystolicSim::runLayer(const nn::Layer &layer, WeightSource weight_source,
+                      std::int64_t batch) const
+{
+    DS_ASSERT(batch >= 1);
+    if (layer.kind == nn::LayerKind::ElementWise)
+        return runElementWise(layer, batch);
+    return runGemm(lowerToGemm(layer), layer, weight_source, batch);
+}
+
+LayerRun
+SystolicSim::runGemm(const Gemm &g, const nn::Layer &layer,
+                     WeightSource weight_source,
+                     std::int64_t batch) const
+{
+    const std::int64_t R = config_.rows;
+    const std::int64_t C = config_.cols;
+    LayerRun run;
+    run.macs = static_cast<std::uint64_t>(layer.macs()) *
+               static_cast<std::uint64_t>(batch);
+
+    // How many times the full weight matrix is streamed from its
+    // backing store (scratchpad / L2 / DRAM) for the whole batch.
+    double weight_fetch_passes = 0.0;
+    // Input and output element traffic.
+    std::uint64_t input_reads = 0;
+    std::uint64_t output_writes = 0;
+
+    switch (config_.dataflow) {
+      case Dataflow::OutputStationary: {
+        // Output tiles of Sr x Sc; reduction depth K streams through.
+        std::int64_t m = g.m * batch;
+        std::int64_t folds_r = ceilDiv(m, R);
+        std::int64_t folds_c = ceilDiv(g.n, C);
+        Cycles cycles = 0;
+        for (std::int64_t fr = 0; fr < folds_r; ++fr) {
+            std::int64_t sr = std::min(R, m - fr * R);
+            for (std::int64_t fc = 0; fc < folds_c; ++fc) {
+                std::int64_t sc = std::min(C, g.n - fc * C);
+                cycles += static_cast<Cycles>(2 * sr + sc + g.k - 2);
+            }
+        }
+        run.computeCycles = cycles;
+        // Every column-fold re-reads the input rows; every row-fold
+        // re-reads the weights.
+        input_reads = static_cast<std::uint64_t>(m) *
+                      static_cast<std::uint64_t>(g.k) *
+                      static_cast<std::uint64_t>(folds_c);
+        // The weight matrix streams once per row-fold; batching fuses
+        // the independent GEMMs into m rows, so folds_r already
+        // accounts for it.
+        weight_fetch_passes = static_cast<double>(folds_r);
+        output_writes = static_cast<std::uint64_t>(m) *
+                        static_cast<std::uint64_t>(g.n);
+        break;
+      }
+      case Dataflow::WeightStationary: {
+        // Weight tiles of Sr x Sc pinned; all batch inputs stream
+        // through each tile before the next preload.
+        std::int64_t folds_r = ceilDiv(g.k, R);
+        std::int64_t folds_c = ceilDiv(g.n, C);
+        std::int64_t m_total = g.m * batch;
+        Cycles cycles = 0;
+        for (std::int64_t fr = 0; fr < folds_r; ++fr) {
+            std::int64_t sr = std::min(R, g.k - fr * R);
+            for (std::int64_t fc = 0; fc < folds_c; ++fc) {
+                std::int64_t sc = std::min(C, g.n - fc * C);
+                cycles += static_cast<Cycles>(sr) // preload
+                          + static_cast<Cycles>(m_total) // stream
+                          + static_cast<Cycles>(sc - 1); // drain
+            }
+        }
+        run.computeCycles = cycles;
+        // Inputs re-streamed once per weight tile column... each input
+        // row visits every (fr, fc) tile.
+        input_reads = static_cast<std::uint64_t>(m_total) *
+                      static_cast<std::uint64_t>(g.k) *
+                      static_cast<std::uint64_t>(folds_c);
+        weight_fetch_passes = 1.0; // pinned across the batch
+        output_writes = static_cast<std::uint64_t>(m_total) *
+                        static_cast<std::uint64_t>(g.n) *
+                        static_cast<std::uint64_t>(folds_r);
+        break;
+      }
+      case Dataflow::InputStationary: {
+        // Input tiles pinned; weights stream. Symmetric to WS.
+        std::int64_t m_total = g.m * batch;
+        std::int64_t folds_r = ceilDiv(g.k, R);
+        std::int64_t folds_c = ceilDiv(m_total, C);
+        Cycles cycles = 0;
+        for (std::int64_t fr = 0; fr < folds_r; ++fr) {
+            std::int64_t sr = std::min(R, g.k - fr * R);
+            for (std::int64_t fc = 0; fc < folds_c; ++fc) {
+                std::int64_t sc = std::min(C, m_total - fc * C);
+                cycles += static_cast<Cycles>(sr) +
+                          static_cast<Cycles>(g.n) +
+                          static_cast<Cycles>(sc - 1);
+            }
+        }
+        run.computeCycles = cycles;
+        input_reads = static_cast<std::uint64_t>(m_total) *
+                      static_cast<std::uint64_t>(g.k);
+        weight_fetch_passes = static_cast<double>(folds_c);
+        output_writes = static_cast<std::uint64_t>(m_total) *
+                        static_cast<std::uint64_t>(g.n) *
+                        static_cast<std::uint64_t>(folds_r);
+        break;
+      }
+    }
+
+    const auto weight_words =
+        static_cast<std::uint64_t>(layer.weightCount());
+    const auto weight_stream_words = static_cast<std::uint64_t>(
+        weight_fetch_passes * static_cast<double>(weight_words));
+
+    // Scratchpad sees all streamed operands.
+    run.spadReads = input_reads;
+    run.spadWrites = output_writes;
+
+    switch (weight_source) {
+      case WeightSource::Scratchpad:
+        run.spadReads += weight_stream_words;
+        break;
+      case WeightSource::SharedL2:
+        run.l2Reads += weight_stream_words;
+        break;
+      case WeightSource::Dram:
+        run.spadReads += weight_stream_words; // staged through spad
+        run.dramReadBytes +=
+            weight_stream_words * config_.wordBytes;
+        break;
+    }
+
+    applyBandwidth(run);
+    return run;
+}
+
+LayerRun
+SystolicSim::runElementWise(const nn::Layer &layer,
+                            std::int64_t batch) const
+{
+    LayerRun run;
+    const std::int64_t R = config_.rows;
+    std::int64_t n = layer.ewSize;
+    // R lanes, one element per lane per cycle, plus a drain through the
+    // first column; the dot product adds a reduction pass along the
+    // column (R cycles).
+    Cycles per = static_cast<Cycles>(ceilDiv(n, R)) +
+                 static_cast<Cycles>(
+                     layer.ewOp == nn::EwOp::DotProduct ? R : 1);
+    run.computeCycles = per * static_cast<Cycles>(batch);
+    run.macs = static_cast<std::uint64_t>(layer.macs()) *
+               static_cast<std::uint64_t>(batch);
+    run.spadReads = static_cast<std::uint64_t>(2 * n * batch);
+    run.spadWrites =
+        static_cast<std::uint64_t>(layer.outputCount() * batch);
+    applyBandwidth(run);
+    return run;
+}
+
+void
+SystolicSim::applyBandwidth(LayerRun &run) const
+{
+    double bytes = static_cast<double>(run.dramReadBytes) +
+                   static_cast<double>(run.dramWriteBytes);
+    auto supply_cycles = static_cast<Cycles>(
+        std::ceil(bytes / config_.dramBytesPerCycle()));
+    run.totalCycles = std::max(run.computeCycles, supply_cycles);
+    run.memoryStallCycles = run.totalCycles - run.computeCycles;
+    double pe_cycles = static_cast<double>(run.totalCycles) *
+                       static_cast<double>(config_.peCount());
+    run.utilization =
+        pe_cycles > 0.0 ? static_cast<double>(run.macs) / pe_cycles : 0.0;
+}
+
+ModelRun
+SystolicSim::runModel(const nn::Model &model, bool weights_fit_on_chip,
+                      std::int64_t ws_group_size) const
+{
+    WeightSource src;
+    if (weights_fit_on_chip) {
+        src = WeightSource::Scratchpad;
+    } else if (config_.sharedL2Bytes > 0 &&
+               model.totalWeightBytes() <= config_.sharedL2Bytes) {
+        src = WeightSource::SharedL2;
+    } else {
+        src = WeightSource::Dram;
+    }
+    return runModelWithSource(model, src, ws_group_size);
+}
+
+ModelRun
+SystolicSim::runModelWithSource(const nn::Model &model,
+                                WeightSource src,
+                                std::int64_t ws_group_size) const
+{
+    DS_ASSERT(ws_group_size >= 1);
+    ModelRun result;
+    const bool is_ws = config_.dataflow == Dataflow::WeightStationary;
+    for (const auto &layer : model.layers()) {
+        LayerRun lr;
+        if (is_ws && layer.kind != nn::LayerKind::ElementWise) {
+            // Weights pinned across ws_group_size features: simulate
+            // the group and scale back to per-feature cost.
+            lr = runLayer(layer, src, ws_group_size);
+            lr.computeCycles /= static_cast<Cycles>(ws_group_size);
+            lr.totalCycles /= static_cast<Cycles>(ws_group_size);
+            lr.memoryStallCycles /= static_cast<Cycles>(ws_group_size);
+            lr.macs /= static_cast<std::uint64_t>(ws_group_size);
+            lr.spadReads /= static_cast<std::uint64_t>(ws_group_size);
+            lr.spadWrites /= static_cast<std::uint64_t>(ws_group_size);
+            lr.l2Reads /= static_cast<std::uint64_t>(ws_group_size);
+            lr.dramReadBytes /=
+                static_cast<std::uint64_t>(ws_group_size);
+            lr.dramWriteBytes /=
+                static_cast<std::uint64_t>(ws_group_size);
+        } else {
+            lr = runLayer(layer, src, 1);
+        }
+        result.total.add(lr);
+        result.layers.push_back(lr);
+    }
+    // Recompute aggregate utilization over the whole inference.
+    double pe_cycles = static_cast<double>(result.total.totalCycles) *
+                       static_cast<double>(config_.peCount());
+    result.total.utilization =
+        pe_cycles > 0.0
+            ? static_cast<double>(result.total.macs) / pe_cycles
+            : 0.0;
+    return result;
+}
+
+Cycles
+SystolicSim::idealComputeCycles(const nn::Layer &layer) const
+{
+    if (layer.kind == nn::LayerKind::ElementWise)
+        return runElementWise(layer, 1).computeCycles;
+    Gemm g = lowerToGemm(layer);
+    LayerRun r;
+    // Reuse runGemm but ignore the memory model by reading
+    // computeCycles only.
+    r = runGemm(g, layer, WeightSource::Scratchpad, 1);
+    return r.computeCycles;
+}
+
+bool
+SystolicSim::weightsFit(const nn::Model &model) const
+{
+    return model.totalWeightBytes() <= config_.scratchpadBytes;
+}
+
+} // namespace deepstore::systolic

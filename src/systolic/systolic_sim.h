@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Analytical systolic-array timing model (our SCALE-Sim equivalent).
+ *
+ * Layers are lowered to GEMMs (conv via im2col) and mapped onto the
+ * R x C PE array using SCALE-Sim's analytical fold model:
+ *
+ *   - output-stationary: the M x N output is tiled into R x C folds;
+ *     each fold streams the K-deep reduction through the array and
+ *     costs (2*Sr + Sc + K - 2) cycles for Sr used rows / Sc used
+ *     columns;
+ *   - weight-stationary: the K x N weight matrix is tiled into R x C
+ *     folds; each fold preloads weights (Sr cycles) and then streams
+ *     the M input rows, costing (Sr + M + Sc - 1) cycles. Weights stay
+ *     pinned across a group of feature vectors, which is what lets the
+ *     chip-level accelerator amortize weight loads (paper §4.5);
+ *   - input-stationary: symmetric to WS with inputs pinned.
+ *
+ * Element-wise layers use the paper's modification (§4.3): an extra
+ * input line per row of the first column turns the array into an
+ * R-lane vector unit, so an n-element op takes ceil(n / R) cycles plus
+ * a pipeline drain.
+ *
+ * Memory traffic is tallied per fold (the SCALE-Sim counting scheme)
+ * and converted into stall cycles against the configured DRAM
+ * bandwidth; flash-supply stalls are handled one level up by the
+ * accelerator model, which owns the FLASH_DFV queue.
+ */
+
+#ifndef DEEPSTORE_SYSTOLIC_SYSTOLIC_SIM_H
+#define DEEPSTORE_SYSTOLIC_SYSTOLIC_SIM_H
+
+#include "nn/model.h"
+#include "systolic/array_config.h"
+#include "systolic/layer_run.h"
+
+namespace deepstore::systolic {
+
+/** Analytical timing model for one systolic-array accelerator. */
+class SystolicSim
+{
+  public:
+    explicit SystolicSim(ArrayConfig config);
+
+    const ArrayConfig &config() const { return config_; }
+
+    /**
+     * Simulate one layer processing `batch` independent inputs
+     * back-to-back (batch > 1 is only used by weight-stationary
+     * mappings that pin weights across feature vectors).
+     *
+     * @param weight_source where weights are fetched from
+     * @return cycles and traffic for the whole batch
+     */
+    LayerRun runLayer(const nn::Layer &layer, WeightSource weight_source,
+                      std::int64_t batch = 1) const;
+
+    /**
+     * Simulate a full SCN inference for one (QFV, DFV) pair.
+     *
+     * @param weights_fit_on_chip when false, weights stream from DRAM
+     *        (or the shared L2 when the config has one) on every
+     *        inference; when true they are scratchpad-resident and
+     *        their DRAM cost is amortized away.
+     * @param ws_group_size for weight-stationary arrays, how many
+     *        feature vectors share one weight pinning (>= 1).
+     */
+    ModelRun runModel(const nn::Model &model, bool weights_fit_on_chip,
+                      std::int64_t ws_group_size = 1) const;
+
+    /**
+     * As runModel, but with every layer's weights served from the
+     * given source regardless of capacity checks. Callers that model
+     * weight residency themselves (the DeepStore query model splits
+     * resident and streamed weight portions) use this to avoid
+     * double-counting DRAM traffic.
+     */
+    ModelRun runModelWithSource(const nn::Model &model,
+                                WeightSource source,
+                                std::int64_t ws_group_size = 1) const;
+
+    /**
+     * Pure compute-cycle count for one layer, assuming infinite memory
+     * bandwidth — the quantity swept in the paper's Fig. 6 DSE.
+     */
+    Cycles idealComputeCycles(const nn::Layer &layer) const;
+
+    /** True when the model's largest layer fits the weight scratchpad. */
+    bool weightsFit(const nn::Model &model) const;
+
+  private:
+    struct Gemm
+    {
+        std::int64_t m; ///< independent output rows
+        std::int64_t n; ///< output columns
+        std::int64_t k; ///< reduction depth
+    };
+
+    static Gemm lowerToGemm(const nn::Layer &layer);
+
+    LayerRun runGemm(const Gemm &g, const nn::Layer &layer,
+                     WeightSource weight_source,
+                     std::int64_t batch) const;
+
+    LayerRun runElementWise(const nn::Layer &layer,
+                            std::int64_t batch) const;
+
+    void applyBandwidth(LayerRun &run) const;
+
+    ArrayConfig config_;
+};
+
+} // namespace deepstore::systolic
+
+#endif // DEEPSTORE_SYSTOLIC_SYSTOLIC_SIM_H

@@ -1,0 +1,206 @@
+#include "workloads/apps.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::workloads {
+
+using nn::Activation;
+using nn::EwOp;
+using nn::Layer;
+using nn::Model;
+
+namespace {
+
+/**
+ * ReId (Ahmed et al. [16]): cross-input difference + 2 conv + 2 FC.
+ * Feature: 11264 floats (44 KB) viewed as an 8x8x176 activation map
+ * (deep-and-narrow, matching the post-pooling patch features the
+ * original network compares).
+ * Totals: 4.90 M MACs (9.81 M FLOPs vs 9.8 M published),
+ * 2.656 M weights (10.62 MB vs 10.7 MB published). The conv/FC
+ * shapes also bound the per-feature parallelism to < 1024 MACs/cycle
+ * (conv) and < 512 outputs (FC), which is what produces the paper's
+ * Fig. 6 saturation points.
+ */
+Model
+buildReIdScn()
+{
+    Model m("reid-scn", 11264, false);
+    m.addLayer(Layer::elementWise("neighbor-diff", EwOp::Subtract,
+                                  11264));
+    m.addLayer(Layer::conv2d("conv1", 8, 8, 176, 3, 3, 24));
+    m.addLayer(Layer::conv2d("conv2", 6, 6, 24, 3, 3, 280));
+    m.addLayer(Layer::fc("fc1", 4480, 512));
+    m.addLayer(Layer::fc("fc2", 512, 512, Activation::None));
+    m.validate();
+    return m;
+}
+
+/**
+ * MIR (Lu et al. [72]): triplet MatchNet head, 3 FC layers over the
+ * concatenated 512-float (2 KB) embeddings.
+ * Totals: 0.521 M MACs (1.04 M FLOPs vs 1.05 M), 2.09 MB weights
+ * (vs 2 MB).
+ */
+Model
+buildMirScn()
+{
+    Model m("mir-scn", 512, true);
+    m.addLayer(Layer::fc("fc1", 1024, 440));
+    m.addLayer(Layer::fc("fc2", 440, 160));
+    m.addLayer(Layer::fc("fc3", 160, 2, Activation::None));
+    m.validate();
+    return m;
+}
+
+/**
+ * ESTP (Kiapour et al. [48]): 3 FC layers over the concatenated
+ * 4096-float (16 KB) garment embeddings.
+ * Totals: 2.366 M MACs (4.73 M FLOPs vs 4.72 M), 9.47 MB weights
+ * (vs 9 MB).
+ */
+Model
+buildEstpScn()
+{
+    Model m("estp-scn", 4096, true);
+    m.addLayer(Layer::fc("fc1", 8192, 280));
+    m.addLayer(Layer::fc("fc2", 280, 256));
+    m.addLayer(Layer::fc("fc3", 256, 2, Activation::None));
+    m.validate();
+    return m;
+}
+
+/**
+ * TIR (Wang et al. [93]): the §3 description is explicit — a vector
+ * product plus FC layers of 512x512, 512x256, 256x2 over 512-float
+ * (2 KB) embeddings.
+ * Totals: 0.394 M MACs (0.79 M FLOPs, exact), 1.58 MB weights
+ * (vs 1.5 MB).
+ */
+Model
+buildTirScn()
+{
+    Model m("tir-scn", 512, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, 512));
+    m.addLayer(Layer::fc("fc1", 512, 512));
+    m.addLayer(Layer::fc("fc2", 512, 256));
+    m.addLayer(Layer::fc("fc3", 256, 2, Activation::None));
+    m.validate();
+    return m;
+}
+
+/**
+ * TextQA (Severyn & Moschitti [82]): element-wise fuse + 1 FC over
+ * 200-float (0.8 KB) sentence embeddings.
+ * Totals: 0.04 M MACs (0.08 M FLOPs, exact), 0.16 MB weights (exact).
+ */
+Model
+buildTextQaScn()
+{
+    Model m("textqa-scn", 200, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, 200));
+    m.addLayer(Layer::fc("fc1", 200, 200, Activation::None));
+    m.validate();
+    return m;
+}
+
+/**
+ * QCN for the query cache (§4.6): "structure similar to the SCN" but
+ * comparing two *query* features. We use a compact two-FC head over
+ * the fused query features (for TIR this stands in for the Universal
+ * Sentence Encoder similarity of §6.5).
+ */
+Model
+buildQcn(const std::string &name, std::int64_t feature_dim)
+{
+    Model m(name, feature_dim, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, feature_dim));
+    std::int64_t hidden = std::min<std::int64_t>(256, feature_dim);
+    m.addLayer(Layer::fc("fc1", feature_dim, hidden));
+    m.addLayer(Layer::fc("fc2", hidden, 2, Activation::None));
+    m.validate();
+    return m;
+}
+
+} // namespace
+
+const char *
+toString(AppId id)
+{
+    switch (id) {
+      case AppId::ReId: return "ReId";
+      case AppId::MIR: return "MIR";
+      case AppId::ESTP: return "ESTP";
+      case AppId::TIR: return "TIR";
+      case AppId::TextQA: return "TextQA";
+    }
+    return "?";
+}
+
+AppInfo
+makeApp(AppId id)
+{
+    AppInfo app;
+    app.id = id;
+    app.name = toString(id);
+    switch (id) {
+      case AppId::ReId:
+        app.type = "Visual";
+        app.description =
+            "Identify the same person across a database of images";
+        app.dataset = "CUHK03";
+        app.scn = buildReIdScn();
+        app.fig2BatchSizes = {500, 1000, 1500, 2000};
+        app.evalBatchSize = 2000;
+        break;
+      case AppId::MIR:
+        app.type = "Audio";
+        app.description =
+            "Retrieve music based on styles and instrumentations";
+        app.dataset = "MagnaTagTune";
+        app.scn = buildMirScn();
+        app.fig2BatchSizes = {5000, 10000, 20000, 50000};
+        app.evalBatchSize = 50000;
+        break;
+      case AppId::ESTP:
+        app.type = "Visual";
+        app.description =
+            "Online shopping for a garment item from a photo";
+        app.dataset = "Street2Shop";
+        app.scn = buildEstpScn();
+        app.fig2BatchSizes = {5000, 10000, 20000, 50000};
+        app.evalBatchSize = 50000;
+        break;
+      case AppId::TIR:
+        app.type = "Text/Image";
+        app.description =
+            "Retrieve images matching a sentence description";
+        app.dataset = "MSCOCO, Flickr30K";
+        app.scn = buildTirScn();
+        app.fig2BatchSizes = {5000, 10000, 20000, 50000};
+        app.evalBatchSize = 50000;
+        break;
+      case AppId::TextQA:
+        app.type = "Text";
+        app.description = "Re-rank short text pairs for a question";
+        app.dataset = "TREC QA";
+        app.scn = buildTextQaScn();
+        app.fig2BatchSizes = {10000, 20000, 50000, 100000};
+        app.evalBatchSize = 100000;
+        break;
+    }
+    app.qcn = buildQcn(app.scn.name() + "-qcn", app.scn.featureDim());
+    return app;
+}
+
+std::vector<AppInfo>
+allApps()
+{
+    return {makeApp(AppId::ReId), makeApp(AppId::MIR),
+            makeApp(AppId::ESTP), makeApp(AppId::TIR),
+            makeApp(AppId::TextQA)};
+}
+
+} // namespace deepstore::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The five intelligent-query applications of the paper's workload
+ * study (Table 1):
+ *
+ *   ReId   - person re-identification (visual, CUHK03)
+ *   MIR    - music information retrieval (audio, MagnaTagTune)
+ *   ESTP   - exact street-to-shop (visual, Street2Shop)
+ *   TIR    - text-based image retrieval (text/image, MSCOCO/Flickr30K)
+ *   TextQA - question answering re-ranking (text, TREC QA)
+ *
+ * We re-create each similarity-comparison network with layer shapes
+ * chosen so that the published per-application characteristics —
+ * feature size, layer-type counts, total FLOPs, and total weight
+ * bytes — are reproduced within a few percent. The shapes themselves
+ * are synthetic (the paper does not publish them); the timing and
+ * energy models depend only on these aggregate characteristics. A
+ * test locks every Table 1 column to within 10%.
+ */
+
+#ifndef DEEPSTORE_WORKLOADS_APPS_H
+#define DEEPSTORE_WORKLOADS_APPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace deepstore::workloads {
+
+/** Application identifiers, in Table 1 order. */
+enum class AppId
+{
+    ReId,
+    MIR,
+    ESTP,
+    TIR,
+    TextQA,
+};
+
+/** One workload-study application. */
+struct AppInfo
+{
+    AppId id;
+    std::string name;
+    std::string type;        ///< Visual / Audio / Text...
+    std::string description; ///< Table 1 description
+    std::string dataset;     ///< Table 1 dataset
+    nn::Model scn;           ///< similarity comparison network
+    nn::Model qcn;           ///< query comparison network (QC, §4.6)
+
+    /** Batch sizes swept in the Fig. 2 characterization. */
+    std::vector<std::int64_t> fig2BatchSizes;
+
+    /** Batch size used in the §6.2 evaluation. */
+    std::int64_t evalBatchSize = 0;
+
+    /** Feature vector bytes (Table 1 "Feature Size"). */
+    std::uint64_t featureBytes() const { return scn.featureBytes(); }
+};
+
+/** Build the given application's models and metadata. */
+AppInfo makeApp(AppId id);
+
+/** All five applications in Table 1 order. */
+std::vector<AppInfo> allApps();
+
+/** Short name ("ReId", "MIR", ...). */
+const char *toString(AppId id);
+
+} // namespace deepstore::workloads
+
+#endif // DEEPSTORE_WORKLOADS_APPS_H

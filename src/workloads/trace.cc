@@ -1,0 +1,81 @@
+#include "workloads/trace.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace deepstore::workloads {
+
+QueryTrace::QueryTrace(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    for (std::size_t i = 1; i < records_.size(); ++i) {
+        if (records_[i].arrivalSeconds <
+            records_[i - 1].arrivalSeconds)
+            fatal("trace records must be time-ordered (record %zu)",
+                  i);
+    }
+}
+
+QueryTrace
+QueryTrace::generate(const QueryUniverse &universe, std::uint64_t count,
+                     double queries_per_second, Popularity popularity,
+                     double zipf_alpha, std::uint64_t seed)
+{
+    if (queries_per_second <= 0.0)
+        fatal("arrival rate must be positive");
+    auto ids = universe.trace(count, popularity, zipf_alpha, seed);
+    Rng rng(seed ^ 0xA5A5A5A5ULL);
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    double t = 0.0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        // Exponential inter-arrival times (Poisson process).
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        t += -std::log(u) / queries_per_second;
+        records.push_back(TraceRecord{t, ids[i]});
+    }
+    return QueryTrace(std::move(records));
+}
+
+double
+QueryTrace::durationSeconds() const
+{
+    return records_.empty() ? 0.0 : records_.back().arrivalSeconds;
+}
+
+void
+QueryTrace::save(std::ostream &os) const
+{
+    os << "# deepstore-query-trace v1\n";
+    for (const auto &r : records_)
+        os << r.arrivalSeconds << " " << r.queryId << "\n";
+}
+
+QueryTrace
+QueryTrace::load(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord r;
+        if (!(ls >> r.arrivalSeconds >> r.queryId))
+            fatal("malformed trace line %zu: '%s'", lineno,
+                  line.c_str());
+        records.push_back(r);
+    }
+    return QueryTrace(std::move(records));
+}
+
+} // namespace deepstore::workloads

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Timestamped query traces (paper §5: "we implement the query engine
+ * that takes a trace of queries... collect the query traces from the
+ * applications running on the baseline GPU+SSD system, and pass them
+ * as input to the query engine in our simulator").
+ *
+ * A trace is a sequence of (arrival time, query id) records. The
+ * generator produces Poisson arrivals over a QueryUniverse with the
+ * chosen popularity; traces round-trip through a simple text format
+ * so "collected" traces can be replayed across systems.
+ */
+
+#ifndef DEEPSTORE_WORKLOADS_TRACE_H
+#define DEEPSTORE_WORKLOADS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workloads/query_universe.h"
+
+namespace deepstore::workloads {
+
+/** One trace entry. */
+struct TraceRecord
+{
+    double arrivalSeconds = 0.0;
+    std::uint64_t queryId = 0;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return arrivalSeconds == o.arrivalSeconds &&
+               queryId == o.queryId;
+    }
+};
+
+/** A timestamped query trace. */
+class QueryTrace
+{
+  public:
+    QueryTrace() = default;
+    explicit QueryTrace(std::vector<TraceRecord> records);
+
+    /**
+     * Generate `count` queries with exponential inter-arrival times
+     * (rate `queries_per_second`) drawn from the universe with the
+     * given popularity.
+     */
+    static QueryTrace generate(const QueryUniverse &universe,
+                               std::uint64_t count,
+                               double queries_per_second,
+                               Popularity popularity,
+                               double zipf_alpha, std::uint64_t seed);
+
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+    std::size_t size() const { return records_.size(); }
+    double durationSeconds() const;
+
+    /** Text serialization: one "arrival_seconds query_id" per line. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format. fatal() on malformed input. */
+    static QueryTrace load(std::istream &is);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace deepstore::workloads
+
+#endif // DEEPSTORE_WORKLOADS_TRACE_H

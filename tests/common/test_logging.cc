@@ -1,0 +1,63 @@
+/** @file Unit tests for the logging/error-reporting substrate. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace deepstore {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user misconfigured %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("invariant broke"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsFormatted)
+{
+    try {
+        fatal("bad value %d for '%s'", 7, "channels");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 7 for 'channels'");
+    }
+}
+
+TEST(Logging, PanicIsNotAFatalError)
+{
+    // The two classes must stay distinguishable so tests can assert on
+    // user-error vs simulator-bug separately.
+    try {
+        panic("bug");
+        FAIL() << "panic did not throw";
+    } catch (const FatalError &) {
+        FAIL() << "panic threw FatalError";
+    } catch (const PanicError &) {
+        SUCCEED();
+    }
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(DS_ASSERT(1 + 1 == 2));
+    EXPECT_THROW(DS_ASSERT(1 + 1 == 3), PanicError);
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    EXPECT_NO_THROW(warn("suppressed %d", 1));
+    EXPECT_NO_THROW(inform("suppressed %d", 2));
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setLogLevel(old);
+}
+
+} // namespace
+} // namespace deepstore

@@ -1,0 +1,155 @@
+/** @file Unit and property tests for the RNG and Zipf sampler. */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace deepstore {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(13);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++hits[rng.uniformInt(10)];
+    for (int h : hits)
+        EXPECT_GT(h, 700); // each bucket ~1000 expected
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(0), PanicError);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    Rng rng(23);
+    ZipfSampler z(100, 0.0);
+    std::vector<int> hits(100, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hits[z.sample(rng)];
+    for (int h : hits)
+        EXPECT_NEAR(h, n / 100, 300);
+}
+
+TEST(Zipf, HigherAlphaConcentratesOnHead)
+{
+    Rng rng(29);
+    ZipfSampler z07(1000, 0.7), z12(1000, 1.2);
+    const int n = 50000;
+    int head07 = 0, head12 = 0;
+    for (int i = 0; i < n; ++i) {
+        head07 += z07.sample(rng) < 10;
+        head12 += z12.sample(rng) < 10;
+    }
+    EXPECT_GT(head12, head07);
+    EXPECT_GT(head07, n / 100); // far above the uniform 1%
+}
+
+TEST(Zipf, RanksAreOrderedByPopularity)
+{
+    Rng rng(31);
+    ZipfSampler z(50, 0.9);
+    std::vector<int> hits(50, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++hits[z.sample(rng)];
+    // Head rank strictly more popular than mid and tail ranks.
+    EXPECT_GT(hits[0], hits[10]);
+    EXPECT_GT(hits[10], hits[49]);
+}
+
+TEST(Zipf, RejectsEmptyDomain)
+{
+    EXPECT_THROW(ZipfSampler(0, 0.7), PanicError);
+}
+
+// Property sweep: samples always land in [0, n) for many (n, alpha).
+class ZipfDomainTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>>
+{
+};
+
+TEST_P(ZipfDomainTest, SamplesStayInDomain)
+{
+    auto [n, alpha] = GetParam();
+    Rng rng(n * 31 + static_cast<std::uint64_t>(alpha * 10));
+    ZipfSampler z(n, alpha);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(z.sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfDomainTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000, 100000),
+                       ::testing::Values(0.0, 0.7, 0.8, 1.0, 1.5)));
+
+} // namespace
+} // namespace deepstore

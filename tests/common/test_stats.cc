@@ -1,0 +1,77 @@
+/** @file Unit tests for the statistics package. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace deepstore {
+namespace {
+
+TEST(Stats, AccumulatesAndCounts)
+{
+    Stat s;
+    s += 2.0;
+    s += 3.5;
+    EXPECT_DOUBLE_EQ(s.value(), 5.5);
+    EXPECT_EQ(s.samples(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.75);
+}
+
+TEST(Stats, MeanOfEmptyStatIsZero)
+{
+    Stat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, SetOverridesValue)
+{
+    Stat s;
+    s += 10.0;
+    s.set(3.0);
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    EXPECT_EQ(s.samples(), 1u);
+}
+
+TEST(Stats, ResetClears)
+{
+    Stat s;
+    s += 7.0;
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(s.samples(), 0u);
+}
+
+TEST(StatGroup, GetCreatesOnDemand)
+{
+    StatGroup g("ssd");
+    EXPECT_EQ(g.size(), 0u);
+    g.get("pageReads") += 1.0;
+    EXPECT_EQ(g.size(), 1u);
+    EXPECT_NE(g.find("pageReads"), nullptr);
+    EXPECT_EQ(g.find("missing"), nullptr);
+}
+
+TEST(StatGroup, ResetAllClearsEveryStat)
+{
+    StatGroup g;
+    g.get("a") += 1.0;
+    g.get("b") += 2.0;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.find("a")->value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.find("b")->value(), 0.0);
+}
+
+TEST(StatGroup, DumpIsSortedAndPrefixed)
+{
+    StatGroup g("flash");
+    g.get("writes") += 2.0;
+    g.get("reads") += 1.0;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "flash.reads = 1\nflash.writes = 2\n");
+}
+
+} // namespace
+} // namespace deepstore

@@ -1,0 +1,50 @@
+/** @file Unit tests for the benchmark table printer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace deepstore {
+namespace {
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTable, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(17.7, 1), "17.7");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"App", "Speedup"});
+    t.addRow({"TextQA", "17.74"});
+    t.addRow({"ReId", "3.92"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    // Header, rule, two data rows.
+    EXPECT_NE(s.find("App     Speedup"), std::string::npos);
+    EXPECT_NE(s.find("TextQA  17.74"), std::string::npos);
+    EXPECT_NE(s.find("ReId    3.92"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, TracksShape)
+{
+    TextTable t({"x", "y", "z"});
+    EXPECT_EQ(t.columns(), 3u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+} // namespace
+} // namespace deepstore

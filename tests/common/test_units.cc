@@ -1,0 +1,39 @@
+/** @file Unit tests for time/size unit conversions. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace deepstore {
+namespace {
+
+TEST(Units, SecondsTicksRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSecond);
+    EXPECT_EQ(secondsToTicks(53e-6), 53'000'000ull);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerSecond), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(secondsToTicks(0.25)), 0.25);
+}
+
+TEST(Units, BinaryAndDecimalSizes)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+    EXPECT_DOUBLE_EQ(GB, 1e9);
+    EXPECT_DOUBLE_EQ(MHz, 1e6);
+}
+
+TEST(Units, SubSecondResolution)
+{
+    // One picosecond tick resolves an 800 MHz cycle exactly.
+    EXPECT_EQ(secondsToTicks(1.25e-9), 1250u);
+}
+
+TEST(Units, FloatWidth)
+{
+    EXPECT_EQ(kBytesPerFloat, 4u);
+}
+
+} // namespace
+} // namespace deepstore

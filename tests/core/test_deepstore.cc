@@ -1,0 +1,263 @@
+/** @file Integration tests for the DeepStore runtime and Table 2 API. */
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/deepstore.h"
+#include "workloads/apps.h"
+
+namespace deepstore::core {
+namespace {
+
+/** A pure dot-product SCN: top-K by score == top-K by inner product,
+ *  so results can be verified against brute force. */
+nn::ModelBundle
+dotModel(std::int64_t dim)
+{
+    nn::Model m("dot-scn", dim, false);
+    m.addLayer(nn::Layer::elementWise("dot", nn::EwOp::DotProduct,
+                                      dim));
+    auto w = nn::ModelWeights::random(m, 1);
+    return nn::ModelBundle{std::move(m), std::move(w)};
+}
+
+std::shared_ptr<FeatureSource>
+randomDb(std::int64_t dim, std::uint64_t count, std::uint64_t seed)
+{
+    workloads::FeatureGenerator gen(dim, 16, seed);
+    return std::make_shared<GeneratedFeatureSource>(gen, count);
+}
+
+DeepStoreConfig
+smallConfig()
+{
+    DeepStoreConfig cfg;
+    cfg.flash = ssd::FlashParams{};
+    return cfg;
+}
+
+TEST(DeepStoreApi, WriteDbAssignsMetadata)
+{
+    DeepStore ds(smallConfig());
+    std::uint64_t db = ds.writeDB(randomDb(64, 100, 1));
+    const DbMetadata &md = ds.databaseInfo(db);
+    EXPECT_EQ(md.numFeatures, 100u);
+    EXPECT_EQ(md.featureBytes, 256u);
+    EXPECT_GT(ds.simulatedSeconds(), 0.0);
+}
+
+TEST(DeepStoreApi, WriteDbRejectsEmpty)
+{
+    DeepStore ds(smallConfig());
+    EXPECT_THROW(ds.writeDB(nullptr), FatalError);
+    EXPECT_THROW(
+        ds.writeDB(std::make_shared<VectorFeatureSource>(
+            std::vector<std::vector<float>>{}, 4)),
+        FatalError);
+}
+
+TEST(DeepStoreApi, ReadDbRoundTrips)
+{
+    DeepStore ds(smallConfig());
+    std::vector<std::vector<float>> feats{
+        {1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+    std::uint64_t db = ds.writeDB(
+        std::make_shared<VectorFeatureSource>(feats, 2));
+    auto got = ds.readDB(db, 1, 2);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], feats[1]);
+    EXPECT_EQ(got[1], feats[2]);
+    EXPECT_THROW(ds.readDB(db, 2, 5), FatalError);
+}
+
+TEST(DeepStoreApi, QueryFindsTrueTopK)
+{
+    DeepStore ds(smallConfig());
+    const std::int64_t dim = 32;
+    auto db_src = randomDb(dim, 200, 3);
+    std::uint64_t db = ds.writeDB(db_src);
+    std::uint64_t model = ds.loadModel(dotModel(dim));
+
+    std::vector<float> qfv = db_src->featureAt(17);
+    std::uint64_t qid = ds.query(qfv, 5, model, db, 0, 0);
+    const QueryResult &res = ds.getResults(qid);
+    ASSERT_EQ(res.topK.size(), 5u);
+    EXPECT_EQ(res.featuresScanned, 200u);
+    EXPECT_GT(res.latencySeconds, 0.0);
+
+    // Brute-force oracle on inner products.
+    std::vector<std::pair<double, std::uint64_t>> oracle;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        auto f = db_src->featureAt(i);
+        double dot = 0;
+        for (std::int64_t j = 0; j < dim; ++j)
+            dot += qfv[static_cast<std::size_t>(j)] *
+                   f[static_cast<std::size_t>(j)];
+        oracle.emplace_back(-dot, i);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(res.topK[i].featureId, oracle[i].second) << i;
+}
+
+TEST(DeepStoreApi, QueryValidatesArguments)
+{
+    DeepStore ds(smallConfig());
+    std::uint64_t db = ds.writeDB(randomDb(16, 10, 5));
+    std::uint64_t model = ds.loadModel(dotModel(16));
+    std::vector<float> qfv(16, 0.5f);
+    EXPECT_THROW(ds.query(qfv, 3, 999, db, 0, 0), FatalError);
+    EXPECT_THROW(ds.query(qfv, 3, model, 999, 0, 0), FatalError);
+    EXPECT_THROW(ds.query(qfv, 3, model, db, 5, 3), FatalError);
+    EXPECT_THROW(ds.query(qfv, 3, model, db, 0, 11), FatalError);
+    std::vector<float> wrong(8, 0.5f);
+    EXPECT_THROW(ds.query(wrong, 3, model, db, 0, 0), FatalError);
+    EXPECT_THROW(ds.getResults(12345), FatalError);
+}
+
+TEST(DeepStoreApi, SubRangeQueriesScanLess)
+{
+    DeepStore ds(smallConfig());
+    auto src = randomDb(16, 100, 7);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(16));
+    std::vector<float> qfv = src->featureAt(0);
+    std::uint64_t full = ds.query(qfv, 3, model, db, 0, 0);
+    std::uint64_t half = ds.query(qfv, 3, model, db, 0, 50);
+    EXPECT_EQ(ds.getResults(full).featuresScanned, 100u);
+    EXPECT_EQ(ds.getResults(half).featuresScanned, 50u);
+    EXPECT_GT(ds.getResults(full).latencySeconds,
+              ds.getResults(half).latencySeconds);
+    // Sub-range results only contain ids below 50.
+    for (const auto &r : ds.getResults(half).topK)
+        EXPECT_LT(r.featureId, 50u);
+}
+
+TEST(DeepStoreApi, LevelsDifferInLatencyNotResults)
+{
+    DeepStore ds(smallConfig());
+    auto src = randomDb(16, 80, 11);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(16));
+    std::vector<float> qfv = src->featureAt(3);
+    auto ch = ds.getResults(
+        ds.query(qfv, 4, model, db, 0, 0, Level::ChannelLevel));
+    auto ssd = ds.getResults(
+        ds.query(qfv, 4, model, db, 0, 0, Level::SsdLevel));
+    EXPECT_EQ(ch.topK, ssd.topK);
+    EXPECT_LT(ch.latencySeconds, ssd.latencySeconds);
+}
+
+TEST(DeepStoreApi, AppendDbGrowsAndInvalidatesQc)
+{
+    DeepStore ds(smallConfig());
+    std::vector<std::vector<float>> first{{1.0f, 0.0f}, {0.0f, 1.0f}};
+    std::uint64_t db = ds.writeDB(
+        std::make_shared<VectorFeatureSource>(first, 2));
+    std::vector<std::vector<float>> more{{2.0f, 2.0f}};
+    ds.appendDB(db, std::make_shared<VectorFeatureSource>(more, 2));
+    EXPECT_EQ(ds.databaseInfo(db).numFeatures, 3u);
+    auto got = ds.readDB(db, 2, 1);
+    EXPECT_EQ(got[0], more[0]);
+    // Dim mismatch rejected.
+    std::vector<std::vector<float>> bad{{1.0f}};
+    EXPECT_THROW(
+        ds.appendDB(db, std::make_shared<VectorFeatureSource>(bad, 1)),
+        FatalError);
+}
+
+TEST(DeepStoreApi, QueryCacheHitReturnsCachedTopK)
+{
+    DeepStore ds(smallConfig());
+    const std::int64_t dim = 32;
+    auto src = randomDb(dim, 150, 13);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t scn = ds.loadModel(dotModel(dim));
+    std::uint64_t qcn = ds.loadModel(dotModel(dim));
+    ds.setQC(qcn, /*threshold=*/0.25, /*accuracy=*/0.99,
+             /*capacity=*/16);
+
+    std::vector<float> qfv = src->featureAt(42);
+    std::uint64_t first = ds.query(qfv, 5, scn, db, 0, 0);
+    const auto &cold = ds.getResults(first);
+    EXPECT_FALSE(cold.cacheHit);
+
+    // The identical query again: must hit and return the same top-K
+    // while scanning only the cached entries.
+    std::uint64_t second = ds.query(qfv, 5, scn, db, 0, 0);
+    const auto &warm = ds.getResults(second);
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.featuresScanned, 5u);
+    ASSERT_EQ(warm.topK.size(), cold.topK.size());
+    for (std::size_t i = 0; i < warm.topK.size(); ++i)
+        EXPECT_EQ(warm.topK[i].featureId, cold.topK[i].featureId);
+    EXPECT_LT(warm.latencySeconds, cold.latencySeconds);
+    EXPECT_EQ(ds.queryCache()->hits(), 1u);
+}
+
+TEST(DeepStoreApi, ObjectIdsAreValidPpns)
+{
+    DeepStore ds(smallConfig());
+    auto src = randomDb(16, 50, 17);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(16));
+    auto res =
+        ds.getResults(ds.query(src->featureAt(0), 3, model, db, 0, 0));
+    const DbMetadata &md = ds.databaseInfo(db);
+    for (const auto &r : res.topK) {
+        EXPECT_EQ(r.objectId,
+                  md.featurePpn(r.featureId,
+                                ds.model().flash().pageBytes));
+    }
+}
+
+TEST(DeepStoreApi, LoadModelChargesUploadTime)
+{
+    DeepStore ds(smallConfig());
+    double before = ds.simulatedSeconds();
+    ds.loadModel(dotModel(64));
+    // A dot model has no weights, so upload time is ~0; a TIR SCN
+    // uploads ~1.6 MB.
+    auto tir = workloads::makeApp(workloads::AppId::TIR);
+    auto w = nn::ModelWeights::random(tir.scn, 3);
+    ds.loadModel(nn::ModelBundle{tir.scn, w});
+    EXPECT_GT(ds.simulatedSeconds(), before);
+}
+
+TEST(DeepStoreApi, DumpStatsReportsEngineAndSsdCounters)
+{
+    DeepStore ds(smallConfig());
+    auto src = randomDb(16, 30, 21);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t scn = ds.loadModel(dotModel(16));
+    std::uint64_t qcn = ds.loadModel(dotModel(16));
+    ds.setQC(qcn, 0.2, 0.99, 4);
+    ds.getResults(ds.query(src->featureAt(1), 2, scn, db, 0, 0));
+    std::ostringstream os;
+    ds.dumpStats(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("engine.databases = 1"), std::string::npos);
+    EXPECT_NE(s.find("engine.models = 2"), std::string::npos);
+    EXPECT_NE(s.find("engine.queries = 1"), std::string::npos);
+    EXPECT_NE(s.find("engine.qc.misses = 1"), std::string::npos);
+    EXPECT_NE(s.find("ssd.flash.pagePrograms"), std::string::npos);
+}
+
+TEST(DeepStoreApi, SerializedModelRoundTripsThroughApi)
+{
+    DeepStore ds(smallConfig());
+    auto bundle = dotModel(16);
+    auto blob = nn::serializeModel(bundle.model, bundle.weights);
+    std::uint64_t model = ds.loadModel(blob);
+    auto src = randomDb(16, 20, 19);
+    std::uint64_t db = ds.writeDB(src);
+    EXPECT_NO_THROW(
+        ds.getResults(ds.query(src->featureAt(1), 2, model, db, 0, 0)));
+}
+
+} // namespace
+} // namespace deepstore::core

@@ -1,0 +1,95 @@
+/** @file Tests for database metadata and offset addressing (§4.4). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/metadata.h"
+
+namespace deepstore::core {
+namespace {
+
+TEST(Metadata, AddAssignsIncreasingIds)
+{
+    MetadataStore store;
+    DbMetadata md;
+    md.featureBytes = 2048;
+    md.numFeatures = 100;
+    std::uint64_t a = store.add(md);
+    std::uint64_t b = store.add(md);
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(store.contains(a));
+    EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(Metadata, LookupUnknownIsFatal)
+{
+    MetadataStore store;
+    EXPECT_THROW(store.lookup(42), FatalError);
+    DbMetadata md;
+    md.dbId = 42;
+    EXPECT_THROW(store.update(md), FatalError);
+}
+
+TEST(Metadata, UpdateGrowsFeatureCount)
+{
+    MetadataStore store;
+    DbMetadata md;
+    md.featureBytes = 800;
+    md.numFeatures = 10;
+    std::uint64_t id = store.add(md);
+    DbMetadata grown = store.lookup(id);
+    grown.numFeatures = 25;
+    store.update(grown);
+    EXPECT_EQ(store.lookup(id).numFeatures, 25u);
+}
+
+TEST(Metadata, PersistedRecordIs32Bytes)
+{
+    // §4.7.2: "DeepStore will generate 32-byte metadata".
+    MetadataStore store;
+    DbMetadata md;
+    md.featureBytes = 2048;
+    md.numFeatures = 1;
+    store.add(md);
+    store.add(md);
+    EXPECT_EQ(store.persistedBytes(), 64u);
+}
+
+TEST(Metadata, PageCountPackedSmallFeatures)
+{
+    DbMetadata md;
+    md.featureBytes = 800; // 20 per 16 KB page
+    md.numFeatures = 100;
+    EXPECT_EQ(md.pageCount(16384), 5u);
+}
+
+TEST(Metadata, PageCountLargeFeatures)
+{
+    DbMetadata md;
+    md.featureBytes = 45056; // ReId: 3 pages each
+    md.numFeatures = 10;
+    EXPECT_EQ(md.pageCount(16384), 30u);
+}
+
+TEST(Metadata, FeaturePpnOffsetArithmetic)
+{
+    DbMetadata md;
+    md.startPpn = 1000;
+    md.featureBytes = 2048; // 8 per page
+    md.numFeatures = 100;
+    EXPECT_EQ(md.featurePpn(0, 16384), 1000u);
+    EXPECT_EQ(md.featurePpn(7, 16384), 1000u);
+    EXPECT_EQ(md.featurePpn(8, 16384), 1001u);
+    EXPECT_EQ(md.featurePpn(99, 16384), 1000u + 99 / 8);
+
+    DbMetadata big;
+    big.startPpn = 500;
+    big.featureBytes = 45056;
+    big.numFeatures = 5;
+    EXPECT_EQ(big.featurePpn(0, 16384), 500u);
+    EXPECT_EQ(big.featurePpn(1, 16384), 503u);
+    EXPECT_EQ(big.featurePpn(4, 16384), 512u);
+}
+
+} // namespace
+} // namespace deepstore::core

@@ -1,0 +1,111 @@
+/** @file Tests locking the placement configs to the paper's Table 3. */
+
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+#include "energy/energy_model.h"
+
+namespace deepstore::core {
+namespace {
+
+ssd::FlashParams
+paperFlash()
+{
+    return ssd::FlashParams{}; // defaults mirror §6.1
+}
+
+TEST(Placement, SsdLevelMatchesTable3)
+{
+    Placement p = makePlacement(Level::SsdLevel, paperFlash());
+    EXPECT_EQ(p.array.rows, 32);
+    EXPECT_EQ(p.array.cols, 64);
+    EXPECT_EQ(p.array.dataflow, systolic::Dataflow::OutputStationary);
+    EXPECT_NEAR(p.array.frequencyHz, 800e6, 1);
+    EXPECT_EQ(p.array.scratchpadBytes, 8 * MiB);
+    EXPECT_EQ(p.numAccelerators, 1u);
+    EXPECT_NEAR(p.powerBudgetW, 55.0, 1e-9);
+    EXPECT_EQ(p.sramModel, energy::SramModel::ItrsHp);
+}
+
+TEST(Placement, ChannelLevelMatchesTable3)
+{
+    Placement p = makePlacement(Level::ChannelLevel, paperFlash());
+    EXPECT_EQ(p.array.rows, 16);
+    EXPECT_EQ(p.array.cols, 64);
+    EXPECT_EQ(p.array.dataflow, systolic::Dataflow::OutputStationary);
+    EXPECT_EQ(p.array.scratchpadBytes, 512 * KiB);
+    EXPECT_EQ(p.array.sharedL2Bytes, 8 * MiB);
+    EXPECT_EQ(p.numAccelerators, 32u);
+    // §4.5: "each channel-level accelerator has a power budget of
+    // 1.71W".
+    EXPECT_NEAR(p.powerBudgetW, 1.71, 0.01);
+}
+
+TEST(Placement, ChipLevelMatchesTable3)
+{
+    Placement p = makePlacement(Level::ChipLevel, paperFlash());
+    EXPECT_EQ(p.array.rows, 4);
+    EXPECT_EQ(p.array.cols, 32);
+    EXPECT_EQ(p.array.dataflow, systolic::Dataflow::WeightStationary);
+    EXPECT_NEAR(p.array.frequencyHz, 400e6, 1);
+    EXPECT_EQ(p.array.scratchpadBytes, 512 * KiB);
+    EXPECT_EQ(p.numAccelerators, 128u);
+    // §4.5: "each chip-level accelerator has a power budget of
+    // 0.43W".
+    EXPECT_NEAR(p.powerBudgetW, 0.43, 0.01);
+    EXPECT_EQ(p.sramModel, energy::SramModel::ItrsLow);
+}
+
+TEST(Placement, AreasMatchTable3)
+{
+    energy::EnergyParams e;
+    Placement ssd = makePlacement(Level::SsdLevel, paperFlash());
+    Placement ch = makePlacement(Level::ChannelLevel, paperFlash());
+    Placement chip = makePlacement(Level::ChipLevel, paperFlash());
+    EXPECT_NEAR(energy::acceleratorAreaMm2(
+                    e, ssd.array.peCount(), ssd.array.scratchpadBytes),
+                31.7, 0.1);
+    EXPECT_NEAR(energy::acceleratorAreaMm2(
+                    e, ch.array.peCount(), ch.array.scratchpadBytes),
+                7.4, 0.1);
+    EXPECT_NEAR(energy::acceleratorAreaMm2(
+                    e, chip.array.peCount(),
+                    chip.array.scratchpadBytes),
+                2.5, 0.1);
+}
+
+TEST(Placement, AcceleratorCountsFollowGeometry)
+{
+    ssd::FlashParams flash = paperFlash();
+    flash.channels = 16;
+    flash.chipsPerChannel = 8;
+    EXPECT_EQ(makePlacement(Level::ChannelLevel, flash)
+                  .numAccelerators,
+              16u);
+    EXPECT_EQ(makePlacement(Level::ChipLevel, flash).numAccelerators,
+              128u);
+}
+
+TEST(Placement, PeCountsMatchPaperText)
+{
+    // §4.5: 2048 PEs (SSD), 1024 (channel), 128 (chip).
+    EXPECT_EQ(makePlacement(Level::SsdLevel, paperFlash())
+                  .array.peCount(),
+              2048);
+    EXPECT_EQ(makePlacement(Level::ChannelLevel, paperFlash())
+                  .array.peCount(),
+              1024);
+    EXPECT_EQ(makePlacement(Level::ChipLevel, paperFlash())
+                  .array.peCount(),
+              128);
+}
+
+TEST(Placement, ToStringCoversLevels)
+{
+    EXPECT_STREQ(toString(Level::SsdLevel), "SSD");
+    EXPECT_STREQ(toString(Level::ChannelLevel), "Channel");
+    EXPECT_STREQ(toString(Level::ChipLevel), "Chip");
+}
+
+} // namespace
+} // namespace deepstore::core

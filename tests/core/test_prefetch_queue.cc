@@ -1,0 +1,109 @@
+/** @file Tests for the FLASH_DFV prefetch-queue pipeline model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/prefetch_queue.h"
+
+namespace deepstore::core {
+namespace {
+
+TEST(PrefetchQueue, ZeroDepthIsFatal)
+{
+    EXPECT_THROW(simulatePrefetchPipeline(
+                     1, 0, [](std::uint64_t) { return 1.0; },
+                     [](std::uint64_t) { return 1.0; }),
+                 FatalError);
+}
+
+TEST(PrefetchQueue, EmptyStreamIsFree)
+{
+    auto r = simulatePrefetchPipeline(
+        0, 4, [](std::uint64_t) { return 1.0; },
+        [](std::uint64_t) { return 1.0; });
+    EXPECT_DOUBLE_EQ(r.totalSeconds, 0.0);
+}
+
+TEST(PrefetchQueue, SteadyStateIsMaxOfRates)
+{
+    // Constant times: total = produce(0) + (N-1)*max(p,c) + c.
+    const std::uint64_t n = 1000;
+    auto r = simulatePrefetchPipeline(
+        n, 8, [](std::uint64_t) { return 2e-6; },
+        [](std::uint64_t) { return 5e-6; });
+    EXPECT_NEAR(r.totalSeconds, 2e-6 + (n - 1) * 5e-6 + 5e-6, 1e-9);
+
+    auto r2 = simulatePrefetchPipeline(
+        n, 8, [](std::uint64_t) { return 5e-6; },
+        [](std::uint64_t) { return 2e-6; });
+    EXPECT_NEAR(r2.totalSeconds, n * 5e-6 + 2e-6, 1e-9);
+}
+
+TEST(PrefetchQueue, OverlapBeatsSerialExecution)
+{
+    const std::uint64_t n = 100;
+    auto pipelined = simulatePrefetchPipeline(
+        n, 4, [](std::uint64_t) { return 3e-6; },
+        [](std::uint64_t) { return 3e-6; });
+    double serial = n * 6e-6;
+    EXPECT_LT(pipelined.totalSeconds, 0.55 * serial);
+}
+
+TEST(PrefetchQueue, StallsAreAccounted)
+{
+    auto r = simulatePrefetchPipeline(
+        10, 1, [](std::uint64_t) { return 1e-6; },
+        [](std::uint64_t) { return 4e-6; });
+    // Slow consumer: producer stalls on queue space.
+    EXPECT_GT(r.producerStallSeconds, 0.0);
+    auto r2 = simulatePrefetchPipeline(
+        10, 1, [](std::uint64_t) { return 4e-6; },
+        [](std::uint64_t) { return 1e-6; });
+    // Slow producer: consumer starves.
+    EXPECT_GT(r2.consumerStallSeconds, 0.0);
+}
+
+TEST(PrefetchQueue, DeeperQueueSmoothsJitter)
+{
+    // With jittered flash reads, a deeper FLASH_DFV queue absorbs
+    // latency spikes and reduces total time (the §4.4 design point).
+    const std::uint64_t n = 5000;
+    auto jittered_producer = [](std::uint64_t i) {
+        // Deterministic spiky pattern: every 16th read is 8x slower.
+        return (i % 16 == 0) ? 8e-6 : 1e-6;
+    };
+    auto consumer = [](std::uint64_t) { return 1.6e-6; };
+    auto shallow =
+        simulatePrefetchPipeline(n, 1, jittered_producer, consumer);
+    auto deep =
+        simulatePrefetchPipeline(n, 16, jittered_producer, consumer);
+    EXPECT_LT(deep.totalSeconds, shallow.totalSeconds);
+    // Average rates: producer 1.4375us, consumer 1.6us; a deep queue
+    // approaches the consumer-bound ideal.
+    EXPECT_NEAR(deep.totalSeconds, n * 1.6e-6, n * 0.12e-6);
+}
+
+TEST(PrefetchQueue, DepthBeyondBurstGivesNoFurtherGain)
+{
+    const std::uint64_t n = 2000;
+    auto producer = [](std::uint64_t i) {
+        return (i % 8 == 0) ? 4e-6 : 1e-6;
+    };
+    auto consumer = [](std::uint64_t) { return 1.5e-6; };
+    auto d16 = simulatePrefetchPipeline(n, 16, producer, consumer);
+    auto d256 = simulatePrefetchPipeline(n, 256, producer, consumer);
+    EXPECT_NEAR(d16.totalSeconds, d256.totalSeconds,
+                0.01 * d16.totalSeconds);
+}
+
+TEST(PrefetchQueue, PerItemSeconds)
+{
+    auto r = simulatePrefetchPipeline(
+        100, 4, [](std::uint64_t) { return 1e-6; },
+        [](std::uint64_t) { return 2e-6; });
+    EXPECT_NEAR(r.perItemSeconds(), r.totalSeconds / 100.0, 1e-15);
+}
+
+} // namespace
+} // namespace deepstore::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Additional query-model properties: placement overrides, the shared
+ * L2 broadcast rules, the chip-level lockstep group rule, and
+ * latency-exposure monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/query_model.h"
+
+namespace deepstore::core {
+namespace {
+
+using workloads::AppId;
+using workloads::makeApp;
+
+TEST(QueryModelExtra, RemovingSharedL2HurtsWeightHeavyAppsOnly)
+{
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    for (AppId id : {AppId::ReId, AppId::ESTP, AppId::TextQA}) {
+        auto app = makeApp(id);
+        auto with = ds.evaluate(Level::ChannelLevel, app);
+        auto stripped = makePlacement(Level::ChannelLevel, flash);
+        stripped.array.sharedL2Bytes = 0;
+        stripped.residentWeightBytes =
+            stripped.array.scratchpadBytes;
+        stripped.array.dramBandwidth =
+            flash.dramBandwidth / flash.channels;
+        auto without = ds.evaluatePlacement(stripped, app.scn,
+                                            app.featureBytes());
+        if (id == AppId::TextQA) {
+            // 0.16 MB of weights fit the private scratchpad.
+            EXPECT_NEAR(without.aggregateSeconds /
+                            with.aggregateSeconds,
+                        1.0, 0.01);
+        } else {
+            EXPECT_GT(without.aggregateSeconds,
+                      50.0 * with.aggregateSeconds)
+                << app.name;
+        }
+    }
+}
+
+TEST(QueryModelExtra, ChipGroupRuleFollowsWeightResidency)
+{
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    // TextQA's weights fit the 512 KB chip scratchpad -> group 2.
+    auto textqa = ds.evaluate(Level::ChipLevel, makeApp(AppId::TextQA));
+    EXPECT_EQ(textqa.placement.wsGroupSize, 2);
+    // MIR's 2 MB do not -> strict per-feature lockstep (group 1).
+    auto mir = ds.evaluate(Level::ChipLevel, makeApp(AppId::MIR));
+    EXPECT_EQ(mir.placement.wsGroupSize, 1);
+}
+
+TEST(QueryModelExtra, ExposureGrowsWithFlashLatency)
+{
+    // Per-accelerator time is monotone non-decreasing in the flash
+    // read latency at every level (Fig. 9's direction).
+    auto app = makeApp(AppId::ESTP);
+    for (Level level : {Level::SsdLevel, Level::ChannelLevel,
+                        Level::ChipLevel}) {
+        double prev = 0.0;
+        for (double lat : {7e-6, 53e-6, 106e-6, 212e-6}) {
+            ssd::FlashParams flash;
+            flash.readLatency = lat;
+            DeepStoreModel ds(flash);
+            auto p = ds.evaluate(level, app);
+            EXPECT_GE(p.perAccelSeconds, prev)
+                << toString(level) << " at " << lat;
+            prev = p.perAccelSeconds;
+        }
+    }
+}
+
+TEST(QueryModelExtra, ActivePowerIncludesSsdBase)
+{
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    for (const auto &app : workloads::allApps()) {
+        auto p = ds.evaluate(Level::ChannelLevel, app);
+        EXPECT_GT(p.activePowerW, kSsdBasePowerW);
+    }
+}
+
+TEST(QueryModelExtra, EnergyPerFeaturePositiveAndFinite)
+{
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    for (const auto &app : workloads::allApps()) {
+        for (Level level : {Level::SsdLevel, Level::ChannelLevel,
+                            Level::ChipLevel}) {
+            auto p = ds.evaluate(level, app);
+            if (!p.supported)
+                continue;
+            EXPECT_GT(p.energyPerFeature.total(), 0.0);
+            EXPECT_LT(p.energyPerFeature.total(), 0.1); // < 0.1 J
+            EXPECT_GE(p.energyPerFeature.computeJ, 0.0);
+            EXPECT_GE(p.energyPerFeature.memoryJ, 0.0);
+            EXPECT_GE(p.energyPerFeature.flashJ, 0.0);
+        }
+    }
+}
+
+TEST(QueryModelExtra, QcnPerfScalesWithCacheEntriesLinearly)
+{
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    auto app = makeApp(AppId::TIR);
+    auto qcn = ds.evaluateModel(Level::ChannelLevel, app.qcn,
+                                app.qcn.featureBytes());
+    // A lookup over N entries is N QCN computes spread over the
+    // accelerators; the model exposes the per-compare cost.
+    EXPECT_GT(qcn.computeSeconds, 0.0);
+    EXPECT_LT(qcn.computeSeconds, 20e-6);
+}
+
+TEST(QueryModelExtra, WimpyVsChipOrdering)
+{
+    // Both live in the SSD; the chip accelerators must beat the
+    // wimpy cores by a wide margin on every app they support (the
+    // paper's Observation 2).
+    ssd::FlashParams flash;
+    DeepStoreModel ds(flash);
+    for (const auto &app : workloads::allApps()) {
+        auto p = ds.evaluate(Level::ChipLevel, app);
+        if (!p.supported)
+            continue;
+        double wimpy_seconds =
+            static_cast<double>(app.scn.totalFlops()) / 10e9;
+        EXPECT_GT(wimpy_seconds / p.aggregateSeconds, 5.0)
+            << app.name;
+    }
+}
+
+} // namespace
+} // namespace deepstore::core

@@ -1,0 +1,140 @@
+/** @file Unit and property tests for the hardware-style top-K queue. */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/topk.h"
+
+namespace deepstore::core {
+namespace {
+
+TEST(TopK, RejectsZeroCapacity)
+{
+    EXPECT_THROW(TopK{0}, FatalError);
+}
+
+TEST(TopK, KeepsBestKSorted)
+{
+    TopK t(3);
+    for (float s : {0.1f, 0.9f, 0.5f, 0.7f, 0.2f})
+        t.insert({static_cast<std::uint64_t>(s * 10), 0, s});
+    auto r = t.results();
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_FLOAT_EQ(r[0].score, 0.9f);
+    EXPECT_FLOAT_EQ(r[1].score, 0.7f);
+    EXPECT_FLOAT_EQ(r[2].score, 0.5f);
+    EXPECT_FLOAT_EQ(t.kthScore(), 0.5f);
+}
+
+TEST(TopK, PartialFill)
+{
+    TopK t(10);
+    t.insert({1, 0, 0.5f});
+    t.insert({2, 0, 0.8f});
+    EXPECT_EQ(t.size(), 2u);
+    auto r = t.results();
+    EXPECT_EQ(r[0].featureId, 2u);
+    EXPECT_EQ(r[1].featureId, 1u);
+}
+
+TEST(TopK, EmptyKthScoreIsSentinel)
+{
+    TopK t(4);
+    EXPECT_FLOAT_EQ(t.kthScore(), -1.0f);
+}
+
+TEST(TopK, RejectsBelowThresholdWithoutShifts)
+{
+    TopK t(2);
+    t.insert({1, 0, 0.9f});
+    t.insert({2, 0, 0.8f});
+    std::uint64_t shifts = t.shiftCount();
+    t.insert({3, 0, 0.1f}); // cannot enter
+    EXPECT_EQ(t.shiftCount(), shifts);
+    EXPECT_EQ(t.results()[1].featureId, 2u);
+}
+
+TEST(TopK, StableOnTies)
+{
+    TopK t(3);
+    t.insert({1, 0, 0.5f});
+    t.insert({2, 0, 0.5f});
+    t.insert({3, 0, 0.5f});
+    auto r = t.results();
+    EXPECT_EQ(r[0].featureId, 1u);
+    EXPECT_EQ(r[1].featureId, 2u);
+    EXPECT_EQ(r[2].featureId, 3u);
+}
+
+TEST(TopK, MergeEqualsCombinedStream)
+{
+    TopK a(5), b(5), combined(5);
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        ScoredResult r{static_cast<std::uint64_t>(i), 0,
+                       static_cast<float>(rng.uniform())};
+        (i % 2 ? a : b).insert(r);
+        combined.insert(r);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.results(), combined.results());
+}
+
+TEST(TopK, ClearResets)
+{
+    TopK t(2);
+    t.insert({1, 0, 0.5f});
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.shiftCount(), 0u);
+    t.insert({2, 0, 0.25f});
+    EXPECT_EQ(t.results()[0].featureId, 2u);
+}
+
+TEST(TopK, ObjectIdTravelsWithEntry)
+{
+    TopK t(2);
+    t.insert({1, 4242, 0.5f});
+    EXPECT_EQ(t.results()[0].objectId, 4242u);
+}
+
+/** Property: matches a sort-based oracle for random streams. */
+class TopKOracle
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(TopKOracle, MatchesSortOracle)
+{
+    auto [k, n, seed] = GetParam();
+    TopK t(static_cast<std::size_t>(k));
+    std::vector<ScoredResult> all;
+    Rng rng(static_cast<std::uint64_t>(seed));
+    for (int i = 0; i < n; ++i) {
+        ScoredResult r{static_cast<std::uint64_t>(i),
+                       static_cast<std::uint64_t>(i) * 3,
+                       static_cast<float>(rng.uniform())};
+        t.insert(r);
+        all.push_back(r);
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const ScoredResult &a, const ScoredResult &b) {
+                         return a.score > b.score;
+                     });
+    all.resize(std::min<std::size_t>(all.size(),
+                                     static_cast<std::size_t>(k)));
+    EXPECT_EQ(t.results(), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKOracle,
+    ::testing::Combine(::testing::Values(1, 5, 10, 100),
+                       ::testing::Values(0, 1, 50, 2000),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace deepstore::core

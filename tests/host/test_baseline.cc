@@ -1,0 +1,131 @@
+/** @file Tests for the GPU+SSD and wimpy-core baseline models. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "host/baseline.h"
+
+namespace deepstore::host {
+namespace {
+
+using workloads::AppId;
+using workloads::AppInfo;
+using workloads::makeApp;
+
+TEST(GpuSsd, VoltaComputeIs33PercentFasterThanPascal)
+{
+    // §3: "the compute-intensive layers of the SCN perform faster by
+    // 33%" on Volta.
+    AppInfo app = makeApp(AppId::ReId);
+    GpuSsdSystem pascal(pascalSpec()), volta(voltaSpec());
+    auto p = pascal.batchTime(app, 2000);
+    auto v = volta.batchTime(app, 2000);
+    // Remove the fixed overhead before comparing the FLOP part.
+    double pc = p.computeSeconds - kBatchOverheadSeconds;
+    double vc = v.computeSeconds - kBatchOverheadSeconds;
+    EXPECT_NEAR(pc / vc, 1.33, 0.01);
+}
+
+TEST(GpuSsd, OverallTimeBarelyImprovesWithNewerGpu)
+{
+    // §3 Observation 1: faster GPUs do not help because storage I/O
+    // dominates.
+    for (const auto &app : workloads::allApps()) {
+        GpuSsdSystem pascal(pascalSpec()), volta(voltaSpec());
+        double p = pascal.perFeatureSeconds(app);
+        double v = volta.perFeatureSeconds(app);
+        EXPECT_LT(p / v, 1.20) << app.name;
+    }
+}
+
+TEST(GpuSsd, StorageIoDominatesAllApps)
+{
+    // Fig. 2: 56%-90% of execution time is SSD read, for every app
+    // and both GPUs.
+    for (const auto &app : workloads::allApps()) {
+        for (auto spec : {pascalSpec(), voltaSpec()}) {
+            GpuSsdSystem sys(spec);
+            auto b = sys.batchTime(app, app.evalBatchSize);
+            EXPECT_GE(b.ioFraction(), 0.50)
+                << app.name << " on " << spec.name;
+            EXPECT_LE(b.ioFraction(), 0.95)
+                << app.name << " on " << spec.name;
+        }
+    }
+}
+
+TEST(GpuSsd, IoFractionGrowsWithBatchSizeStability)
+{
+    // Per-feature component times are batch-independent except for
+    // the amortized fixed overhead, so the I/O fraction stabilizes.
+    AppInfo app = makeApp(AppId::MIR);
+    GpuSsdSystem sys(voltaSpec());
+    auto small = sys.batchTime(app, 5000);
+    auto large = sys.batchTime(app, 50000);
+    EXPECT_NEAR(small.ioFraction(), large.ioFraction(), 0.05);
+}
+
+TEST(GpuSsd, PipelinedTotalIsMaxOfStages)
+{
+    BatchBreakdown b{10.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(b.pipelinedTotal(), 10.0);
+    BatchBreakdown c{4.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(c.pipelinedTotal(), 5.0);
+    EXPECT_DOUBLE_EQ(b.total(), 15.0);
+}
+
+TEST(GpuSsd, MultipleSsdsScaleIoButNotCompute)
+{
+    // Fig. 10b: adding SSDs improves I/O but compute stays constant,
+    // so the system does not scale at the SSD count rate.
+    AppInfo app = makeApp(AppId::MIR);
+    GpuSsdSystem one(voltaSpec(), 1), eight(voltaSpec(), 8);
+    double s1 = one.perFeatureSeconds(app);
+    double s8 = eight.perFeatureSeconds(app);
+    double speedup = s1 / s8;
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 8.0); // sub-linear
+}
+
+TEST(GpuSsd, RejectsBadConfig)
+{
+    GpuSpec bad{"bad", 0.0, 100.0};
+    EXPECT_THROW(GpuSsdSystem{bad}, FatalError);
+    EXPECT_THROW(GpuSsdSystem(voltaSpec(), 0), FatalError);
+}
+
+TEST(GpuSsd, ScanScalesLinearly)
+{
+    AppInfo app = makeApp(AppId::TIR);
+    GpuSsdSystem sys(voltaSpec());
+    EXPECT_NEAR(sys.scanSeconds(app, 2000) / sys.scanSeconds(app, 1000),
+                2.0, 1e-9);
+}
+
+TEST(Wimpy, MuchSlowerThanGpu)
+{
+    // §6.2: wimpy cores are 4.5x-22.8x slower than the GPU+SSD
+    // baseline.
+    for (const auto &app : workloads::allApps()) {
+        GpuSsdSystem gpu(voltaSpec());
+        WimpySystem wimpy;
+        double slowdown = WimpySystem().perFeatureSeconds(app) /
+                          gpu.perFeatureSeconds(app);
+        EXPECT_GT(slowdown, 3.0) << app.name;
+        EXPECT_LT(slowdown, 70.0) << app.name;
+    }
+}
+
+TEST(Wimpy, ComputeBoundNotFlashBound)
+{
+    // Observation 2: the wimpy cores, not flash, are the bottleneck.
+    AppInfo app = makeApp(AppId::ReId);
+    WimpySystem wimpy;
+    double per_feature = wimpy.perFeatureSeconds(app);
+    double compute = static_cast<double>(app.scn.totalFlops()) /
+                     wimpySpec().effectiveFlops;
+    EXPECT_DOUBLE_EQ(per_feature, compute);
+}
+
+} // namespace
+} // namespace deepstore::host

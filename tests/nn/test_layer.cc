@@ -1,0 +1,107 @@
+/** @file Unit tests for layer shape/FLOP accounting. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/layer.h"
+
+namespace deepstore::nn {
+namespace {
+
+TEST(Layer, FcCounts)
+{
+    Layer l = Layer::fc("fc1", 512, 256);
+    EXPECT_EQ(l.inputCount(), 512);
+    EXPECT_EQ(l.outputCount(), 256);
+    EXPECT_EQ(l.macs(), 512 * 256);
+    EXPECT_EQ(l.flops(), 2 * 512 * 256);
+    EXPECT_EQ(l.weightCount(), 512 * 256 + 256);
+}
+
+TEST(Layer, FcWithoutBias)
+{
+    Layer l = Layer::fc("fc", 10, 4, Activation::None, false);
+    EXPECT_EQ(l.weightCount(), 40);
+}
+
+TEST(Layer, FcRejectsBadDims)
+{
+    EXPECT_THROW(Layer::fc("bad", 0, 5), FatalError);
+    EXPECT_THROW(Layer::fc("bad", 5, -1), FatalError);
+}
+
+TEST(Layer, ConvOutputGeometry)
+{
+    // 32x32x8 input, 3x3 kernel, 16 out channels, stride 1, no pad.
+    Layer l = Layer::conv2d("c", 32, 32, 8, 3, 3, 16);
+    EXPECT_EQ(l.outH(), 30);
+    EXPECT_EQ(l.outW(), 30);
+    EXPECT_EQ(l.outputCount(), 30 * 30 * 16);
+    EXPECT_EQ(l.macs(), 30 * 30 * 16 * 3 * 3 * 8);
+    EXPECT_EQ(l.weightCount(), 3 * 3 * 8 * 16 + 16);
+}
+
+TEST(Layer, ConvWithStrideAndPad)
+{
+    Layer l = Layer::conv2d("c", 28, 28, 4, 5, 5, 8, /*stride=*/2,
+                            /*pad=*/2);
+    EXPECT_EQ(l.outH(), (28 + 4 - 5) / 2 + 1);
+    EXPECT_EQ(l.outW(), 14);
+}
+
+TEST(Layer, ConvRejectsKernelLargerThanInput)
+{
+    EXPECT_THROW(Layer::conv2d("c", 2, 2, 1, 5, 5, 1), FatalError);
+}
+
+TEST(Layer, ElementWiseBinaryCounts)
+{
+    Layer l = Layer::elementWise("ew", EwOp::Multiply, 512);
+    EXPECT_EQ(l.inputCount(), 1024); // two operand vectors
+    EXPECT_EQ(l.outputCount(), 512);
+    EXPECT_EQ(l.macs(), 0);
+    EXPECT_EQ(l.flops(), 512);
+    EXPECT_EQ(l.weightCount(), 0);
+}
+
+TEST(Layer, DotProductReducesToScalar)
+{
+    Layer l = Layer::elementWise("dot", EwOp::DotProduct, 512);
+    EXPECT_EQ(l.outputCount(), 1);
+    EXPECT_EQ(l.macs(), 512);
+    EXPECT_EQ(l.flops(), 1024);
+}
+
+TEST(Layer, ToStringCoversEnums)
+{
+    EXPECT_STREQ(toString(LayerKind::FullyConnected), "FC");
+    EXPECT_STREQ(toString(LayerKind::Conv2D), "Conv2D");
+    EXPECT_STREQ(toString(LayerKind::ElementWise), "ElementWise");
+    EXPECT_STREQ(toString(EwOp::DotProduct), "dot");
+    EXPECT_STREQ(toString(Activation::ReLU), "relu");
+}
+
+// Property sweep: conv geometry identities hold across a parameter grid.
+class ConvGeom
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(ConvGeom, MacsEqualOutputsTimesKernelVolume)
+{
+    auto [hw, c, k, oc] = GetParam();
+    Layer l = Layer::conv2d("c", hw, hw, c, k, k, oc);
+    EXPECT_EQ(l.macs(), l.outputCount() * k * k * c);
+    EXPECT_EQ(l.flops(), 2 * l.macs());
+    EXPECT_GT(l.outputCount(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvGeom,
+    ::testing::Combine(::testing::Values(8, 16, 33),
+                       ::testing::Values(1, 3, 16),
+                       ::testing::Values(1, 3, 5),
+                       ::testing::Values(1, 8, 25)));
+
+} // namespace
+} // namespace deepstore::nn

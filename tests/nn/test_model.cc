@@ -1,0 +1,119 @@
+/** @file Unit tests for model graphs and chain validation. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/model.h"
+
+namespace deepstore::nn {
+namespace {
+
+Model
+tirLikeModel()
+{
+    // TIR per §3: element-wise fuse + FC 512x512, 512x256, 256x2.
+    Model m("tir", 512, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, 512));
+    m.addLayer(Layer::fc("fc1", 512, 512));
+    m.addLayer(Layer::fc("fc2", 512, 256));
+    m.addLayer(Layer::fc("fc3", 256, 2, Activation::None));
+    return m;
+}
+
+TEST(Model, ValidChainPasses)
+{
+    Model m = tirLikeModel();
+    EXPECT_NO_THROW(m.validate());
+    EXPECT_EQ(m.numLayers(), 4u);
+    EXPECT_EQ(m.outputDim(), 2);
+}
+
+TEST(Model, LayerInputDims)
+{
+    Model m = tirLikeModel();
+    EXPECT_EQ(m.layerInputDim(0), 512); // per-branch for EW combiner
+    EXPECT_EQ(m.layerInputDim(1), 512);
+    EXPECT_EQ(m.layerInputDim(2), 512);
+    EXPECT_EQ(m.layerInputDim(3), 256);
+}
+
+TEST(Model, ConcatDoublesFirstLayerInput)
+{
+    Model m("concat", 256, true);
+    m.addLayer(Layer::fc("fc1", 512, 64));
+    EXPECT_EQ(m.layerInputDim(0), 512);
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Model, MismatchedChainIsFatal)
+{
+    Model m("bad", 512, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, 512));
+    m.addLayer(Layer::fc("fc1", 100, 10)); // expects 512 inputs
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Model, ElementWiseMidChainIsFatal)
+{
+    Model m("bad", 64, true);
+    m.addLayer(Layer::fc("fc1", 128, 64));
+    m.addLayer(Layer::elementWise("ew", EwOp::Add, 64));
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Model, EmptyModelIsFatal)
+{
+    Model m("empty", 16, true);
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Model, WrongCombinerSizeIsFatal)
+{
+    Model m("bad", 512, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Multiply, 100));
+    EXPECT_THROW(m.validate(), FatalError);
+}
+
+TEST(Model, TotalsAggregateLayers)
+{
+    Model m = tirLikeModel();
+    std::int64_t macs = 512 * 512 + 512 * 256 + 256 * 2;
+    EXPECT_EQ(m.totalMacs(), macs);
+    // FLOPs: 2*MACs for FCs + 512 for the element-wise multiply.
+    EXPECT_EQ(m.totalFlops(), 2 * macs + 512);
+    std::int64_t weights =
+        (512 * 512 + 512) + (512 * 256 + 256) + (256 * 2 + 2);
+    EXPECT_EQ(m.totalWeightCount(), weights);
+    EXPECT_EQ(m.totalWeightBytes(), static_cast<std::uint64_t>(weights) * 4);
+}
+
+TEST(Model, CountLayersByKind)
+{
+    Model m = tirLikeModel();
+    EXPECT_EQ(m.countLayers(LayerKind::FullyConnected), 3u);
+    EXPECT_EQ(m.countLayers(LayerKind::ElementWise), 1u);
+    EXPECT_EQ(m.countLayers(LayerKind::Conv2D), 0u);
+}
+
+TEST(Model, FeatureBytes)
+{
+    Model m = tirLikeModel();
+    EXPECT_EQ(m.featureBytes(), 2048u); // 512 floats = 2 KB (Table 1)
+}
+
+TEST(Model, ConvToFcFlattens)
+{
+    Model m("vision", 100, true);
+    // concat -> 200 scalars reshaped as 10x5x4 input to conv
+    m.addLayer(Layer::conv2d("c1", 10, 5, 4, 3, 3, 8));
+    m.addLayer(Layer::fc("fc", 8 * 3 * 8, 10));
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Model, RejectsNonPositiveFeatureDim)
+{
+    EXPECT_THROW(Model("bad", 0, true), FatalError);
+}
+
+} // namespace
+} // namespace deepstore::nn

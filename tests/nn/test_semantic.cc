@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the hand-crafted semantic weights: every Table 1 SCN
+ * topology must score same-topic feature pairs above cross-topic
+ * pairs, and top-K retrieval must recover same-topic items.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/executor.h"
+#include "nn/semantic.h"
+#include "workloads/apps.h"
+#include "workloads/feature_gen.h"
+
+namespace deepstore::nn {
+namespace {
+
+class SemanticAppTest
+    : public ::testing::TestWithParam<workloads::AppId>
+{
+};
+
+TEST_P(SemanticAppTest, SameTopicScoresHigher)
+{
+    auto app = workloads::makeApp(GetParam());
+    auto weights = semanticWeights(app.scn);
+    Executor ex(app.scn, weights);
+    workloads::FeatureGenerator gen(app.scn.featureDim(), 6, 17,
+                                    /*noise=*/0.2);
+    double same = 0, diff = 0;
+    int n = 12;
+    for (int i = 0; i < n; ++i) {
+        auto q = gen.featureForTopic(0, static_cast<std::uint64_t>(i));
+        auto d_same = gen.featureForTopic(
+            0, static_cast<std::uint64_t>(i) + 500);
+        auto d_diff = gen.featureForTopic(
+            3, static_cast<std::uint64_t>(i) + 900);
+        same += ex.score(q, d_same);
+        diff += ex.score(q, d_diff);
+    }
+    EXPECT_GT(same / n, diff / n) << app.name;
+}
+
+TEST_P(SemanticAppTest, TopKRetrievesSameTopic)
+{
+    auto app = workloads::makeApp(GetParam());
+    auto weights = semanticWeights(app.scn);
+    Executor ex(app.scn, weights);
+    workloads::FeatureGenerator gen(app.scn.featureDim(), 8, 23,
+                                    /*noise=*/0.2);
+    // 40-item database, 5 per topic.
+    const int db_size = 40;
+    auto q = gen.featureForTopic(2, 7777);
+    std::vector<std::pair<float, std::uint64_t>> scored;
+    for (int i = 0; i < db_size; ++i) {
+        auto topic = static_cast<std::uint64_t>(i % 8);
+        auto d = gen.featureForTopic(topic,
+                                     static_cast<std::uint64_t>(i));
+        scored.emplace_back(-ex.score(q, d),
+                            topic);
+    }
+    std::stable_sort(scored.begin(), scored.end());
+    // At least 3 of the top 5 results share the query's topic.
+    int hits = 0;
+    for (int i = 0; i < 5; ++i)
+        hits += scored[static_cast<std::size_t>(i)].second == 2;
+    EXPECT_GE(hits, 3) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, SemanticAppTest,
+    ::testing::Values(workloads::AppId::ReId, workloads::AppId::MIR,
+                      workloads::AppId::ESTP, workloads::AppId::TIR,
+                      workloads::AppId::TextQA),
+    [](const auto &info) {
+        return std::string(workloads::toString(info.param));
+    });
+
+TEST(Semantic, ScoresAreBounded)
+{
+    auto app = workloads::makeApp(workloads::AppId::TIR);
+    auto weights = semanticWeights(app.scn);
+    Executor ex(app.scn, weights);
+    workloads::FeatureGenerator gen(512, 4, 3);
+    for (int i = 0; i < 10; ++i) {
+        float s = ex.score(gen.featureAt(static_cast<std::uint64_t>(i)),
+                           gen.featureAt(
+                               static_cast<std::uint64_t>(i) + 50));
+        EXPECT_GE(s, 0.0f);
+        EXPECT_LE(s, 1.0f);
+    }
+}
+
+TEST(Semantic, IdenticalFeaturesScoreNearMax)
+{
+    // For a subtract-fused model, a zero difference is the best
+    // possible input.
+    auto app = workloads::makeApp(workloads::AppId::ReId);
+    auto weights = semanticWeights(app.scn);
+    Executor ex(app.scn, weights);
+    workloads::FeatureGenerator gen(11264, 4, 29);
+    auto f = gen.featureAt(5);
+    float self = ex.score(f, f);
+    float other = ex.score(f, gen.featureAt(6));
+    EXPECT_GT(self, other);
+}
+
+TEST(Semantic, RejectsUnsupportedTopology)
+{
+    // Neither element-wise fused nor concatenated.
+    Model m("plain", 16, false);
+    m.addLayer(Layer::fc("fc", 16, 4));
+    EXPECT_THROW(semanticWeights(m), FatalError);
+}
+
+TEST(Semantic, WeightCountsMatchModel)
+{
+    for (const auto &app : workloads::allApps()) {
+        auto w = semanticWeights(app.scn);
+        EXPECT_EQ(w.parameterCount(), app.scn.totalWeightCount())
+            << app.name;
+    }
+}
+
+} // namespace
+} // namespace deepstore::nn

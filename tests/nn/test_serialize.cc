@@ -1,0 +1,91 @@
+/** @file Unit tests for ONNX-lite model serialization. */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/executor.h"
+#include "nn/serialize.h"
+
+namespace deepstore::nn {
+namespace {
+
+Model
+sampleModel()
+{
+    Model m("sample", 64, false);
+    m.addLayer(Layer::elementWise("fuse", EwOp::Subtract, 64));
+    m.addLayer(Layer::fc("fc1", 64, 32));
+    m.addLayer(Layer::fc("fc2", 32, 1, Activation::None));
+    return m;
+}
+
+TEST(Serialize, RoundTripPreservesStructure)
+{
+    Model m = sampleModel();
+    auto w = ModelWeights::random(m, 5);
+    auto blob = serializeModel(m, w);
+    auto bundle = deserializeModel(blob);
+
+    EXPECT_EQ(bundle.model.name(), "sample");
+    EXPECT_EQ(bundle.model.featureDim(), 64);
+    EXPECT_EQ(bundle.model.numLayers(), 3u);
+    EXPECT_EQ(bundle.model.totalWeightCount(), m.totalWeightCount());
+    EXPECT_EQ(bundle.weights.parameterCount(), w.parameterCount());
+}
+
+TEST(Serialize, RoundTripPreservesInference)
+{
+    Model m = sampleModel();
+    auto w = ModelWeights::random(m, 5);
+    auto bundle = deserializeModel(serializeModel(m, w));
+
+    std::vector<float> q(64, 0.25f), d(64, -0.5f);
+    Executor orig(m, w), copy(bundle.model, bundle.weights);
+    EXPECT_FLOAT_EQ(orig.score(q, d), copy.score(q, d));
+}
+
+TEST(Serialize, BadMagicIsFatal)
+{
+    auto blob = serializeModel(sampleModel(),
+                               ModelWeights::random(sampleModel(), 1));
+    blob[0] ^= 0xFF;
+    EXPECT_THROW(deserializeModel(blob), FatalError);
+}
+
+TEST(Serialize, TruncationIsFatal)
+{
+    Model m = sampleModel();
+    auto blob = serializeModel(m, ModelWeights::random(m, 1));
+    blob.resize(blob.size() / 2);
+    EXPECT_THROW(deserializeModel(blob), FatalError);
+}
+
+TEST(Serialize, TrailingBytesAreFatal)
+{
+    Model m = sampleModel();
+    auto blob = serializeModel(m, ModelWeights::random(m, 1));
+    blob.push_back(0);
+    EXPECT_THROW(deserializeModel(blob), FatalError);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    Model m = sampleModel();
+    auto w = ModelWeights::random(m, 9);
+    std::string path = ::testing::TempDir() + "/ds_model_test.dsnn";
+    saveModelFile(path, m, w);
+    auto bundle = loadModelFile(path);
+    EXPECT_EQ(bundle.model.name(), m.name());
+    EXPECT_EQ(bundle.weights.parameterCount(), w.parameterCount());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadModelFile("/nonexistent/nope.dsnn"), FatalError);
+}
+
+} // namespace
+} // namespace deepstore::nn

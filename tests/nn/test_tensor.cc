@@ -1,0 +1,67 @@
+/** @file Unit tests for the dense tensor. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/tensor.h"
+
+namespace deepstore::nn {
+namespace {
+
+TEST(Tensor, ZeroFilledConstruction)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.volume(), 6u);
+    for (std::size_t i = 0; i < t.volume(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, DataConstructorChecksVolume)
+{
+    EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), PanicError);
+}
+
+TEST(Tensor, Vector1d)
+{
+    Tensor t = Tensor::vector1d({1.0f, 2.0f, 3.0f});
+    ASSERT_EQ(t.shape().size(), 1u);
+    EXPECT_EQ(t.shape()[0], 3);
+    EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, At3IndexesRowMajorHWC)
+{
+    Tensor t({2, 3, 4});
+    t.at3(1, 2, 3) = 42.0f;
+    // flat index = (1*3 + 2)*4 + 3 = 23
+    EXPECT_FLOAT_EQ(t[23], 42.0f);
+    EXPECT_FLOAT_EQ(t.at3(1, 2, 3), 42.0f);
+}
+
+TEST(Tensor, FillRandomIsDeterministicAndBounded)
+{
+    Tensor a({100}), b({100});
+    a.fillRandom(42, 0.5f);
+    b.fillRandom(42, 0.5f);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+        EXPECT_LE(std::abs(a[i]), 0.5f);
+    }
+}
+
+TEST(Tensor, NormOfUnitVectors)
+{
+    Tensor t = Tensor::vector1d({3.0f, 4.0f});
+    EXPECT_NEAR(t.norm(), 5.0, 1e-9);
+}
+
+TEST(Tensor, ReshapePreservesVolume)
+{
+    Tensor t({4, 3});
+    t.reshape({2, 6});
+    EXPECT_EQ(t.shape()[0], 2);
+    EXPECT_THROW(t.reshape({5, 5}), PanicError);
+}
+
+} // namespace
+} // namespace deepstore::nn

@@ -1,0 +1,45 @@
+/** @file Unit tests for clock-domain conversions. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/clock.h"
+
+namespace deepstore::sim {
+namespace {
+
+TEST(Clock, RejectsNonPositiveFrequency)
+{
+    EXPECT_THROW(Clock(0.0), deepstore::FatalError);
+    EXPECT_THROW(Clock(-1.0), deepstore::FatalError);
+}
+
+TEST(Clock, PeriodMatchesFrequency)
+{
+    Clock c(800e6); // the paper's accelerator clock
+    EXPECT_NEAR(c.periodTicks(), 1250.0, 1e-9); // 1.25 ns in ps
+}
+
+TEST(Clock, CyclesToSecondsRoundTrips)
+{
+    Clock c(400e6);
+    double s = c.cyclesToSeconds(400'000'000);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+    EXPECT_EQ(c.secondsToCycles(1.0), 400'000'000u);
+}
+
+TEST(Clock, CyclesToTicksRoundsUp)
+{
+    Clock c(3e9); // period 333.33.. ps
+    EXPECT_EQ(c.cyclesToTicks(1), 334u);
+    EXPECT_EQ(c.cyclesToTicks(3), 1000u);
+}
+
+TEST(Clock, SecondsToCyclesRoundsUp)
+{
+    Clock c(1e6);
+    EXPECT_EQ(c.secondsToCycles(1.5e-6), 2u);
+}
+
+} // namespace
+} // namespace deepstore::sim

@@ -1,0 +1,139 @@
+/** @file Unit and property tests for the block-level FTL. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ssd/ftl.h"
+
+namespace deepstore::ssd {
+namespace {
+
+FlashParams
+smallParams()
+{
+    FlashParams p;
+    p.channels = 2;
+    p.chipsPerChannel = 2;
+    p.planesPerChip = 2;
+    p.blocksPerPlane = 4;
+    p.pagesPerBlock = 4;
+    return p;
+}
+
+struct FtlFixture : ::testing::Test
+{
+    FlashParams p = smallParams();
+    StatGroup stats{"ftl"};
+    Ftl ftl{p, stats};
+};
+
+TEST_F(FtlFixture, Shape)
+{
+    // superblock = 2ch * 2chips * 2planes * 4pages = 32 pages.
+    EXPECT_EQ(ftl.superblockPages(), 32u);
+    EXPECT_EQ(ftl.superblockCount(), 4u);
+    EXPECT_EQ(ftl.freeSuperblocks(), 4u);
+}
+
+TEST_F(FtlFixture, ReadOfUnmappedPageIsFatal)
+{
+    EXPECT_THROW(ftl.translate(0), FatalError);
+    EXPECT_FALSE(ftl.isMapped(0));
+}
+
+TEST_F(FtlFixture, SequentialWritesArePpnContiguous)
+{
+    for (std::uint64_t lpn = 0; lpn < 64; ++lpn)
+        ftl.write(lpn);
+    // Sequentially written LPNs stay offset-addressable: the PPN gap
+    // within a superblock equals the LPN gap (§4.4's requirement).
+    std::uint64_t base = ftl.translate(0);
+    for (std::uint64_t lpn = 1; lpn < 32; ++lpn)
+        EXPECT_EQ(ftl.translate(lpn), base + lpn);
+}
+
+TEST_F(FtlFixture, AllocatesNewSuperblockPerLogicalBlock)
+{
+    ftl.write(0);
+    ftl.write(32); // second logical superblock
+    EXPECT_EQ(ftl.freeSuperblocks(), 2u);
+}
+
+TEST_F(FtlFixture, OverwriteTriggersMigration)
+{
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
+        ftl.write(lpn);
+    WriteResult wr = ftl.write(3); // in-place overwrite
+    EXPECT_EQ(wr.migratedPages, 7u);
+    EXPECT_EQ(wr.erasedBlocks, 1u);
+    // Still translates, to a different physical superblock.
+    EXPECT_NO_THROW(ftl.translate(3));
+    EXPECT_EQ(ftl.totalErases(), 1u);
+}
+
+TEST_F(FtlFixture, TrimFreesFullyInvalidSuperblocks)
+{
+    for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+        ftl.write(lpn);
+    EXPECT_EQ(ftl.freeSuperblocks(), 3u);
+    auto erased = ftl.trim(0, 32);
+    EXPECT_EQ(erased.size(), 1u);
+    EXPECT_EQ(ftl.freeSuperblocks(), 4u);
+    EXPECT_FALSE(ftl.isMapped(0));
+}
+
+TEST_F(FtlFixture, PartialTrimKeepsSuperblockMapped)
+{
+    for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+        ftl.write(lpn);
+    EXPECT_TRUE(ftl.trim(0, 16).empty());
+    EXPECT_FALSE(ftl.isMapped(0));
+    EXPECT_TRUE(ftl.isMapped(16));
+}
+
+TEST_F(FtlFixture, DeviceFullIsFatal)
+{
+    // 4 superblocks x 32 pages = 128 pages capacity.
+    for (std::uint64_t lpn = 0; lpn < 128; ++lpn)
+        ftl.write(lpn);
+    EXPECT_EQ(ftl.freeSuperblocks(), 0u);
+    // Overwrite needs a spare superblock for migration -> device full.
+    EXPECT_THROW(ftl.write(0), FatalError);
+}
+
+TEST_F(FtlFixture, WriteBeyondCapacityIsFatal)
+{
+    EXPECT_THROW(ftl.write(1ull << 40), FatalError);
+    EXPECT_THROW(ftl.translate(1ull << 40), FatalError);
+}
+
+TEST_F(FtlFixture, WearLevelingPrefersLeastErased)
+{
+    // Cycle write/trim to age superblocks, then check the spread
+    // stays tight (the allocator always picks the least-worn block).
+    for (int round = 0; round < 12; ++round) {
+        for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+            ftl.write(lpn);
+        ftl.trim(0, 32);
+    }
+    EXPECT_LE(ftl.eraseSpread(), 1u);
+    EXPECT_EQ(ftl.totalErases(), 12u);
+}
+
+// Property: across random write/trim sequences the FTL never double
+// books a physical superblock.
+TEST_F(FtlFixture, MappingStaysInjective)
+{
+    ftl.write(0);
+    ftl.write(32);
+    ftl.write(64);
+    std::uint64_t p0 = ftl.translate(0) / ftl.superblockPages();
+    std::uint64_t p1 = ftl.translate(32) / ftl.superblockPages();
+    std::uint64_t p2 = ftl.translate(64) / ftl.superblockPages();
+    EXPECT_NE(p0, p1);
+    EXPECT_NE(p1, p2);
+    EXPECT_NE(p0, p2);
+}
+
+} // namespace
+} // namespace deepstore::ssd

@@ -1,0 +1,103 @@
+/** @file Unit and property tests for flash geometry and addressing. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ssd/geometry.h"
+
+namespace deepstore::ssd {
+namespace {
+
+FlashParams
+smallParams()
+{
+    FlashParams p;
+    p.channels = 4;
+    p.chipsPerChannel = 2;
+    p.planesPerChip = 2;
+    p.blocksPerPlane = 8;
+    p.pagesPerBlock = 4;
+    return p;
+}
+
+TEST(FlashParams, DerivedQuantities)
+{
+    FlashParams p = smallParams();
+    EXPECT_EQ(p.pagesPerPlane(), 32u);
+    EXPECT_EQ(p.pagesPerChip(), 64u);
+    EXPECT_EQ(p.pagesPerChannel(), 128u);
+    EXPECT_EQ(p.totalPages(), 512u);
+    EXPECT_EQ(p.totalBytes(), 512u * 16 * 1024);
+    EXPECT_EQ(p.totalChips(), 8u);
+}
+
+TEST(FlashParams, DefaultMatchesPaperSetup)
+{
+    FlashParams p;
+    // §6.1: 32 channels, 4 chips/channel, 8 planes, 512 blocks/plane,
+    // 128 pages/block, 16 KB pages -> 1 TB class device.
+    EXPECT_EQ(p.totalBytes(), 1ull * 1024 * 1024 * 1024 * 1024);
+    EXPECT_NEAR(p.readLatency, 53e-6, 1e-12);
+    EXPECT_NEAR(p.channelBandwidth, 800e6, 1);
+    EXPECT_NEAR(p.internalBandwidth(), 25.6e9, 1e3);
+}
+
+TEST(FlashParams, ValidateRejectsZeroDims)
+{
+    FlashParams p = smallParams();
+    p.channels = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = smallParams();
+    p.readLatency = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Geometry, ConsecutivePpnsStripeAcrossChannels)
+{
+    Geometry g(smallParams());
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(g.decode(i).channel, i);
+    // After all channels, advance chip.
+    EXPECT_EQ(g.decode(4).channel, 0u);
+    EXPECT_EQ(g.decode(4).chip, 1u);
+}
+
+TEST(Geometry, EncodeDecodeRoundTripsAllPages)
+{
+    FlashParams p = smallParams();
+    Geometry g(p);
+    for (std::uint64_t ppn = 0; ppn < p.totalPages(); ++ppn) {
+        PageAddress a = g.decode(ppn);
+        EXPECT_EQ(g.encode(a), ppn);
+        EXPECT_LT(a.channel, p.channels);
+        EXPECT_LT(a.chip, p.chipsPerChannel);
+        EXPECT_LT(a.plane, p.planesPerChip);
+        EXPECT_LT(a.block, p.blocksPerPlane);
+        EXPECT_LT(a.page, p.pagesPerBlock);
+    }
+}
+
+TEST(Geometry, OutOfRangePpnPanics)
+{
+    FlashParams p = smallParams();
+    Geometry g(p);
+    EXPECT_THROW(g.decode(p.totalPages()), PanicError);
+}
+
+TEST(Geometry, SuperblockPagesAreContiguousPpns)
+{
+    // The FTL relies on each superblock (same block index everywhere)
+    // being one contiguous PPN run.
+    FlashParams p = smallParams();
+    Geometry g(p);
+    std::uint64_t super_pages =
+        static_cast<std::uint64_t>(p.channels) * p.chipsPerChannel *
+        p.planesPerChip * p.pagesPerBlock;
+    for (std::uint64_t ppn = 0; ppn < p.totalPages(); ++ppn) {
+        PageAddress a = g.decode(ppn);
+        EXPECT_EQ(a.block, ppn / super_pages);
+    }
+}
+
+} // namespace
+} // namespace deepstore::ssd

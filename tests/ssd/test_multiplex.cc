@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the read-path multiplexing of §4.5 ("Accelerator
+ * Placement"): regular host I/O receives a busy signal while the
+ * in-storage accelerators own the flash read path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.h"
+
+namespace deepstore::ssd {
+namespace {
+
+FlashParams
+smallParams()
+{
+    FlashParams p;
+    p.channels = 2;
+    p.chipsPerChannel = 2;
+    p.planesPerChip = 2;
+    p.blocksPerPlane = 8;
+    p.pagesPerBlock = 8;
+    return p;
+}
+
+TEST(Multiplex, HostReadDeferredUntilWindowEnds)
+{
+    sim::EventQueue events;
+    Ssd dev(events, smallParams());
+    dev.hostWrite(0, 4, nullptr);
+    events.run();
+
+    Tick window_end = events.now() + secondsToTicks(5e-3);
+    dev.setAcceleratorWindow(window_end);
+    Tick done = 0;
+    dev.hostRead(0, 1, [&](Tick t) { done = t; });
+    events.run();
+    EXPECT_GT(done, window_end);
+    // ... but it completes promptly after the window.
+    EXPECT_LT(ticksToSeconds(done - window_end), 200e-6);
+}
+
+TEST(Multiplex, HostWriteAndTrimAlsoDeferred)
+{
+    sim::EventQueue events;
+    Ssd dev(events, smallParams());
+    Tick window_end = events.now() + secondsToTicks(2e-3);
+    dev.setAcceleratorWindow(window_end);
+    Tick wrote = 0;
+    dev.hostWrite(0, 1, [&](Tick t) { wrote = t; });
+    events.run();
+    EXPECT_GT(wrote, window_end);
+
+    dev.setAcceleratorWindow(events.now() + secondsToTicks(1e-3));
+    Tick trimmed = 0;
+    dev.hostTrim(0, 1, [&](Tick t) { trimmed = t; });
+    events.run();
+    EXPECT_GT(trimmed, dev.acceleratorWindowEnd() - 1);
+}
+
+TEST(Multiplex, NoWindowMeansNoDeferral)
+{
+    sim::EventQueue events;
+    Ssd dev(events, smallParams());
+    dev.hostWrite(0, 1, nullptr);
+    events.run();
+    Tick start = events.now();
+    Tick done = 0;
+    dev.hostRead(0, 1, [&](Tick t) { done = t; });
+    events.run();
+    // Command overhead + read + transfer only.
+    EXPECT_LT(ticksToSeconds(done - start), 200e-6);
+}
+
+TEST(Multiplex, WindowOnlyExtendsForward)
+{
+    sim::EventQueue events;
+    Ssd dev(events, smallParams());
+    Tick far = events.now() + secondsToTicks(1e-3);
+    dev.setAcceleratorWindow(far);
+    dev.setAcceleratorWindow(far - 1000); // shrinking is ignored
+    EXPECT_EQ(dev.acceleratorWindowEnd(), far);
+}
+
+} // namespace
+} // namespace deepstore::ssd

@@ -1,0 +1,98 @@
+/** @file Tests for the design-space exploration driver (Fig. 6). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "systolic/dse.h"
+
+namespace deepstore::systolic {
+namespace {
+
+TEST(Dse, AspectRatiosEnumeratePowerOfTwoSplits)
+{
+    auto ratios = aspectRatios(8);
+    ASSERT_EQ(ratios.size(), 4u); // 1x8, 2x4, 4x2, 8x1
+    for (auto [r, c] : ratios)
+        EXPECT_EQ(r * c, 8);
+}
+
+TEST(Dse, AspectRatiosRejectNonPowerOfTwo)
+{
+    EXPECT_THROW(aspectRatios(12), FatalError);
+    EXPECT_THROW(aspectRatios(0), FatalError);
+}
+
+TEST(Dse, BestShapePicksFastest)
+{
+    nn::Layer fc = nn::Layer::fc("fc", 512, 512);
+    DsePoint p = bestShapeFor(fc, 512, Dataflow::OutputStationary);
+    EXPECT_EQ(p.rows * p.cols, 512);
+    // For a batch-1 GEMV the wide (few-row) shapes win; verify the
+    // chosen shape is at least as fast as the square one.
+    ArrayConfig square;
+    square.rows = 16;
+    square.cols = 32;
+    square.dramBandwidth = 1e18;
+    square.scratchpadBytes = 1 * GiB;
+    SystolicSim sq(square);
+    EXPECT_LE(p.cycles, sq.idealComputeCycles(fc));
+}
+
+TEST(Dse, FcSaturatesAroundLayerWidth)
+{
+    // Paper Fig. 6: no gain beyond 512 PEs for the largest FC layer,
+    // because a feature vector needs < 1024 MACs/cycle.
+    nn::Layer fc = nn::Layer::fc("fc", 4096, 512);
+    auto sweep = sweepPeCounts(
+        fc, {128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768},
+        Dataflow::OutputStationary);
+    ASSERT_EQ(sweep.size(), 9u);
+    double at512 = sweep[2].speedup;
+    double at32k = sweep.back().speedup;
+    EXPECT_LT(at32k / at512, 1.25); // plateau after 512
+    // And it did speed up from 128 to 512.
+    EXPECT_GT(at512, sweep[0].speedup);
+}
+
+TEST(Dse, SpeedupIsRelativeToFirstBudget)
+{
+    nn::Layer fc = nn::Layer::fc("fc", 1024, 1024);
+    auto sweep =
+        sweepPeCounts(fc, {128, 1024}, Dataflow::OutputStationary);
+    EXPECT_DOUBLE_EQ(sweep[0].speedup, 1.0);
+    EXPECT_GE(sweep[1].speedup, 1.0);
+}
+
+TEST(Dse, SpeedupsAreMonotonicNonDecreasing)
+{
+    // Property: the best shape at a larger budget can always emulate a
+    // smaller one, so cycles never increase along the sweep.
+    for (auto kind : {0, 1}) {
+        nn::Layer l =
+            kind == 0
+                ? nn::Layer::fc("fc", 2048, 512)
+                : nn::Layer::conv2d("cv", 32, 12, 20, 3, 3, 25);
+        auto sweep = sweepPeCounts(
+            l, {128, 256, 512, 1024, 2048, 4096},
+            Dataflow::OutputStationary);
+        for (std::size_t i = 1; i < sweep.size(); ++i)
+            EXPECT_LE(sweep[i].cycles, sweep[i - 1].cycles);
+    }
+}
+
+TEST(Dse, ConvKeepsScalingLongerThanFc)
+{
+    // Paper Fig. 6: Conv saturates at ~1024 PEs vs ~512 for FC.
+    nn::Layer conv = nn::Layer::conv2d("cv", 34, 12, 20, 3, 3, 25);
+    nn::Layer fc = nn::Layer::fc("fc", 4096, 512);
+    auto conv_sweep = sweepPeCounts(conv, {512, 1024},
+                                    Dataflow::OutputStationary);
+    auto fc_sweep =
+        sweepPeCounts(fc, {512, 1024}, Dataflow::OutputStationary);
+    double conv_gain = conv_sweep[1].speedup;
+    double fc_gain = fc_sweep[1].speedup;
+    EXPECT_GT(conv_gain, fc_gain);
+}
+
+} // namespace
+} // namespace deepstore::systolic

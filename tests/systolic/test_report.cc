@@ -1,0 +1,62 @@
+/** @file Tests for the per-layer report. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "systolic/report.h"
+#include "workloads/apps.h"
+
+namespace deepstore::systolic {
+namespace {
+
+TEST(LayerReport, RowsMatchModelLayers)
+{
+    auto app = workloads::makeApp(workloads::AppId::TIR);
+    ArrayConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 64;
+    SystolicSim sim(cfg);
+    auto rows = layerReport(sim, app.scn, WeightSource::Scratchpad);
+    ASSERT_EQ(rows.size(), app.scn.numLayers());
+    EXPECT_EQ(rows[0].kind, "ElementWise");
+    EXPECT_EQ(rows[1].name, "fc1");
+    for (const auto &r : rows)
+        EXPECT_GT(r.run.totalCycles, 0u);
+}
+
+TEST(LayerReport, RowCyclesSumToModelRun)
+{
+    auto app = workloads::makeApp(workloads::AppId::ESTP);
+    ArrayConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 64;
+    SystolicSim sim(cfg);
+    auto rows = layerReport(sim, app.scn, WeightSource::Scratchpad);
+    auto run = sim.runModelWithSource(app.scn,
+                                      WeightSource::Scratchpad);
+    Cycles sum = 0;
+    for (const auto &r : rows)
+        sum += r.run.totalCycles;
+    EXPECT_EQ(sum, run.totalCycles());
+}
+
+TEST(LayerReport, PrintsTableWithTotals)
+{
+    auto app = workloads::makeApp(workloads::AppId::TextQA);
+    ArrayConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 64;
+    SystolicSim sim(cfg);
+    auto rows = layerReport(sim, app.scn, WeightSource::Scratchpad);
+    std::ostringstream os;
+    printLayerReport(os, rows, cfg);
+    std::string s = os.str();
+    EXPECT_NE(s.find("fuse"), std::string::npos);
+    EXPECT_NE(s.find("fc1"), std::string::npos);
+    EXPECT_NE(s.find("TOTAL"), std::string::npos);
+    EXPECT_NE(s.find("16x64"), std::string::npos);
+}
+
+} // namespace
+} // namespace deepstore::systolic

@@ -1,0 +1,233 @@
+/** @file Unit and property tests for the systolic-array timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "systolic/systolic_sim.h"
+
+namespace deepstore::systolic {
+namespace {
+
+ArrayConfig
+makeConfig(std::int64_t r, std::int64_t c, Dataflow df)
+{
+    ArrayConfig cfg;
+    cfg.name = "test";
+    cfg.rows = r;
+    cfg.cols = c;
+    cfg.dataflow = df;
+    cfg.frequencyHz = 800e6;
+    cfg.scratchpadBytes = 512 * KiB;
+    cfg.dramBandwidth = 20e9;
+    return cfg;
+}
+
+TEST(ArrayConfig, ValidatesDimensions)
+{
+    ArrayConfig cfg = makeConfig(0, 64, Dataflow::OutputStationary);
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = makeConfig(16, 64, Dataflow::OutputStationary);
+    cfg.frequencyHz = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SystolicSim, OsFcSingleFoldFormula)
+{
+    // FC 64 -> 32 on a 32x64 OS array: M=1, N=32, K=64; one fold with
+    // Sr=1, Sc=32: 2*1 + 32 + 64 - 2 = 96 cycles.
+    SystolicSim sim(makeConfig(32, 64, Dataflow::OutputStationary));
+    auto run = sim.runLayer(nn::Layer::fc("fc", 64, 32),
+                            WeightSource::Scratchpad);
+    EXPECT_EQ(run.computeCycles, 96u);
+}
+
+TEST(SystolicSim, OsFcFoldsAlongColumns)
+{
+    // FC 512 -> 512 on 32x64: M=1 so one row fold; 8 column folds of
+    // Sc=64: 8 * (2 + 64 + 512 - 2) = 8 * 576 = 4608.
+    SystolicSim sim(makeConfig(32, 64, Dataflow::OutputStationary));
+    auto run = sim.runLayer(nn::Layer::fc("fc", 512, 512),
+                            WeightSource::Scratchpad);
+    EXPECT_EQ(run.computeCycles, 8u * 576u);
+}
+
+TEST(SystolicSim, WsPinsWeightsAcrossBatch)
+{
+    // WS 4x32 array, FC 128->32: folds = ceil(128/4)*ceil(32/32) = 32.
+    // Batch 1: 32 * (4 + 1 + 31) = 1152.
+    // Batch 100: 32 * (4 + 100 + 31) = 4320 -> 43.2 cycles/feature,
+    // far below batch-1 cost, which is the chip-level design point.
+    SystolicSim sim(makeConfig(4, 32, Dataflow::WeightStationary));
+    nn::Layer fc = nn::Layer::fc("fc", 128, 32);
+    auto one = sim.runLayer(fc, WeightSource::Scratchpad, 1);
+    auto hundred = sim.runLayer(fc, WeightSource::Scratchpad, 100);
+    EXPECT_EQ(one.computeCycles, 1152u);
+    EXPECT_EQ(hundred.computeCycles, 4320u);
+    EXPECT_LT(hundred.computeCycles, 100 * one.computeCycles);
+}
+
+TEST(SystolicSim, ElementWiseUsesRowLanes)
+{
+    // 512-element multiply on 16 rows: ceil(512/16) + 1 = 33 cycles.
+    SystolicSim sim(makeConfig(16, 64, Dataflow::OutputStationary));
+    auto run = sim.runLayer(
+        nn::Layer::elementWise("ew", nn::EwOp::Multiply, 512),
+        WeightSource::Scratchpad);
+    EXPECT_EQ(run.computeCycles, 33u);
+}
+
+TEST(SystolicSim, ElementWiseSpeedupScalesWithRows)
+{
+    // Paper §4.3: the modified array speeds up element-wise ops by the
+    // number of rows. Compare 1 row vs 32 rows.
+    nn::Layer ew = nn::Layer::elementWise("ew", nn::EwOp::Add, 4096);
+    SystolicSim narrow(makeConfig(1, 64, Dataflow::OutputStationary));
+    SystolicSim wide(makeConfig(32, 64, Dataflow::OutputStationary));
+    auto n = narrow.runLayer(ew, WeightSource::Scratchpad);
+    auto w = wide.runLayer(ew, WeightSource::Scratchpad);
+    double speedup = static_cast<double>(n.computeCycles) /
+                     static_cast<double>(w.computeCycles);
+    EXPECT_GT(speedup, 30.0);
+    EXPECT_LE(speedup, 32.5);
+}
+
+TEST(SystolicSim, DotProductAddsReduction)
+{
+    SystolicSim sim(makeConfig(16, 64, Dataflow::OutputStationary));
+    auto mul = sim.runLayer(
+        nn::Layer::elementWise("m", nn::EwOp::Multiply, 256),
+        WeightSource::Scratchpad);
+    auto dot = sim.runLayer(
+        nn::Layer::elementWise("d", nn::EwOp::DotProduct, 256),
+        WeightSource::Scratchpad);
+    EXPECT_GT(dot.computeCycles, mul.computeCycles);
+}
+
+TEST(SystolicSim, DramWeightSourceGeneratesTraffic)
+{
+    SystolicSim sim(makeConfig(32, 64, Dataflow::OutputStationary));
+    nn::Layer fc = nn::Layer::fc("fc", 512, 512);
+    auto spad = sim.runLayer(fc, WeightSource::Scratchpad);
+    auto dram = sim.runLayer(fc, WeightSource::Dram);
+    auto l2 = sim.runLayer(fc, WeightSource::SharedL2);
+    EXPECT_EQ(spad.dramReadBytes, 0u);
+    EXPECT_GT(dram.dramReadBytes, 0u);
+    EXPECT_EQ(l2.dramReadBytes, 0u);
+    EXPECT_GT(l2.l2Reads, 0u);
+    // Weight bytes streamed >= one full pass over the weights.
+    EXPECT_GE(dram.dramReadBytes,
+              static_cast<std::uint64_t>(fc.weightCount()) * 4);
+}
+
+TEST(SystolicSim, BandwidthLimitCreatesStalls)
+{
+    auto cfg = makeConfig(32, 64, Dataflow::OutputStationary);
+    cfg.dramBandwidth = 1e6; // pathological 1 MB/s
+    SystolicSim slow(cfg);
+    auto run = slow.runLayer(nn::Layer::fc("fc", 512, 512),
+                             WeightSource::Dram);
+    EXPECT_GT(run.memoryStallCycles, 0u);
+    EXPECT_EQ(run.totalCycles,
+              run.computeCycles + run.memoryStallCycles);
+}
+
+TEST(SystolicSim, UtilizationBounded)
+{
+    SystolicSim sim(makeConfig(32, 64, Dataflow::OutputStationary));
+    for (std::int64_t in : {16, 256, 2048}) {
+        for (std::int64_t out : {8, 64, 1024}) {
+            auto run = sim.runLayer(nn::Layer::fc("fc", in, out),
+                                    WeightSource::Scratchpad);
+            EXPECT_GE(run.utilization, 0.0);
+            EXPECT_LE(run.utilization, 1.0);
+        }
+    }
+}
+
+TEST(SystolicSim, ConvLowersToIm2colGemm)
+{
+    // Conv 8x8x4, 3x3 kernel, 16 out channels on 8x8 OS array:
+    // M = 36 pixels, N = 16, K = 36.
+    // folds: ceil(36/8)=5 x ceil(16/8)=2.
+    SystolicSim sim(makeConfig(8, 8, Dataflow::OutputStationary));
+    auto run = sim.runLayer(nn::Layer::conv2d("c", 8, 8, 4, 3, 3, 16),
+                            WeightSource::Scratchpad);
+    EXPECT_GT(run.computeCycles, 0u);
+    EXPECT_EQ(run.macs, static_cast<std::uint64_t>(
+                            nn::Layer::conv2d("c", 8, 8, 4, 3, 3, 16)
+                                .macs()));
+}
+
+TEST(SystolicSim, MoreColumnsHelpWideFcLayers)
+{
+    // Paper: "the accelerator's width has a direct impact on the
+    // performance for [FC] layers" — wider arrays finish a GEMV in
+    // fewer column folds.
+    nn::Layer fc = nn::Layer::fc("fc", 512, 4096);
+    auto narrow = SystolicSim(makeConfig(64, 16,
+                                         Dataflow::OutputStationary))
+                      .runLayer(fc, WeightSource::Scratchpad);
+    auto wide = SystolicSim(makeConfig(16, 64,
+                                       Dataflow::OutputStationary))
+                    .runLayer(fc, WeightSource::Scratchpad);
+    EXPECT_LT(wide.computeCycles, narrow.computeCycles);
+}
+
+TEST(SystolicSim, ModelRunAggregatesLayers)
+{
+    nn::Model m("tir", 512, false);
+    m.addLayer(nn::Layer::elementWise("fuse", nn::EwOp::Multiply, 512));
+    m.addLayer(nn::Layer::fc("fc1", 512, 512));
+    m.addLayer(nn::Layer::fc("fc2", 512, 256));
+    m.addLayer(nn::Layer::fc("fc3", 256, 2, nn::Activation::None));
+    SystolicSim sim(makeConfig(16, 64, Dataflow::OutputStationary));
+    auto run = sim.runModel(m, true);
+    ASSERT_EQ(run.layers.size(), 4u);
+    Cycles sum = 0;
+    for (const auto &lr : run.layers)
+        sum += lr.totalCycles;
+    EXPECT_EQ(run.totalCycles(), sum);
+    EXPECT_EQ(run.total.macs, static_cast<std::uint64_t>(m.totalMacs()));
+}
+
+TEST(SystolicSim, WeightsFitChecksScratchpad)
+{
+    nn::Model m("big", 2048, true);
+    m.addLayer(nn::Layer::fc("fc", 4096, 4096)); // 64 MB of weights
+    auto cfg = makeConfig(16, 64, Dataflow::OutputStationary);
+    cfg.scratchpadBytes = 512 * KiB;
+    EXPECT_FALSE(SystolicSim(cfg).weightsFit(m));
+    cfg.scratchpadBytes = 128 * MiB;
+    EXPECT_TRUE(SystolicSim(cfg).weightsFit(m));
+}
+
+// Property sweep: compute cycles are monotonically non-increasing as
+// the array grows in either dimension (more hardware never hurts in
+// the analytical model), across several layer shapes.
+class GrowthTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GrowthTest, BiggerArraysAreNotSlower)
+{
+    auto [in, out] = GetParam();
+    nn::Layer fc = nn::Layer::fc("fc", in, out);
+    Cycles prev = 0;
+    for (std::int64_t scale = 1; scale <= 16; scale *= 2) {
+        SystolicSim sim(makeConfig(4 * scale, 8 * scale,
+                                   Dataflow::OutputStationary));
+        Cycles c = sim.idealComputeCycles(fc);
+        if (prev != 0) {
+            EXPECT_LE(c, prev);
+        }
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GrowthTest,
+    ::testing::Combine(::testing::Values(64, 512, 4096),
+                       ::testing::Values(2, 256, 1024)));
+
+} // namespace
+} // namespace deepstore::systolic

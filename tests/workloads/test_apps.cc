@@ -1,0 +1,139 @@
+/** @file Tests locking the five applications to Table 1 of the paper. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workloads/apps.h"
+
+namespace deepstore::workloads {
+namespace {
+
+/** Table 1 rows: feature KB, #conv, #fc, #ew, MFLOPs, weight MB. */
+struct Table1Row
+{
+    AppId id;
+    double featureKb;
+    std::size_t convLayers;
+    std::size_t fcLayers;
+    std::size_t ewLayers;
+    double megaFlops;
+    double weightMb;
+};
+
+const Table1Row kTable1[] = {
+    {AppId::ReId, 44.0, 2, 2, 1, 9.8, 10.7},
+    {AppId::MIR, 2.0, 0, 3, 0, 1.05, 2.0},
+    {AppId::ESTP, 16.0, 0, 3, 0, 4.72, 9.0},
+    {AppId::TIR, 2.0, 0, 3, 1, 0.79, 1.5},
+    {AppId::TextQA, 0.8, 0, 1, 1, 0.08, 0.16},
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Row>
+{
+};
+
+TEST_P(Table1Test, LayerCountsMatchExactly)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    EXPECT_EQ(app.scn.countLayers(nn::LayerKind::Conv2D),
+              row.convLayers);
+    EXPECT_EQ(app.scn.countLayers(nn::LayerKind::FullyConnected),
+              row.fcLayers);
+    EXPECT_EQ(app.scn.countLayers(nn::LayerKind::ElementWise),
+              row.ewLayers);
+}
+
+TEST_P(Table1Test, FeatureSizeMatchesWithin2Percent)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    double kb = static_cast<double>(app.featureBytes()) / 1024.0;
+    // 3% absorbs the paper's mixed binary/decimal KB usage (TextQA's
+    // "0.8 KB" is 800 bytes = 0.78 KiB).
+    EXPECT_NEAR(kb / row.featureKb, 1.0, 0.03)
+        << app.name << ": " << kb << " KB";
+}
+
+TEST_P(Table1Test, FlopsMatchWithin10Percent)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    double mflops =
+        static_cast<double>(app.scn.totalFlops()) / 1e6;
+    EXPECT_NEAR(mflops / row.megaFlops, 1.0, 0.10)
+        << app.name << ": " << mflops << " MFLOPs";
+}
+
+TEST_P(Table1Test, WeightBytesMatchWithin10Percent)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    double mb =
+        static_cast<double>(app.scn.totalWeightBytes()) / 1e6;
+    EXPECT_NEAR(mb / row.weightMb, 1.0, 0.10)
+        << app.name << ": " << mb << " MB";
+}
+
+TEST_P(Table1Test, ModelsValidate)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    EXPECT_NO_THROW(app.scn.validate());
+    EXPECT_NO_THROW(app.qcn.validate());
+    EXPECT_EQ(app.qcn.featureDim(), app.scn.featureDim());
+}
+
+TEST_P(Table1Test, BatchSizesArePopulated)
+{
+    const Table1Row &row = GetParam();
+    AppInfo app = makeApp(row.id);
+    EXPECT_EQ(app.fig2BatchSizes.size(), 4u);
+    EXPECT_GT(app.evalBatchSize, 0);
+    // §6.2 batch size is the largest Fig. 2 batch size.
+    EXPECT_EQ(app.evalBatchSize, app.fig2BatchSizes.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, Table1Test,
+                         ::testing::ValuesIn(kTable1),
+                         [](const auto &info) {
+                             return std::string(
+                                 toString(info.param.id));
+                         });
+
+TEST(Apps, AllAppsReturnsFiveInTableOrder)
+{
+    auto apps = allApps();
+    ASSERT_EQ(apps.size(), 5u);
+    EXPECT_EQ(apps[0].name, "ReId");
+    EXPECT_EQ(apps[1].name, "MIR");
+    EXPECT_EQ(apps[2].name, "ESTP");
+    EXPECT_EQ(apps[3].name, "TIR");
+    EXPECT_EQ(apps[4].name, "TextQA");
+}
+
+TEST(Apps, TirMatchesPublishedLayerDims)
+{
+    // §3 spells out TIR: FCs of 512x512, 512x256, 256x2 plus a vector
+    // product.
+    AppInfo app = makeApp(AppId::TIR);
+    const auto &layers = app.scn.layers();
+    ASSERT_EQ(layers.size(), 4u);
+    EXPECT_EQ(layers[1].fcIn, 512);
+    EXPECT_EQ(layers[1].fcOut, 512);
+    EXPECT_EQ(layers[2].fcIn, 512);
+    EXPECT_EQ(layers[2].fcOut, 256);
+    EXPECT_EQ(layers[3].fcIn, 256);
+    EXPECT_EQ(layers[3].fcOut, 2);
+}
+
+TEST(Apps, ReIdFeatureSpansThreeFlashPages)
+{
+    // §6.4: "each of its feature vector uses three flash pages".
+    AppInfo app = makeApp(AppId::ReId);
+    EXPECT_EQ((app.featureBytes() + 16384 - 1) / 16384, 3u);
+}
+
+} // namespace
+} // namespace deepstore::workloads

@@ -1,0 +1,76 @@
+/** @file Tests for the synthetic feature generator. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workloads/feature_gen.h"
+
+namespace deepstore::workloads {
+namespace {
+
+TEST(FeatureGen, DeterministicPerIndex)
+{
+    FeatureGenerator gen(64, 10, 7);
+    auto a = gen.featureAt(42);
+    auto b = gen.featureAt(42);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 64u);
+}
+
+TEST(FeatureGen, DifferentIndicesDiffer)
+{
+    FeatureGenerator gen(64, 10, 7);
+    EXPECT_NE(gen.featureAt(1), gen.featureAt(2));
+}
+
+TEST(FeatureGen, DifferentSeedsGiveDifferentDatasets)
+{
+    FeatureGenerator a(64, 10, 1), b(64, 10, 2);
+    EXPECT_NE(a.featureAt(0), b.featureAt(0));
+}
+
+TEST(FeatureGen, TopicsCoverRange)
+{
+    FeatureGenerator gen(16, 5, 9);
+    std::vector<int> hits(5, 0);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        std::uint64_t t = gen.topicOf(i);
+        ASSERT_LT(t, 5u);
+        ++hits[t];
+    }
+    for (int h : hits)
+        EXPECT_GT(h, 100); // roughly balanced
+}
+
+TEST(FeatureGen, SameTopicFeaturesAreCloserThanCrossTopic)
+{
+    // The semantic property the Query Cache relies on.
+    FeatureGenerator gen(128, 4, 11, /*noise=*/0.2);
+    auto dist = [](const std::vector<float> &x,
+                   const std::vector<float> &y) {
+        double d = 0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            d += (x[i] - y[i]) * (x[i] - y[i]);
+        return d;
+    };
+    double same = 0, cross = 0;
+    int n = 50;
+    for (int i = 0; i < n; ++i) {
+        auto a = gen.featureForTopic(0, static_cast<std::uint64_t>(i));
+        auto b = gen.featureForTopic(
+            0, static_cast<std::uint64_t>(i) + 1000);
+        auto c = gen.featureForTopic(1, static_cast<std::uint64_t>(i));
+        same += dist(a, b);
+        cross += dist(a, c);
+    }
+    EXPECT_LT(same, cross * 0.5);
+}
+
+TEST(FeatureGen, RejectsBadConfig)
+{
+    EXPECT_THROW(FeatureGenerator(0, 5, 1), FatalError);
+    EXPECT_THROW(FeatureGenerator(16, 0, 1), FatalError);
+}
+
+} // namespace
+} // namespace deepstore::workloads

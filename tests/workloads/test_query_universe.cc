@@ -1,0 +1,164 @@
+/** @file Tests for the query universe and trace generation. */
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/executor.h"
+#include "workloads/apps.h"
+#include "workloads/query_universe.h"
+
+namespace deepstore::workloads {
+namespace {
+
+QueryUniverseConfig
+smallConfig()
+{
+    QueryUniverseConfig cfg;
+    cfg.numQueries = 1000;
+    cfg.numTopics = 50;
+    cfg.seed = 13;
+    return cfg;
+}
+
+TEST(QueryUniverse, ScoreIsSymmetricAndDeterministic)
+{
+    QueryUniverse u(smallConfig());
+    for (std::uint64_t a = 0; a < 20; ++a) {
+        for (std::uint64_t b = 0; b < 20; ++b) {
+            EXPECT_DOUBLE_EQ(u.qcnScore(a, b), u.qcnScore(b, a));
+            EXPECT_DOUBLE_EQ(u.qcnScore(a, b), u.qcnScore(a, b));
+        }
+    }
+}
+
+TEST(QueryUniverse, ScoreOrderingMatchesSemantics)
+{
+    QueryUniverse u(smallConfig());
+    double same_q = 0, same_t = 0, diff_t = 0;
+    int n_same_t = 0, n_diff_t = 0;
+    const int n = 200;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        same_q += u.qcnScore(i, i);
+        for (std::uint64_t j = i + 1; j < i + 20; ++j) {
+            double s = u.qcnScore(i, j);
+            if (u.topicOf(i) == u.topicOf(j)) {
+                same_t += s;
+                ++n_same_t;
+            } else {
+                diff_t += s;
+                ++n_diff_t;
+            }
+        }
+    }
+    same_q /= n;
+    ASSERT_GT(n_same_t, 0);
+    ASSERT_GT(n_diff_t, 0);
+    same_t /= n_same_t;
+    diff_t /= n_diff_t;
+    EXPECT_GT(same_q, same_t);
+    EXPECT_GT(same_t, diff_t);
+    EXPECT_GT(same_q, 0.97);
+    EXPECT_LT(diff_t, 0.6);
+}
+
+TEST(QueryUniverse, ScoresStayInUnitInterval)
+{
+    QueryUniverse u(smallConfig());
+    for (std::uint64_t a = 0; a < 50; ++a) {
+        for (std::uint64_t b = 0; b < 50; ++b) {
+            double s = u.qcnScore(a, b);
+            EXPECT_GE(s, 0.0);
+            EXPECT_LE(s, 1.0);
+        }
+    }
+}
+
+TEST(QueryUniverse, UniformTraceCoversUniverse)
+{
+    QueryUniverse u(smallConfig());
+    auto trace = u.trace(5000, Popularity::Uniform, 0.0, 1);
+    ASSERT_EQ(trace.size(), 5000u);
+    std::map<std::uint64_t, int> hist;
+    for (auto q : trace) {
+        ASSERT_LT(q, 1000u);
+        ++hist[q];
+    }
+    // Uniform: most of the universe should be touched.
+    EXPECT_GT(hist.size(), 900u);
+}
+
+TEST(QueryUniverse, ZipfTraceConcentrates)
+{
+    QueryUniverse u(smallConfig());
+    auto zipf = u.trace(5000, Popularity::Zipf, 0.9, 1);
+    std::map<std::uint64_t, int> hist;
+    for (auto q : zipf)
+        ++hist[q];
+    int max_count = 0;
+    for (auto &[q, c] : hist)
+        max_count = std::max(max_count, c);
+    // The hottest query appears far above the uniform expectation (5).
+    EXPECT_GT(max_count, 50);
+    // And fewer distinct queries are touched than under uniform.
+    EXPECT_LT(hist.size(), 800u);
+}
+
+TEST(QueryUniverse, TraceIsDeterministicPerSeed)
+{
+    QueryUniverse u(smallConfig());
+    EXPECT_EQ(u.trace(100, Popularity::Zipf, 0.7, 5),
+              u.trace(100, Popularity::Zipf, 0.7, 5));
+    EXPECT_NE(u.trace(100, Popularity::Zipf, 0.7, 5),
+              u.trace(100, Popularity::Zipf, 0.7, 6));
+}
+
+TEST(QueryUniverse, RejectsEmptyUniverse)
+{
+    QueryUniverseConfig cfg = smallConfig();
+    cfg.numQueries = 0;
+    EXPECT_THROW(QueryUniverse{cfg}, FatalError);
+}
+
+/**
+ * Cross-validation (DESIGN.md substitution): a real functional QCN
+ * over the synthetic query features must reproduce the ordering of
+ * the closed-form scores — same-topic pairs score above cross-topic
+ * pairs — which justifies using the closed form in the large cache
+ * sweeps.
+ */
+TEST(QueryUniverse, FunctionalQcnAgreesWithClosedForm)
+{
+    QueryUniverseConfig cfg = smallConfig();
+    cfg.numTopics = 4;
+    QueryUniverse u(cfg);
+
+    AppInfo tir = makeApp(AppId::TIR);
+    auto weights = nn::ModelWeights::random(tir.qcn, 31);
+    nn::Executor qcn(tir.qcn, weights);
+
+    double same = 0, diff = 0;
+    int n_same = 0, n_diff = 0;
+    for (std::uint64_t a = 0; a < 40; ++a) {
+        for (std::uint64_t b = a + 1; b < 40; ++b) {
+            auto fa = u.featureOf(a, tir.qcn.featureDim());
+            auto fb = u.featureOf(b, tir.qcn.featureDim());
+            float s = qcn.score(fa, fb);
+            if (u.topicOf(a) == u.topicOf(b)) {
+                same += s;
+                ++n_same;
+            } else {
+                diff += s;
+                ++n_diff;
+            }
+        }
+    }
+    ASSERT_GT(n_same, 0);
+    ASSERT_GT(n_diff, 0);
+    EXPECT_GT(same / n_same, diff / n_diff);
+}
+
+} // namespace
+} // namespace deepstore::workloads

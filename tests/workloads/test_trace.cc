@@ -1,0 +1,88 @@
+/** @file Tests for timestamped query traces. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workloads/trace.h"
+
+namespace deepstore::workloads {
+namespace {
+
+QueryUniverse
+smallUniverse()
+{
+    QueryUniverseConfig cfg;
+    cfg.numQueries = 500;
+    cfg.numTopics = 20;
+    return QueryUniverse(cfg);
+}
+
+TEST(QueryTrace, GeneratesRequestedCountInOrder)
+{
+    auto u = smallUniverse();
+    auto trace = QueryTrace::generate(u, 1000, 50.0,
+                                      Popularity::Uniform, 0.0, 3);
+    ASSERT_EQ(trace.size(), 1000u);
+    double prev = 0.0;
+    for (const auto &r : trace.records()) {
+        EXPECT_GE(r.arrivalSeconds, prev);
+        EXPECT_LT(r.queryId, 500u);
+        prev = r.arrivalSeconds;
+    }
+}
+
+TEST(QueryTrace, MeanInterArrivalMatchesRate)
+{
+    auto u = smallUniverse();
+    auto trace = QueryTrace::generate(u, 20000, 100.0,
+                                      Popularity::Uniform, 0.0, 5);
+    double mean = trace.durationSeconds() / 20000.0;
+    EXPECT_NEAR(mean, 1.0 / 100.0, 0.001);
+}
+
+TEST(QueryTrace, RejectsNonPositiveRate)
+{
+    auto u = smallUniverse();
+    EXPECT_THROW(QueryTrace::generate(u, 10, 0.0,
+                                      Popularity::Uniform, 0.0, 1),
+                 FatalError);
+}
+
+TEST(QueryTrace, RejectsUnorderedRecords)
+{
+    std::vector<TraceRecord> bad{{1.0, 0}, {0.5, 1}};
+    EXPECT_THROW(QueryTrace{bad}, FatalError);
+}
+
+TEST(QueryTrace, SaveLoadRoundTrips)
+{
+    auto u = smallUniverse();
+    auto trace = QueryTrace::generate(u, 200, 10.0, Popularity::Zipf,
+                                      0.7, 9);
+    std::stringstream ss;
+    trace.save(ss);
+    auto loaded = QueryTrace::load(ss);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(loaded.records()[i].queryId,
+                  trace.records()[i].queryId);
+}
+
+TEST(QueryTrace, LoadRejectsGarbage)
+{
+    std::stringstream ss("0.5 not-a-number\n");
+    EXPECT_THROW(QueryTrace::load(ss), FatalError);
+}
+
+TEST(QueryTrace, LoadSkipsCommentsAndBlanks)
+{
+    std::stringstream ss("# header\n\n0.5 42\n");
+    auto trace = QueryTrace::load(ss);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.records()[0].queryId, 42u);
+}
+
+} // namespace
+} // namespace deepstore::workloads
