@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dse_budget.dir/bench_dse_budget.cc.o"
+  "CMakeFiles/bench_dse_budget.dir/bench_dse_budget.cc.o.d"
+  "bench_dse_budget"
+  "bench_dse_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

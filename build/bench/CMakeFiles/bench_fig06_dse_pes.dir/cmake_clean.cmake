@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_dse_pes.dir/bench_fig06_dse_pes.cc.o"
+  "CMakeFiles/bench_fig06_dse_pes.dir/bench_fig06_dse_pes.cc.o.d"
+  "bench_fig06_dse_pes"
+  "bench_fig06_dse_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_dse_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layer_report.dir/bench_layer_report.cc.o"
+  "CMakeFiles/bench_layer_report.dir/bench_layer_report.cc.o.d"
+  "bench_layer_report"
+  "bench_layer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

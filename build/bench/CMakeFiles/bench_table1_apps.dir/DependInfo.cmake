@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_apps.cc" "bench/CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cc.o" "gcc" "bench/CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ds_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ds_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/ds_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ds_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_retrieval.dir/music_retrieval.cpp.o"
+  "CMakeFiles/music_retrieval.dir/music_retrieval.cpp.o.d"
+  "music_retrieval"
+  "music_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

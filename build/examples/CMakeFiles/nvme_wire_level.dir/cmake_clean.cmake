@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_wire_level.dir/nvme_wire_level.cpp.o"
+  "CMakeFiles/nvme_wire_level.dir/nvme_wire_level.cpp.o.d"
+  "nvme_wire_level"
+  "nvme_wire_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_wire_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nvme_wire_level.
+# This may be replaced when dependencies are built.

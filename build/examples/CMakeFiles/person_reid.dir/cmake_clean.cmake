@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/person_reid.dir/person_reid.cpp.o"
+  "CMakeFiles/person_reid.dir/person_reid.cpp.o.d"
+  "person_reid"
+  "person_reid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/person_reid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accel_pipeline.cc" "src/core/CMakeFiles/ds_core.dir/accel_pipeline.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/accel_pipeline.cc.o.d"
+  "/root/repo/src/core/deepstore.cc" "src/core/CMakeFiles/ds_core.dir/deepstore.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/deepstore.cc.o.d"
+  "/root/repo/src/core/dse_select.cc" "src/core/CMakeFiles/ds_core.dir/dse_select.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/dse_select.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/core/CMakeFiles/ds_core.dir/metadata.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/metadata.cc.o.d"
+  "/root/repo/src/core/nvme_front.cc" "src/core/CMakeFiles/ds_core.dir/nvme_front.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/nvme_front.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/ds_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/prefetch_queue.cc" "src/core/CMakeFiles/ds_core.dir/prefetch_queue.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/prefetch_queue.cc.o.d"
+  "/root/repo/src/core/query_cache.cc" "src/core/CMakeFiles/ds_core.dir/query_cache.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/query_cache.cc.o.d"
+  "/root/repo/src/core/query_model.cc" "src/core/CMakeFiles/ds_core.dir/query_model.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/query_model.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/ds_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/topk.cc.o.d"
+  "/root/repo/src/core/trace_replay.cc" "src/core/CMakeFiles/ds_core.dir/trace_replay.cc.o" "gcc" "src/core/CMakeFiles/ds_core.dir/trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/ds_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ds_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ds_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/accel_pipeline.cc.o"
+  "CMakeFiles/ds_core.dir/accel_pipeline.cc.o.d"
+  "CMakeFiles/ds_core.dir/deepstore.cc.o"
+  "CMakeFiles/ds_core.dir/deepstore.cc.o.d"
+  "CMakeFiles/ds_core.dir/dse_select.cc.o"
+  "CMakeFiles/ds_core.dir/dse_select.cc.o.d"
+  "CMakeFiles/ds_core.dir/metadata.cc.o"
+  "CMakeFiles/ds_core.dir/metadata.cc.o.d"
+  "CMakeFiles/ds_core.dir/nvme_front.cc.o"
+  "CMakeFiles/ds_core.dir/nvme_front.cc.o.d"
+  "CMakeFiles/ds_core.dir/placement.cc.o"
+  "CMakeFiles/ds_core.dir/placement.cc.o.d"
+  "CMakeFiles/ds_core.dir/prefetch_queue.cc.o"
+  "CMakeFiles/ds_core.dir/prefetch_queue.cc.o.d"
+  "CMakeFiles/ds_core.dir/query_cache.cc.o"
+  "CMakeFiles/ds_core.dir/query_cache.cc.o.d"
+  "CMakeFiles/ds_core.dir/query_model.cc.o"
+  "CMakeFiles/ds_core.dir/query_model.cc.o.d"
+  "CMakeFiles/ds_core.dir/topk.cc.o"
+  "CMakeFiles/ds_core.dir/topk.cc.o.d"
+  "CMakeFiles/ds_core.dir/trace_replay.cc.o"
+  "CMakeFiles/ds_core.dir/trace_replay.cc.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_energy.dir/energy_model.cc.o"
+  "CMakeFiles/ds_energy.dir/energy_model.cc.o.d"
+  "libds_energy.a"
+  "libds_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

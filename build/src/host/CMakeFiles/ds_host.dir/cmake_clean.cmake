@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_host.dir/baseline.cc.o"
+  "CMakeFiles/ds_host.dir/baseline.cc.o.d"
+  "libds_host.a"
+  "libds_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

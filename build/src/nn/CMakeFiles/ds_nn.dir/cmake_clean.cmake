@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_nn.dir/executor.cc.o"
+  "CMakeFiles/ds_nn.dir/executor.cc.o.d"
+  "CMakeFiles/ds_nn.dir/layer.cc.o"
+  "CMakeFiles/ds_nn.dir/layer.cc.o.d"
+  "CMakeFiles/ds_nn.dir/model.cc.o"
+  "CMakeFiles/ds_nn.dir/model.cc.o.d"
+  "CMakeFiles/ds_nn.dir/semantic.cc.o"
+  "CMakeFiles/ds_nn.dir/semantic.cc.o.d"
+  "CMakeFiles/ds_nn.dir/serialize.cc.o"
+  "CMakeFiles/ds_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/ds_nn.dir/tensor.cc.o"
+  "CMakeFiles/ds_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/ds_nn.dir/weights.cc.o"
+  "CMakeFiles/ds_nn.dir/weights.cc.o.d"
+  "libds_nn.a"
+  "libds_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

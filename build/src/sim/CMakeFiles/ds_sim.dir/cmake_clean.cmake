@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ds_sim.dir/event_queue.cc.o.d"
+  "libds_sim.a"
+  "libds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

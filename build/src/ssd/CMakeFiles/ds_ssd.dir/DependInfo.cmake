@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/flash_controller.cc" "src/ssd/CMakeFiles/ds_ssd.dir/flash_controller.cc.o" "gcc" "src/ssd/CMakeFiles/ds_ssd.dir/flash_controller.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/ds_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/ds_ssd.dir/ftl.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "src/ssd/CMakeFiles/ds_ssd.dir/ssd.cc.o" "gcc" "src/ssd/CMakeFiles/ds_ssd.dir/ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

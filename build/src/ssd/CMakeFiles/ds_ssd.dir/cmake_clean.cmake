@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_ssd.dir/flash_controller.cc.o"
+  "CMakeFiles/ds_ssd.dir/flash_controller.cc.o.d"
+  "CMakeFiles/ds_ssd.dir/ftl.cc.o"
+  "CMakeFiles/ds_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/ds_ssd.dir/ssd.cc.o"
+  "CMakeFiles/ds_ssd.dir/ssd.cc.o.d"
+  "libds_ssd.a"
+  "libds_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/dse.cc" "src/systolic/CMakeFiles/ds_systolic.dir/dse.cc.o" "gcc" "src/systolic/CMakeFiles/ds_systolic.dir/dse.cc.o.d"
+  "/root/repo/src/systolic/report.cc" "src/systolic/CMakeFiles/ds_systolic.dir/report.cc.o" "gcc" "src/systolic/CMakeFiles/ds_systolic.dir/report.cc.o.d"
+  "/root/repo/src/systolic/systolic_sim.cc" "src/systolic/CMakeFiles/ds_systolic.dir/systolic_sim.cc.o" "gcc" "src/systolic/CMakeFiles/ds_systolic.dir/systolic_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

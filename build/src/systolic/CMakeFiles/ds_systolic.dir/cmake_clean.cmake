@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_systolic.dir/dse.cc.o"
+  "CMakeFiles/ds_systolic.dir/dse.cc.o.d"
+  "CMakeFiles/ds_systolic.dir/report.cc.o"
+  "CMakeFiles/ds_systolic.dir/report.cc.o.d"
+  "CMakeFiles/ds_systolic.dir/systolic_sim.cc.o"
+  "CMakeFiles/ds_systolic.dir/systolic_sim.cc.o.d"
+  "libds_systolic.a"
+  "libds_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cc" "src/workloads/CMakeFiles/ds_workloads.dir/apps.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/apps.cc.o.d"
+  "/root/repo/src/workloads/feature_gen.cc" "src/workloads/CMakeFiles/ds_workloads.dir/feature_gen.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/feature_gen.cc.o.d"
+  "/root/repo/src/workloads/query_universe.cc" "src/workloads/CMakeFiles/ds_workloads.dir/query_universe.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/query_universe.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/ds_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/ds_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_workloads.dir/apps.cc.o"
+  "CMakeFiles/ds_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/ds_workloads.dir/feature_gen.cc.o"
+  "CMakeFiles/ds_workloads.dir/feature_gen.cc.o.d"
+  "CMakeFiles/ds_workloads.dir/query_universe.cc.o"
+  "CMakeFiles/ds_workloads.dir/query_universe.cc.o.d"
+  "CMakeFiles/ds_workloads.dir/trace.cc.o"
+  "CMakeFiles/ds_workloads.dir/trace.cc.o.d"
+  "libds_workloads.a"
+  "libds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_accel_pipeline.cc" "tests/CMakeFiles/test_core.dir/core/test_accel_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_accel_pipeline.cc.o.d"
+  "/root/repo/tests/core/test_deepstore.cc" "tests/CMakeFiles/test_core.dir/core/test_deepstore.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_deepstore.cc.o.d"
+  "/root/repo/tests/core/test_dse_select.cc" "tests/CMakeFiles/test_core.dir/core/test_dse_select.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dse_select.cc.o.d"
+  "/root/repo/tests/core/test_metadata.cc" "tests/CMakeFiles/test_core.dir/core/test_metadata.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metadata.cc.o.d"
+  "/root/repo/tests/core/test_metadata_persistence.cc" "tests/CMakeFiles/test_core.dir/core/test_metadata_persistence.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metadata_persistence.cc.o.d"
+  "/root/repo/tests/core/test_nvme_front.cc" "tests/CMakeFiles/test_core.dir/core/test_nvme_front.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_nvme_front.cc.o.d"
+  "/root/repo/tests/core/test_placement.cc" "tests/CMakeFiles/test_core.dir/core/test_placement.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "/root/repo/tests/core/test_prefetch_queue.cc" "tests/CMakeFiles/test_core.dir/core/test_prefetch_queue.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_prefetch_queue.cc.o.d"
+  "/root/repo/tests/core/test_query_cache.cc" "tests/CMakeFiles/test_core.dir/core/test_query_cache.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query_cache.cc.o.d"
+  "/root/repo/tests/core/test_query_model.cc" "tests/CMakeFiles/test_core.dir/core/test_query_model.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query_model.cc.o.d"
+  "/root/repo/tests/core/test_query_model_extra.cc" "tests/CMakeFiles/test_core.dir/core/test_query_model_extra.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_query_model_extra.cc.o.d"
+  "/root/repo/tests/core/test_topk.cc" "tests/CMakeFiles/test_core.dir/core/test_topk.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_topk.cc.o.d"
+  "/root/repo/tests/core/test_trace_replay.cc" "tests/CMakeFiles/test_core.dir/core/test_trace_replay.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ds_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ds_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/ds_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ds_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_accel_pipeline.cc.o"
+  "CMakeFiles/test_core.dir/core/test_accel_pipeline.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_deepstore.cc.o"
+  "CMakeFiles/test_core.dir/core/test_deepstore.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_dse_select.cc.o"
+  "CMakeFiles/test_core.dir/core/test_dse_select.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_metadata.cc.o"
+  "CMakeFiles/test_core.dir/core/test_metadata.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_metadata_persistence.cc.o"
+  "CMakeFiles/test_core.dir/core/test_metadata_persistence.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_nvme_front.cc.o"
+  "CMakeFiles/test_core.dir/core/test_nvme_front.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_prefetch_queue.cc.o"
+  "CMakeFiles/test_core.dir/core/test_prefetch_queue.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_query_cache.cc.o"
+  "CMakeFiles/test_core.dir/core/test_query_cache.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_query_model.cc.o"
+  "CMakeFiles/test_core.dir/core/test_query_model.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_query_model_extra.cc.o"
+  "CMakeFiles/test_core.dir/core/test_query_model_extra.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_topk.cc.o"
+  "CMakeFiles/test_core.dir/core/test_topk.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace_replay.cc.o"
+  "CMakeFiles/test_core.dir/core/test_trace_replay.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

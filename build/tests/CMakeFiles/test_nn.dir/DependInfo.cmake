@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_executor.cc" "tests/CMakeFiles/test_nn.dir/nn/test_executor.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_executor.cc.o.d"
+  "/root/repo/tests/nn/test_layer.cc" "tests/CMakeFiles/test_nn.dir/nn/test_layer.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_layer.cc.o.d"
+  "/root/repo/tests/nn/test_model.cc" "tests/CMakeFiles/test_nn.dir/nn/test_model.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_model.cc.o.d"
+  "/root/repo/tests/nn/test_semantic.cc" "tests/CMakeFiles/test_nn.dir/nn/test_semantic.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_semantic.cc.o.d"
+  "/root/repo/tests/nn/test_serialize.cc" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_serialize.cc.o.d"
+  "/root/repo/tests/nn/test_tensor.cc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cc.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_executor.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_executor.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_model.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_semantic.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_semantic.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_tensor.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssd/test_flash_controller.cc" "tests/CMakeFiles/test_ssd.dir/ssd/test_flash_controller.cc.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_flash_controller.cc.o.d"
+  "/root/repo/tests/ssd/test_ftl.cc" "tests/CMakeFiles/test_ssd.dir/ssd/test_ftl.cc.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_ftl.cc.o.d"
+  "/root/repo/tests/ssd/test_geometry.cc" "tests/CMakeFiles/test_ssd.dir/ssd/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_geometry.cc.o.d"
+  "/root/repo/tests/ssd/test_multiplex.cc" "tests/CMakeFiles/test_ssd.dir/ssd/test_multiplex.cc.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_multiplex.cc.o.d"
+  "/root/repo/tests/ssd/test_ssd.cc" "tests/CMakeFiles/test_ssd.dir/ssd/test_ssd.cc.o" "gcc" "tests/CMakeFiles/test_ssd.dir/ssd/test_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/ds_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

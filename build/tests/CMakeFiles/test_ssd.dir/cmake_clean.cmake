@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/ssd/test_flash_controller.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_flash_controller.cc.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_ftl.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_ftl.cc.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_geometry.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_geometry.cc.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_multiplex.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_multiplex.cc.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_ssd.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_ssd.cc.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/systolic/test_dataflows.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_dataflows.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_dataflows.cc.o.d"
+  "/root/repo/tests/systolic/test_dse.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_dse.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_dse.cc.o.d"
+  "/root/repo/tests/systolic/test_report.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_report.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_report.cc.o.d"
+  "/root/repo/tests/systolic/test_systolic_sim.cc" "tests/CMakeFiles/test_systolic.dir/systolic/test_systolic_sim.cc.o" "gcc" "tests/CMakeFiles/test_systolic.dir/systolic/test_systolic_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systolic/CMakeFiles/ds_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

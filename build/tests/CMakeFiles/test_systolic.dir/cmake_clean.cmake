@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic.dir/systolic/test_dataflows.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_dataflows.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_dse.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_dse.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_report.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_report.cc.o.d"
+  "CMakeFiles/test_systolic.dir/systolic/test_systolic_sim.cc.o"
+  "CMakeFiles/test_systolic.dir/systolic/test_systolic_sim.cc.o.d"
+  "test_systolic"
+  "test_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

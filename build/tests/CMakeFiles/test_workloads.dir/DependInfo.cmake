@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/test_apps.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_apps.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_apps.cc.o.d"
+  "/root/repo/tests/workloads/test_feature_gen.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_feature_gen.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_feature_gen.cc.o.d"
+  "/root/repo/tests/workloads/test_query_universe.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_query_universe.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_query_universe.cc.o.d"
+  "/root/repo/tests/workloads/test_trace.cc" "tests/CMakeFiles/test_workloads.dir/workloads/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ds_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ds_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_apps.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_apps.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_feature_gen.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_feature_gen.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_query_universe.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_query_universe.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_trace.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_trace.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
