@@ -59,7 +59,7 @@ main()
          {core::Level::ChannelLevel, core::Level::ChipLevel,
           core::Level::SsdLevel}) {
         std::uint64_t qid =
-            store.query(qfv, 5, model, db, 0, 0, level);
+            store.querySync(qfv, 5, model, db, 0, 0, level);
         const auto &res = store.getResults(qid);
         int correct = 0;
         for (const auto &r : res.topK)

@@ -26,6 +26,7 @@ statusName(core::NvmeStatus s)
       case core::NvmeStatus::InvalidField: return "INVALID_FIELD";
       case core::NvmeStatus::InternalError: return "INTERNAL_ERROR";
       case core::NvmeStatus::CommandAborted: return "ABORTED";
+      case core::NvmeStatus::InProgress: return "IN_PROGRESS";
     }
     return "?";
 }
@@ -41,6 +42,9 @@ run(core::NvmeFrontEnd &nvme, const core::NvmeCommand &cmd,
         nvme.submit(cmd);
     }
     nvme.process();
+    // Query completions post asynchronously when the in-storage
+    // scheduler finishes; pump() is the host's interrupt wait.
+    nvme.pump();
     auto done = *nvme.pollCompletion();
     std::printf("  [cid %u] %-10s -> %s (result=%llu)\n", done.cid,
                 what, statusName(done.status),
@@ -90,7 +94,9 @@ main()
     lm.cdw[0] = blob.size();
     std::uint64_t model = run(nvme, lm, "LoadModel").result;
 
-    // Query (0xC4) for a fresh topic-4 feature.
+    // Query (0xC4) for a fresh topic-4 feature. The command is
+    // accepted immediately; its completion posts only when the scan
+    // finishes in the device.
     core::NvmeCommand q;
     q.opcode = core::NvmeOpcode::Query;
     q.cid = 3;
@@ -98,14 +104,30 @@ main()
     q.cdw[0] = 5;
     q.cdw[1] = model;
     q.cdw[2] = db;
-    std::uint64_t qid = run(nvme, q, "Query").result;
+    nvme.submit(q);
+    nvme.process();
+    std::uint64_t qid = *nvme.queryIdForCid(3);
 
-    // GetResults (0xC5) into a host buffer of (id, score) pairs.
+    // Poll too early: GetResults (0xC5) answers IN_PROGRESS while
+    // the scan is still running.
     core::NvmeCommand g;
     g.opcode = core::NvmeOpcode::GetResults;
     g.cid = 4;
     g.prp = nvme.buffers().add({});
     g.cdw[0] = qid;
+    nvme.submit(g);
+    nvme.process();
+    auto early = *nvme.pollCompletion();
+    std::printf("  [cid %u] %-10s -> %s (scan still running)\n",
+                early.cid, "GetResults", statusName(early.status));
+
+    // Wait for the interrupt, reap the Query completion, retry.
+    nvme.pump();
+    auto qdone = *nvme.pollCompletion();
+    std::printf("  [cid %u] %-10s -> %s (result=%llu)\n", qdone.cid,
+                "Query", statusName(qdone.status),
+                (unsigned long long)qdone.result);
+    g.cid = 5;
     run(nvme, g, "GetResults");
     const auto *out = nvme.buffers().find(g.prp);
     std::printf("\ntop-5 (feature id, score, topic):\n");
@@ -120,7 +142,7 @@ main()
     // status code, the device never crashes the host.
     std::printf("\nerror path:\n");
     core::NvmeCommand bad = q;
-    bad.cid = 5;
+    bad.cid = 6;
     bad.cdw[2] = 4242; // no such db
     run(nvme, bad, "Query");
     return 0;

@@ -61,7 +61,7 @@ main()
     for (core::Level level :
          {core::Level::ChannelLevel, core::Level::SsdLevel}) {
         std::uint64_t qid =
-            store.query(qfv, 5, model, db, 0, 0, level);
+            store.querySync(qfv, 5, model, db, 0, 0, level);
         const auto &res = store.getResults(qid);
         int correct = 0;
         for (const auto &r : res.topK)
@@ -74,7 +74,7 @@ main()
 
     // Chip-level placement cannot execute ReId (paper §6.2).
     try {
-        store.query(qfv, 5, model, db, 0, 0, core::Level::ChipLevel);
+        store.querySync(qfv, 5, model, db, 0, 0, core::Level::ChipLevel);
         std::printf("  chip level: unexpectedly succeeded?\n");
     } catch (const FatalError &e) {
         std::printf("  chip    level: rejected as expected (%s)\n",

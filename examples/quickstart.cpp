@@ -4,8 +4,9 @@
  *
  *   1. build an in-storage feature database (writeDB),
  *   2. register a similarity-comparison network (loadModel),
- *   3. submit an intelligent query (query),
- *   4. fetch the top-K results (getResults).
+ *   3. submit an intelligent query asynchronously (query),
+ *   4. poll its progress and fetch the top-K results
+ *      (poll / drain / getResults).
  *
  * Build:  cmake -B build -G Ninja && cmake --build build
  * Run:    ./build/examples/quickstart
@@ -53,12 +54,23 @@ main()
         nn::ModelBundle{scn, nn::semanticWeights(scn)});
 
     // --- 3. query ----------------------------------------------------
-    // Ask for items similar to a fresh sample of topic 7.
+    // Ask for items similar to a fresh sample of topic 7. query()
+    // validates and returns a query id immediately; the scan runs in
+    // simulated time while the host is free to do other work (or to
+    // submit more queries — they interleave on the accelerators).
     std::vector<float> qfv = gen.featureForTopic(7, 123456);
     std::uint64_t qid = store.query(qfv, /*k=*/5, model, db,
                                     /*db_start=*/0, /*db_end=*/0);
+    std::printf("\nsubmitted query %llu (state %s, %zu in flight)\n",
+                (unsigned long long)qid,
+                core::toString(*store.poll(qid)), store.inFlight());
 
     // --- 4. results ---------------------------------------------------
+    // Advance the device clock until the query completes. (Callers
+    // that want the old blocking behavior can use querySync().)
+    store.drain();
+    std::printf("query %llu is %s\n", (unsigned long long)qid,
+                core::toString(*store.poll(qid)));
     const core::QueryResult &res = store.getResults(qid);
     std::printf("\nscanned %llu features in %.3f ms (simulated, "
                 "channel-level accelerators)\n",

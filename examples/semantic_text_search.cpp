@@ -71,7 +71,7 @@ main()
     for (const auto &uq : stream) {
         auto qfv = images.featureForTopic(uq.topic,
                                           uq.phrasing * 7919 + 13);
-        std::uint64_t qid = store.query(qfv, 5, scn, db, 0, 0);
+        std::uint64_t qid = store.querySync(qfv, 5, scn, db, 0, 0);
         const auto &res = store.getResults(qid);
         std::printf("%-45s %-6s %10.1f %8llu\n", uq.text,
                     res.cacheHit ? "HIT" : "miss",
@@ -96,7 +96,7 @@ main()
     store.queryCache()->setThreshold(0.01);
     store.queryCache()->resetStats();
     auto qfv = images.featureForTopic(5, 5 * 7919 + 13);
-    store.getResults(store.query(qfv, 5, scn, db, 0, 0));
+    store.getResults(store.querySync(qfv, 5, scn, db, 0, 0));
     std::printf("\nwith a 1%% threshold the same paraphrase now %s\n",
                 store.queryCache()->hits() ? "hits" : "misses");
     return 0;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a normal RelWithDebInfo build+test run,
+# then the same suite under AddressSanitizer + UBSan (the
+# DEEPSTORE_SANITIZE CMake option). Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: normal build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "=== tier-1: sanitized build (address;undefined) ==="
+cmake -B build-san -S . \
+    -DDEEPSTORE_SANITIZE="address;undefined" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-san -j "$JOBS"
+ctest --test-dir build-san --output-on-failure -j "$JOBS"
+
+echo
+echo "check.sh: both runs passed"

@@ -8,22 +8,48 @@
 namespace deepstore::core {
 
 DeepStore::DeepStore(DeepStoreConfig config)
-    : config_(config),
+    : config_(config), ledger_(events_),
       ssd_(std::make_unique<ssd::Ssd>(events_, config.flash)),
       model_(config.flash)
 {
+    QuerySchedulerConfig scfg;
+    scfg.maxResidentScans = config_.maxResidentScansPerAccelerator;
+    scheduler_ = std::make_unique<QueryScheduler>(events_, scfg);
+    // While accelerators scan, the flash read path answers regular
+    // I/O with a busy signal (§4.5); the scheduler keeps the SSD's
+    // busy window in sync with its resource horizon.
+    scheduler_->setBusyHook(
+        [this](Tick until) { ssd_->setAcceleratorWindow(until); });
 }
 
-double
-DeepStore::writePagesSimulated(std::uint64_t lpn_start,
-                               std::uint64_t pages)
+void
+DeepStore::stepUntil(const bool &done)
+{
+    while (!done) {
+        if (!events_.step())
+            panic("event queue drained while an I/O completion was "
+                  "still outstanding");
+    }
+}
+
+void
+DeepStore::writePagesTimed(std::uint64_t lpn_start,
+                           std::uint64_t pages,
+                           TimeComponent component)
 {
     DS_ASSERT(pages > 0);
     if (pages <= config_.eventSimPageLimit) {
         Tick start = events_.now();
-        ssd_->hostWrite(lpn_start, pages, nullptr);
-        events_.run();
-        return ticksToSeconds(events_.now() - start);
+        bool done = false;
+        ssd_->hostWrite(lpn_start, pages,
+                        [&done](Tick) { done = true; });
+        // Step (not run): in-flight queries keep making progress
+        // inside the window, and the clock stops exactly at the
+        // write's completion tick.
+        stepUntil(done);
+        ledger_.attribute(ticksToSeconds(events_.now() - start),
+                          component);
+        return;
     }
     // Closed form: programs overlap across every plane; the channel
     // buses carry one full page each. Still register the mapping.
@@ -36,8 +62,9 @@ DeepStore::writePagesSimulated(std::uint64_t lpn_start,
     double program_rate = planes / p.programLatency; // pages/s
     double bus_rate = p.internalBandwidth() /
                       static_cast<double>(p.pageBytes);
-    return static_cast<double>(pages) /
-           std::min(program_rate, bus_rate);
+    ledger_.advance(static_cast<double>(pages) /
+                        std::min(program_rate, bus_rate),
+                    component);
 }
 
 std::uint64_t
@@ -54,7 +81,7 @@ DeepStore::writeDB(std::shared_ptr<FeatureSource> source)
     std::uint64_t pages = md.pageCount(config_.flash.pageBytes);
     nextFreeLpn_ += pages;
 
-    simSeconds_ += writePagesSimulated(md.startLpn, pages);
+    writePagesTimed(md.startLpn, pages, TimeComponent::HostWrite);
     md.startPpn = ssd_->ftl().translate(md.startLpn);
 
     std::uint64_t db_id = metadata_.add(md);
@@ -87,8 +114,8 @@ DeepStore::appendDB(std::uint64_t db_id,
             fatal("appendDB: database %llu is not the most recently "
                   "written database; append would break striping",
                   static_cast<unsigned long long>(db_id));
-        simSeconds_ +=
-            writePagesSimulated(md.startLpn + old_pages, grow);
+        writePagesTimed(md.startLpn + old_pages, grow,
+                        TimeComponent::HostWrite);
         nextFreeLpn_ += grow;
     }
     metadata_.update(md);
@@ -123,13 +150,17 @@ DeepStore::readDB(std::uint64_t db_id, std::uint64_t start,
     std::uint64_t pages = last_page - first_page + 1;
     if (pages <= config_.eventSimPageLimit) {
         Tick t0 = events_.now();
-        ssd_->hostRead(md.startLpn + first_page, pages, nullptr);
-        events_.run();
-        simSeconds_ += ticksToSeconds(events_.now() - t0);
+        bool done = false;
+        ssd_->hostRead(md.startLpn + first_page, pages,
+                       [&done](Tick) { done = true; });
+        stepUntil(done);
+        ledger_.attribute(ticksToSeconds(events_.now() - t0),
+                          TimeComponent::HostRead);
     } else {
-        simSeconds_ +=
+        ledger_.advance(
             static_cast<double>(pages * config_.flash.pageBytes) /
-            config_.flash.externalBandwidth;
+                config_.flash.externalBandwidth,
+            TimeComponent::HostRead);
     }
 
     const auto &src = sources_.at(db_id);
@@ -159,9 +190,10 @@ DeepStore::loadModel(nn::ModelBundle bundle)
                                                  lm.bundle.weights);
     // Model upload: weights travel over the host interface into SSD
     // DRAM (§4.2).
-    simSeconds_ +=
+    ledger_.advance(
         static_cast<double>(lm.bundle.model.totalWeightBytes()) /
-        config_.flash.externalBandwidth;
+            config_.flash.externalBandwidth,
+        TimeComponent::ModelUpload);
     return id;
 }
 
@@ -215,17 +247,52 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
         m.bundle.model.featureDim())
         fatal("query feature size %zu != model dim %lld", qfv.size(),
               static_cast<long long>(m.bundle.model.featureDim()));
+    if (qfv.size() * kBytesPerFloat != db.featureBytes)
+        fatal("query feature size %zu B != database feature size "
+              "%llu B",
+              qfv.size() * kBytesPerFloat,
+              static_cast<unsigned long long>(db.featureBytes));
     Level level = level_opt.value_or(config_.defaultLevel);
+
+    LevelPerf perf =
+        model_.evaluateModel(level, m.bundle.model, db.featureBytes);
+    if (!perf.supported)
+        fatal("accelerator level %s cannot execute model '%s'",
+              toString(level), m.bundle.model.name().c_str());
 
     auto source = sources_.at(db_id);
     std::uint64_t this_query = seenQueries_.size();
     seenQueries_.push_back(qfv);
+    std::uint64_t qid = nextQueryId_++;
 
-    QueryResult res;
-    res.queryId = nextQueryId_++;
+    std::uint64_t features = db_end - db_start;
+    QuerySubmission sub;
+    sub.queryId = qid;
+    sub.level = level;
+    sub.numAccelerators = perf.placement.numAccelerators;
+    // Fractional stripes: every shard gets features/N, keeping the
+    // single-query latency identical to the analytic aggregate.
+    sub.shardFeatures =
+        static_cast<double>(features) /
+        static_cast<double>(perf.placement.numAccelerators);
+    sub.computeSecondsPerFeature = perf.computeSeconds;
+    sub.flashSecondsPerFeature = perf.flashSeconds;
+    sub.weightSecondsPerFeature = perf.weightStreamSeconds;
+    // LevelPerf folds the FLASH_DFV refill exposure additively into
+    // perAccelSeconds; carry that remainder so a lone shard costs
+    // exactly the analytic per-accelerator time.
+    sub.exposedSecondsPerFeature =
+        perf.perAccelSeconds -
+        std::max({perf.computeSeconds, perf.flashSeconds,
+                  perf.weightStreamSeconds});
+    sub.dbKey = db_id;
 
+    double probe = 0.0;
     if (queryCache_) {
         const LoadedModel &qcn = lookupModel(qcnModelId_);
+        // The probe is decided functionally at submit time against
+        // the cache state of *completed* queries; in-flight queries
+        // insert only when they complete.
         CacheLookup hit = queryCache_->lookup(this_query);
         // QCN lookups execute on the channel-level accelerators
         // (§4.6); charge their aggregate throughput.
@@ -234,75 +301,168 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
             static_cast<std::uint64_t>(
                 qcn.bundle.model.featureDim()) *
                 kBytesPerFloat);
-        res.latencySeconds +=
-            qcn_perf.computeSeconds *
-            static_cast<double>(hit.entriesScanned) /
-            static_cast<double>(qcn_perf.placement.numAccelerators);
+        probe = qcn_perf.computeSeconds *
+                static_cast<double>(hit.entriesScanned) /
+                static_cast<double>(
+                    qcn_perf.placement.numAccelerators);
+        sub.probeSeconds = probe;
         if (hit.hit) {
-            // Re-run the SCN on only the cached top-K features.
-            TopK topk(std::max<std::size_t>(k, 1));
-            for (const auto &cached : hit.cachedResults) {
-                auto dfv = source->featureAt(cached.featureId);
-                float s = m.executor->score(qfv, dfv);
-                topk.insert(
-                    ScoredResult{cached.featureId, cached.objectId, s});
-            }
             // Cached features already sit in SSD DRAM, so the SCN on
             // the cached entries is compute-only on a channel-level
             // accelerator (§4.2).
             LevelPerf compute_perf = model_.evaluateModel(
                 Level::ChannelLevel, m.bundle.model, db.featureBytes);
-            res.latencySeconds +=
+            sub.cacheHit = true;
+            sub.hitComputeSeconds =
                 compute_perf.computeSeconds *
                 static_cast<double>(hit.cachedResults.size());
-            res.topK = topk.results();
-            res.cacheHit = true;
-            res.featuresScanned = hit.cachedResults.size();
-            simSeconds_ += res.latencySeconds;
-            // The accelerators own the read path for the duration
-            // (§4.5); advance the device clock alongside.
-            Tick end = events_.now() +
-                       secondsToTicks(res.latencySeconds);
-            ssd_->setAcceleratorWindow(end);
-            events_.runUntil(end);
-            std::uint64_t id = res.queryId;
-            results_[id] = std::move(res);
-            return id;
+            const LoadedModel *mp = &m;
+            auto cached = std::move(hit.cachedResults);
+            std::vector<float> q = qfv;
+            sub.finalize = [this, qid, k, mp, source, cached,
+                            q = std::move(q), probe] {
+                QueryResult res;
+                res.queryId = qid;
+                res.cacheHit = true;
+                res.featuresScanned = cached.size();
+                // Re-run the SCN on only the cached top-K features.
+                TopK topk(std::max<std::size_t>(k, 1));
+                for (const auto &c : cached) {
+                    auto dfv = source->featureAt(c.featureId);
+                    float s = mp->executor->score(q, dfv);
+                    topk.insert(
+                        ScoredResult{c.featureId, c.objectId, s});
+                }
+                res.topK = topk.results();
+                res.latencySeconds = ticksToSeconds(
+                    scheduler_->completeTick(qid) -
+                    scheduler_->submitTick(qid));
+                ledger_.attribute(probe, TimeComponent::QcLookup);
+                ledger_.attribute(
+                    std::max(0.0, res.latencySeconds - probe),
+                    TimeComponent::CacheHit);
+                finishQuery(qid, std::move(res));
+            };
+            scheduler_->submit(std::move(sub));
+            return qid;
         }
     }
 
-    QueryResult scan = executeScan(qfv, k, m, db, db_start, db_end,
-                                   level, source);
-    scan.queryId = res.queryId;
-    scan.latencySeconds += res.latencySeconds; // QC lookup cost
-    if (queryCache_)
-        queryCache_->insert(this_query, scan.topK);
-    simSeconds_ += scan.latencySeconds;
-    // Regular I/O sees a busy signal while the scan runs (§4.5).
-    Tick end = events_.now() + secondsToTicks(scan.latencySeconds);
-    ssd_->setAcceleratorWindow(end);
-    events_.runUntil(end);
-    results_[scan.queryId] = std::move(scan);
-    return res.queryId;
+    const LoadedModel *mp = &m;
+    DbMetadata dbmd = db;
+    std::vector<float> q = qfv;
+    sub.finalize = [this, qid, this_query, k, mp, dbmd, db_start,
+                    db_end, n_accel = perf.placement.numAccelerators,
+                    source, q = std::move(q), probe] {
+        QueryResult res;
+        res.queryId = qid;
+        res.cacheHit = false;
+        res.featuresScanned = db_end - db_start;
+        res.topK = scanTopK(q, k, *mp, dbmd, db_start, db_end,
+                            n_accel, source);
+        if (queryCache_)
+            queryCache_->insert(this_query, res.topK);
+        res.latencySeconds =
+            ticksToSeconds(scheduler_->completeTick(qid) -
+                           scheduler_->submitTick(qid));
+        ledger_.attribute(probe, TimeComponent::QcLookup);
+        ledger_.attribute(std::max(0.0, res.latencySeconds - probe),
+                          TimeComponent::Scan);
+        finishQuery(qid, std::move(res));
+    };
+    scheduler_->submit(std::move(sub));
+    return qid;
 }
 
-QueryResult
-DeepStore::executeScan(const std::vector<float> &qfv, std::size_t k,
-                       const LoadedModel &m, const DbMetadata &db,
-                       std::uint64_t db_start, std::uint64_t db_end,
-                       Level level,
-                       std::shared_ptr<FeatureSource> source)
+std::uint64_t
+DeepStore::querySync(const std::vector<float> &qfv, std::size_t k,
+                     std::uint64_t model_id, std::uint64_t db_id,
+                     std::uint64_t db_start, std::uint64_t db_end,
+                     std::optional<Level> level_opt)
 {
-    QueryResult res;
+    std::uint64_t qid =
+        query(qfv, k, model_id, db_id, db_start, db_end, level_opt);
+    waitFor(qid);
+    return qid;
+}
+
+std::optional<QueryState>
+DeepStore::poll(std::uint64_t query_id) const
+{
+    return scheduler_->state(query_id);
+}
+
+bool
+DeepStore::step()
+{
+    return events_.step();
+}
+
+void
+DeepStore::drain()
+{
+    while (scheduler_->inFlight() > 0) {
+        if (!events_.step())
+            panic("scheduler stalled: %zu queries in flight with an "
+                  "empty event queue",
+                  scheduler_->inFlight());
+    }
+}
+
+void
+DeepStore::waitFor(std::uint64_t query_id)
+{
+    auto st = scheduler_->state(query_id);
+    if (!st)
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    while (*scheduler_->state(query_id) != QueryState::Complete) {
+        if (!events_.step())
+            panic("scheduler stalled waiting for query %llu",
+                  static_cast<unsigned long long>(query_id));
+    }
+}
+
+void
+DeepStore::onComplete(std::uint64_t query_id,
+                      std::function<void(const QueryResult &)> cb)
+{
+    DS_ASSERT(cb);
+    auto it = results_.find(query_id);
+    if (it != results_.end()) {
+        cb(it->second);
+        return;
+    }
+    if (!scheduler_->state(query_id))
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    completionCallbacks_[query_id].push_back(std::move(cb));
+}
+
+void
+DeepStore::finishQuery(std::uint64_t query_id, QueryResult res)
+{
+    auto [it, inserted] = results_.emplace(query_id, std::move(res));
+    DS_ASSERT(inserted);
+    auto cb_it = completionCallbacks_.find(query_id);
+    if (cb_it == completionCallbacks_.end())
+        return;
+    auto callbacks = std::move(cb_it->second);
+    completionCallbacks_.erase(cb_it);
+    for (auto &cb : callbacks)
+        cb(it->second);
+}
+
+std::vector<ScoredResult>
+DeepStore::scanTopK(const std::vector<float> &qfv, std::size_t k,
+                    const LoadedModel &m, const DbMetadata &db,
+                    std::uint64_t db_start, std::uint64_t db_end,
+                    std::uint32_t n_accel,
+                    const std::shared_ptr<FeatureSource> &source)
+    const
+{
     // Map-reduce across accelerators (§4.7.1): each accelerator
     // scans its stripe with a private top-K, merged by the engine.
-    LevelPerf perf =
-        model_.evaluateModel(level, m.bundle.model, db.featureBytes);
-    if (!perf.supported)
-        fatal("accelerator level %s cannot execute model '%s'",
-              toString(level), m.bundle.model.name().c_str());
-
-    std::uint32_t n_accel = perf.placement.numAccelerators;
     std::vector<TopK> partials;
     partials.reserve(n_accel);
     for (std::uint32_t a = 0; a < n_accel; ++a)
@@ -318,11 +478,7 @@ DeepStore::executeScan(const std::vector<float> &qfv, std::size_t k,
     TopK merged(std::max<std::size_t>(k, 1));
     for (const auto &p : partials)
         merged.merge(p);
-    res.topK = merged.results();
-    res.featuresScanned = db_end - db_start;
-    res.latencySeconds = perf.aggregateSeconds *
-                         static_cast<double>(res.featuresScanned);
-    return res;
+    return merged.results();
 }
 
 std::uint64_t
@@ -341,9 +497,12 @@ DeepStore::persistMetadata()
     // the block-level FTL does not charge a migration.
     ssd_->ftl().trim(reserved_lpn, pages);
     Tick t0 = events_.now();
-    ssd_->hostWrite(reserved_lpn, pages, nullptr);
-    events_.run();
-    simSeconds_ += ticksToSeconds(events_.now() - t0);
+    bool done = false;
+    ssd_->hostWrite(reserved_lpn, pages,
+                    [&done](Tick) { done = true; });
+    stepUntil(done);
+    ledger_.attribute(ticksToSeconds(events_.now() - t0),
+                      TimeComponent::Metadata);
     for (std::uint64_t i = 0; i < pages; ++i) {
         std::size_t off = static_cast<std::size_t>(i * page_bytes);
         std::size_t len =
@@ -366,9 +525,12 @@ DeepStore::reloadMetadata()
         config_.flash.totalPages() -
         ssd_->ftl().superblockPages();
     Tick t0 = events_.now();
-    ssd_->hostRead(reserved_lpn, persistedMetadataPages_, nullptr);
-    events_.run();
-    simSeconds_ += ticksToSeconds(events_.now() - t0);
+    bool done = false;
+    ssd_->hostRead(reserved_lpn, persistedMetadataPages_,
+                   [&done](Tick) { done = true; });
+    stepUntil(done);
+    ledger_.attribute(ticksToSeconds(events_.now() - t0),
+                      TimeComponent::Metadata);
     std::vector<std::uint8_t> blob;
     for (std::uint64_t i = 0; i < persistedMetadataPages_; ++i) {
         const auto *page = ssd_->payload(reserved_lpn + i);
@@ -387,7 +549,11 @@ DeepStore::dumpStats(std::ostream &os) const
     os << "engine.databases = " << metadata_.size() << "\n";
     os << "engine.models = " << models_.size() << "\n";
     os << "engine.queries = " << results_.size() << "\n";
-    os << "engine.simulatedSeconds = " << simSeconds_ << "\n";
+    os << "engine.inFlight = " << scheduler_->inFlight() << "\n";
+    os << "engine.completed = " << scheduler_->completedCount()
+       << "\n";
+    os << "engine.simulatedSeconds = " << ledger_.seconds() << "\n";
+    ledger_.dump(os);
     if (queryCache_) {
         os << "engine.qc.hits = " << queryCache_->hits() << "\n";
         os << "engine.qc.misses = " << queryCache_->misses() << "\n";
@@ -400,10 +566,16 @@ const QueryResult &
 DeepStore::getResults(std::uint64_t query_id) const
 {
     auto it = results_.find(query_id);
-    if (it == results_.end())
-        fatal("unknown query_id %llu",
-              static_cast<unsigned long long>(query_id));
-    return it->second;
+    if (it != results_.end())
+        return it->second;
+    auto st = scheduler_->state(query_id);
+    if (st)
+        fatal("query %llu is still in flight (state %s); poll() or "
+              "drain() before getResults()",
+              static_cast<unsigned long long>(query_id),
+              toString(*st));
+    fatal("unknown query_id %llu",
+          static_cast<unsigned long long>(query_id));
 }
 
 CompositeFeatureSource::CompositeFeatureSource(

@@ -5,13 +5,20 @@
  * (§4.7.2, Table 2).
  *
  * The engine owns the simulated SSD, the database metadata table, the
- * loaded SCN/QCN models, and the Query Cache. Queries execute
- * functionally (real similarity scores, real top-K) against the
- * database's feature source, while latency comes from the analytic
- * steady-state model (DeepStoreModel) — mirroring the paper's
- * SSD-Sim + SCALE-Sim split. Database writes and reads run through
- * the event-driven SSD for small transfers and switch to the
- * closed-form throughput model beyond a page-count threshold.
+ * loaded SCN/QCN models, the Query Cache, and the asynchronous query
+ * scheduler. Queries execute functionally (real similarity scores,
+ * real top-K) against the database's feature source, while latency
+ * comes from the analytic steady-state model (DeepStoreModel) driven
+ * through event-time by the scheduler — mirroring the paper's
+ * SSD-Sim + SCALE-Sim split.
+ *
+ * The query path is **asynchronous**: query() validates, probes the
+ * Query Cache, hands the scheduler a timed submission, and returns a
+ * query id immediately. Multiple queries stay in flight, time-sharing
+ * the accelerator complex; completions surface through poll()/
+ * onComplete()/drain(). querySync() is the blocking shim for callers
+ * that want the old one-shot semantics. All simulated-time accounting
+ * is owned by the TimeLedger (simulated time == event-queue tick).
  */
 
 #ifndef DEEPSTORE_CORE_DEEPSTORE_H
@@ -28,6 +35,8 @@
 #include "core/placement.h"
 #include "core/query_cache.h"
 #include "core/query_model.h"
+#include "core/query_scheduler.h"
+#include "core/time_ledger.h"
 #include "core/topk.h"
 #include "nn/executor.h"
 #include "nn/serialize.h"
@@ -46,6 +55,9 @@ struct DeepStoreConfig
     /** Page-count threshold above which database writes/reads use the
      *  closed-form timing instead of per-page events. */
     std::uint64_t eventSimPageLimit = 65536;
+    /** Max concurrent scan shards per accelerator unit (the
+     *  interleaving degree of the async scheduler). */
+    std::uint32_t maxResidentScansPerAccelerator = 8;
 };
 
 /** Completed query: results plus simulated execution metrics. */
@@ -53,6 +65,7 @@ struct QueryResult
 {
     std::uint64_t queryId = 0;
     std::vector<ScoredResult> topK;
+    /** Completion tick - submit tick (queueing included). */
     double latencySeconds = 0.0;
     bool cacheHit = false;
     std::uint64_t featuresScanned = 0;
@@ -97,17 +110,57 @@ class DeepStore
                double qcn_accuracy, std::size_t capacity);
 
     /**
-     * query: submit a query feature vector against a database
-     * sub-range [db_start, db_end) with the given SCN model and
-     * accelerator level.
-     * @return a query_id for getResults().
+     * query: **asynchronously submit** a query feature vector against
+     * a database sub-range [db_start, db_end) with the given SCN
+     * model and accelerator level. Validates and returns immediately;
+     * the query executes in event-time, interleaved with other
+     * in-flight queries.
+     * @return a query_id for poll()/getResults().
      */
     std::uint64_t query(const std::vector<float> &qfv, std::size_t k,
                         std::uint64_t model_id, std::uint64_t db_id,
                         std::uint64_t db_start, std::uint64_t db_end,
                         std::optional<Level> level = std::nullopt);
 
-    /** getResults: retrieve (and keep) a completed query's results. */
+    /**
+     * querySync: submit and block (in simulated time) until this
+     * query completes — the pre-refactor one-query-at-a-time
+     * behavior. @return the query_id (already Complete).
+     */
+    std::uint64_t
+    querySync(const std::vector<float> &qfv, std::size_t k,
+              std::uint64_t model_id, std::uint64_t db_id,
+              std::uint64_t db_start, std::uint64_t db_end,
+              std::optional<Level> level = std::nullopt);
+
+    /** Current state of a query (nullopt for unknown ids). Does not
+     *  advance simulated time. */
+    std::optional<QueryState> poll(std::uint64_t query_id) const;
+
+    /** Run one simulator event. @return false when idle. */
+    bool step();
+
+    /** Advance simulated time until every in-flight query completes. */
+    void drain();
+
+    /** Advance simulated time until `query_id` completes. */
+    void waitFor(std::uint64_t query_id);
+
+    /** Queries submitted but not yet complete. */
+    std::size_t inFlight() const { return scheduler_->inFlight(); }
+
+    /**
+     * Register a completion callback for a query. Fires exactly once,
+     * at the query's completion tick (immediately when it already
+     * completed). Multiple callbacks per query are allowed and fire
+     * in registration order.
+     */
+    void onComplete(std::uint64_t query_id,
+                    std::function<void(const QueryResult &)> cb);
+
+    /** getResults: retrieve (and keep) a completed query's results.
+     *  fatal() for unknown ids *and* for queries still in flight —
+     *  poll() first, or go through querySync()/drain(). */
     const QueryResult &getResults(std::uint64_t query_id) const;
 
     // ---- introspection -------------------------------------------
@@ -119,10 +172,15 @@ class DeepStore
 
     const DeepStoreModel &model() const { return model_; }
     ssd::Ssd &ssd() { return *ssd_; }
+    sim::EventQueue &events() { return events_; }
     QueryCache *queryCache() { return queryCache_.get(); }
+    const QueryScheduler &scheduler() const { return *scheduler_; }
 
-    /** Total simulated time consumed so far (I/O + queries). */
-    double simulatedSeconds() const { return simSeconds_; }
+    /** The simulated-time ledger (owner of all time accounting). */
+    const TimeLedger &ledger() const { return ledger_; }
+
+    /** Total simulated time so far — always the event-queue clock. */
+    double simulatedSeconds() const { return ledger_.seconds(); }
 
     /** Dump engine counters and the SSD's statistics as text. */
     void dumpStats(std::ostream &os) const;
@@ -151,24 +209,42 @@ class DeepStore
     };
 
     const LoadedModel &lookupModel(std::uint64_t model_id) const;
-    double writePagesSimulated(std::uint64_t lpn_start,
-                               std::uint64_t pages);
-    QueryResult executeScan(const std::vector<float> &qfv,
-                            std::size_t k, const LoadedModel &m,
-                            const DbMetadata &db,
-                            std::uint64_t db_start,
-                            std::uint64_t db_end, Level level,
-                            std::shared_ptr<FeatureSource> source);
+
+    /** Simulate writing `pages` pages and account the time on the
+     *  ledger (event-driven below the page limit, closed-form
+     *  above). */
+    void writePagesTimed(std::uint64_t lpn_start, std::uint64_t pages,
+                         TimeComponent component);
+
+    /** Run the event queue until `done` flips (a completion callback
+     *  armed it); panic on a stalled simulation. */
+    void stepUntil(const bool &done);
+
+    /** Functional map-reduce scan: real scores, striped partial
+     *  top-Ks, merged (§4.7.1). */
+    std::vector<ScoredResult>
+    scanTopK(const std::vector<float> &qfv, std::size_t k,
+             const LoadedModel &m, const DbMetadata &db,
+             std::uint64_t db_start, std::uint64_t db_end,
+             std::uint32_t n_accel,
+             const std::shared_ptr<FeatureSource> &source) const;
+
+    void finishQuery(std::uint64_t query_id, QueryResult res);
 
     DeepStoreConfig config_;
     sim::EventQueue events_;
+    TimeLedger ledger_;
     std::unique_ptr<ssd::Ssd> ssd_;
     DeepStoreModel model_;
     MetadataStore metadata_;
+    std::unique_ptr<QueryScheduler> scheduler_;
 
     std::map<std::uint64_t, std::shared_ptr<FeatureSource>> sources_;
     std::map<std::uint64_t, LoadedModel> models_;
     std::map<std::uint64_t, QueryResult> results_;
+    std::map<std::uint64_t,
+             std::vector<std::function<void(const QueryResult &)>>>
+        completionCallbacks_;
 
     std::unique_ptr<QueryCache> queryCache_;
     std::uint64_t qcnModelId_ = 0;
@@ -179,7 +255,6 @@ class DeepStore
     std::uint64_t persistedMetadataPages_ = 0;
     std::uint64_t nextModelId_ = 1;
     std::uint64_t nextQueryId_ = 1;
-    double simSeconds_ = 0.0;
 };
 
 /** Concatenation of two feature sources (appendDB support). */

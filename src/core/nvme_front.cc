@@ -57,8 +57,18 @@ NvmeFrontEnd::process()
     while (!sq_.empty()) {
         NvmeCommand cmd = sq_.front();
         sq_.pop_front();
-        cq_.push_back(execute(cmd));
+        if (auto done = execute(cmd))
+            cq_.push_back(*done);
+        // else: Query accepted; its completion posts asynchronously.
     }
+}
+
+bool
+NvmeFrontEnd::pump()
+{
+    while (cq_.empty() && store_.step()) {
+    }
+    return !cq_.empty();
 }
 
 std::optional<NvmeCompletion>
@@ -71,7 +81,16 @@ NvmeFrontEnd::pollCompletion()
     return c;
 }
 
-NvmeCompletion
+std::optional<std::uint64_t>
+NvmeFrontEnd::queryIdForCid(std::uint16_t cid) const
+{
+    auto it = queryCids_.find(cid);
+    if (it == queryCids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<NvmeCompletion>
 NvmeFrontEnd::execute(const NvmeCommand &cmd)
 {
     NvmeCompletion done;
@@ -161,16 +180,37 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
             std::optional<Level> level;
             if (cmd.cdw[5] != 0)
                 level = static_cast<Level>(cmd.cdw[5] - 1);
-            done.result = store_.query(
+            std::uint64_t qid = store_.query(
                 *qfv, static_cast<std::size_t>(cmd.cdw[0]),
                 cmd.cdw[1], cmd.cdw[2], cmd.cdw[3], cmd.cdw[4],
                 level);
-            break;
+            queryCids_[cmd.cid] = qid;
+            // Defer the completion entry until the in-storage
+            // scheduler finishes the query; entries post in
+            // simulated-latency order, not submission order.
+            std::uint16_t cid = cmd.cid;
+            store_.onComplete(
+                qid, [this, cid, qid](const QueryResult &) {
+                    cq_.push_back(NvmeCompletion{
+                        cid, NvmeStatus::Success, qid});
+                });
+            return std::nullopt;
           }
           case NvmeOpcode::GetResults: {
             auto *out = buffers_.findMutable(cmd.prp);
             if (!out) {
                 done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            auto state = store_.poll(cmd.cdw[0]);
+            if (!state) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            if (*state != QueryState::Complete) {
+                // Retryable: the host should pump() and resubmit.
+                done.status = NvmeStatus::InProgress;
+                done.result = cmd.cdw[0];
                 break;
             }
             const QueryResult &res = store_.getResults(cmd.cdw[0]);
@@ -192,6 +232,8 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
           case NvmeOpcode::Write:
           case NvmeOpcode::Dsm: {
             // Standard I/O path: cdw0 = LPN, cdw1 = page count.
+            // Step the shared clock until this request's completion
+            // callback fires; in-flight queries keep progressing.
             bool ok = false;
             auto cb = [&ok](Tick) { ok = true; };
             if (cmd.opcode == NvmeOpcode::Read)
@@ -200,7 +242,8 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
                 store_.ssd().hostWrite(cmd.cdw[0], cmd.cdw[1], cb);
             else
                 store_.ssd().hostTrim(cmd.cdw[0], cmd.cdw[1], cb);
-            store_.ssd().events().run();
+            while (!ok && store_.step()) {
+            }
             done.status = ok ? NvmeStatus::Success
                              : NvmeStatus::InternalError;
             break;

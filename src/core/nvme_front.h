@@ -9,6 +9,15 @@
  * status codes (host errors surface as failed completions, not
  * exceptions), and a PRP-style handle registry standing in for host
  * memory buffers.
+ *
+ * Query commands are **asynchronous at the wire level**: process()
+ * validates and submits them to the engine, but their completion
+ * entries post to the completion queue only when the in-storage
+ * scheduler finishes the scan — out of order across queries, in
+ * simulated-latency order. Hosts drive the device clock with pump()
+ * (the doorbell/interrupt loop) and may poll partial progress with
+ * GetResults, which returns the retryable InProgress status while
+ * the scan is still running.
  */
 
 #ifndef DEEPSTORE_CORE_NVME_FRONT_H
@@ -49,6 +58,9 @@ enum class NvmeStatus : std::uint16_t
     InvalidField = 0x2,
     InternalError = 0x6,
     CommandAborted = 0x7,
+    /** Vendor-specific, retryable: the referenced query is still
+     *  executing in-storage; poll again after pump(). */
+    InProgress = 0x1C0,
 };
 
 /** A 64-byte-SQE-shaped command. */
@@ -108,24 +120,45 @@ class NvmeFrontEnd
      *  @return false when the submission queue is full. */
     bool submit(const NvmeCommand &cmd);
 
-    /** Process every queued command in order (the engine runs on the
-     *  embedded cores between doorbell writes). */
+    /**
+     * Process every queued command in order (the engine runs on the
+     * embedded cores between doorbell writes). Synchronous commands
+     * post their completions immediately; Query commands post theirs
+     * when the scan completes in simulated time (see pump()).
+     */
     void process();
 
-    /** Pop the oldest completion, if any. */
+    /**
+     * Advance the device clock until at least one completion entry is
+     * available (the host-side interrupt wait). @return true when a
+     * completion is ready, false when the device is fully idle with
+     * an empty completion queue.
+     */
+    bool pump();
+
+    /** Pop the oldest completion, if any. Does not advance time. */
     std::optional<NvmeCompletion> pollCompletion();
+
+    /** The engine query_id behind a previously submitted Query
+     *  command (nullopt for unknown cids or failed submissions). */
+    std::optional<std::uint64_t> queryIdForCid(std::uint16_t cid) const;
 
     std::size_t submissionDepth() const { return sqDepth_; }
     std::size_t pending() const { return sq_.size(); }
 
   private:
-    NvmeCompletion execute(const NvmeCommand &cmd);
+    /** Execute one command. Returns the completion for synchronous
+     *  commands; nullopt when the completion was deferred (Query
+     *  accepted by the engine — it posts to cq_ on its own). */
+    std::optional<NvmeCompletion> execute(const NvmeCommand &cmd);
 
     DeepStore &store_;
     std::size_t sqDepth_;
     std::deque<NvmeCommand> sq_;
     std::deque<NvmeCompletion> cq_;
     HostBufferRegistry buffers_;
+    /** cid -> engine query_id for accepted Query commands. */
+    std::map<std::uint16_t, std::uint64_t> queryCids_;
 };
 
 } // namespace deepstore::core

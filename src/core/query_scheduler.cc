@@ -1,0 +1,415 @@
+#include "core/query_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+namespace {
+/** Residual feature count below which a shard counts as finished
+ *  (absorbs tick-quantization rounding). */
+constexpr double kShardEpsilon = 1e-7;
+} // namespace
+
+const char *
+toString(QueryState s)
+{
+    switch (s) {
+      case QueryState::Parsed: return "Parsed";
+      case QueryState::CacheProbe: return "CacheProbe";
+      case QueryState::Striped: return "Striped";
+      case QueryState::Scanning: return "Scanning";
+      case QueryState::Reduce: return "Reduce";
+      case QueryState::Complete: return "Complete";
+    }
+    return "unknown";
+}
+
+/** Per-query bookkeeping. */
+struct QueryScheduler::QueryInfo
+{
+    QuerySubmission sub;
+    QueryState state = QueryState::Parsed;
+    Tick submitTick = 0;
+    Tick completeTick = 0;
+    std::uint32_t outstandingShards = 0;
+};
+
+/**
+ * One countable accelerator instance. Holds up to `maxResident`
+ * concurrently scanning shards (generalized processor sharing with
+ * flash-stream batching, see header) plus a FIFO queue of waiting
+ * shards. All progress happens through its own completion events.
+ */
+class QueryScheduler::AcceleratorUnit
+{
+  public:
+    struct Shard
+    {
+        std::uint64_t queryId = 0;
+        double remainingFeatures = 0.0;
+        double computeSec = 0.0; ///< per feature
+        double flashSec = 0.0;   ///< per feature
+        double weightSec = 0.0;  ///< per feature
+        double exposedSec = 0.0; ///< per feature, additive
+        std::uint64_t dbKey = 0;
+    };
+
+    AcceleratorUnit(sim::EventQueue &events, QueryScheduler &sched,
+                    std::uint32_t max_resident)
+        : events_(events), sched_(sched), maxResident_(max_resident)
+    {
+        DS_ASSERT(maxResident_ > 0);
+    }
+
+    void
+    join(Shard shard)
+    {
+        DS_ASSERT(shard.remainingFeatures > 0.0);
+        syncProgress();
+        if (residents_.size() < maxResident_)
+            residents_.push_back(shard);
+        else
+            waiting_.push_back(shard);
+        replan();
+    }
+
+    std::size_t residents() const { return residents_.size(); }
+    std::size_t waiting() const { return waiting_.size(); }
+
+    /** Estimated tick at which this unit goes idle (0 when idle
+     *  already; waiting shards make the estimate a lower bound). */
+    Tick
+    busyUntilEstimate() const
+    {
+        if (residents_.empty())
+            return 0;
+        double max_rem = 0.0;
+        for (const auto &r : residents_)
+            max_rem = std::max(max_rem, r.remainingFeatures);
+        return lastUpdate_ +
+               static_cast<Tick>(
+                   std::ceil(max_rem * rateTicksPerFeature_));
+    }
+
+  private:
+    /**
+     * Wall seconds one feature position costs every resident under
+     * the current membership: the flash stream (and its exposed
+     * refill latency) is paid once per distinct database (page read
+     * once, broadcast to co-scanning queries), compute and weight
+     * streaming once per resident. With a single resident this is
+     * exactly LevelPerf::perAccelSeconds, so lone queries match the
+     * analytic steady-state model.
+     */
+    double
+    perFeatureSeconds() const
+    {
+        double compute = 0.0;
+        double weight = 0.0;
+        double flash = 0.0;
+        double exposed = 0.0;
+        for (std::size_t i = 0; i < residents_.size(); ++i) {
+            const auto &r = residents_[i];
+            compute += r.computeSec;
+            weight += r.weightSec;
+            // Charge the stream for the first resident of each dbKey
+            // only, at the largest per-feature cost in the group
+            // (conservative for mixed feature sizes).
+            bool first = true;
+            double group_flash = r.flashSec;
+            double group_exposed = r.exposedSec;
+            for (std::size_t j = 0; j < residents_.size(); ++j) {
+                if (residents_[j].dbKey != r.dbKey)
+                    continue;
+                if (j < i)
+                    first = false;
+                group_flash =
+                    std::max(group_flash, residents_[j].flashSec);
+                group_exposed =
+                    std::max(group_exposed, residents_[j].exposedSec);
+            }
+            if (first) {
+                flash += group_flash;
+                exposed += group_exposed;
+            }
+        }
+        return std::max(flash, std::max(compute, weight)) + exposed;
+    }
+
+    /** Advance every resident by the progress made since
+     *  lastUpdate_ under the previously planned rate. */
+    void
+    syncProgress()
+    {
+        Tick now = events_.now();
+        if (rateTicksPerFeature_ > 0.0 && now > lastUpdate_ &&
+            !residents_.empty()) {
+            double df = static_cast<double>(now - lastUpdate_) /
+                        rateTicksPerFeature_;
+            for (auto &r : residents_)
+                r.remainingFeatures -= df;
+        }
+        lastUpdate_ = now;
+    }
+
+    /** Recompute the sharing rate and (re)schedule the next shard
+     *  completion. @pre syncProgress() ran at the current tick. */
+    void
+    replan()
+    {
+        if (pending_) {
+            events_.cancel(*pending_);
+            pending_.reset();
+        }
+        if (residents_.empty()) {
+            rateTicksPerFeature_ = 0.0;
+            return;
+        }
+        double pf = perFeatureSeconds();
+        if (pf <= 0.0)
+            panic("accelerator unit has a zero per-feature cost");
+        rateTicksPerFeature_ =
+            pf * static_cast<double>(kTicksPerSecond);
+        double min_rem = residents_.front().remainingFeatures;
+        for (const auto &r : residents_)
+            min_rem = std::min(min_rem, r.remainingFeatures);
+        min_rem = std::max(min_rem, 0.0);
+        Tick delay = static_cast<Tick>(
+            std::ceil(min_rem * rateTicksPerFeature_));
+        pending_ =
+            events_.scheduleAfter(delay, [this] { onEvent(); });
+    }
+
+    /** A shard-completion event fired. */
+    void
+    onEvent()
+    {
+        pending_.reset(); // consumed by the queue
+        syncProgress();
+        std::vector<std::uint64_t> done;
+        auto finished = [](const Shard &s) {
+            return s.remainingFeatures <= kShardEpsilon;
+        };
+        for (const auto &r : residents_)
+            if (finished(r))
+                done.push_back(r.queryId);
+        if (done.empty() && !residents_.empty()) {
+            // Defensive against FP drift: retire the closest shard.
+            auto it = std::min_element(
+                residents_.begin(), residents_.end(),
+                [](const Shard &a, const Shard &b) {
+                    return a.remainingFeatures < b.remainingFeatures;
+                });
+            done.push_back(it->queryId);
+            it->remainingFeatures = 0.0;
+        }
+        residents_.erase(
+            std::remove_if(residents_.begin(), residents_.end(),
+                           finished),
+            residents_.end());
+        while (!waiting_.empty() &&
+               residents_.size() < maxResident_) {
+            residents_.push_back(waiting_.front());
+            waiting_.pop_front();
+        }
+        replan();
+        for (std::uint64_t id : done)
+            sched_.shardDone(id);
+        sched_.updateBusyHorizon();
+    }
+
+    sim::EventQueue &events_;
+    QueryScheduler &sched_;
+    std::uint32_t maxResident_;
+    std::vector<Shard> residents_;
+    std::deque<Shard> waiting_;
+    Tick lastUpdate_ = 0;
+    double rateTicksPerFeature_ = 0.0;
+    std::optional<sim::EventId> pending_;
+};
+
+QueryScheduler::QueryScheduler(sim::EventQueue &events,
+                               QuerySchedulerConfig config)
+    : events_(events), config_(config)
+{
+    if (config_.maxResidentScans == 0)
+        fatal("maxResidentScans must be at least 1");
+}
+
+QueryScheduler::~QueryScheduler() = default;
+
+std::vector<std::unique_ptr<QueryScheduler::AcceleratorUnit>> &
+QueryScheduler::pool(Level level, std::uint32_t count)
+{
+    auto &units = pools_[level];
+    if (units.empty()) {
+        units.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            units.push_back(std::make_unique<AcceleratorUnit>(
+                events_, *this, config_.maxResidentScans));
+    }
+    if (units.size() != count)
+        panic("accelerator count changed for level %s: %zu vs %u",
+              core::toString(level), units.size(), count);
+    return units;
+}
+
+void
+QueryScheduler::submit(QuerySubmission submission)
+{
+    DS_ASSERT(submission.queryId != 0);
+    DS_ASSERT(submission.finalize);
+    if (!submission.cacheHit) {
+        DS_ASSERT(submission.numAccelerators > 0);
+        DS_ASSERT(submission.shardFeatures > 0.0);
+    }
+    auto [it, inserted] =
+        queries_.emplace(submission.queryId, QueryInfo{});
+    if (!inserted)
+        fatal("duplicate query id %llu",
+              static_cast<unsigned long long>(submission.queryId));
+    QueryInfo &q = it->second;
+    q.sub = std::move(submission);
+    q.submitTick = events_.now();
+    q.state = QueryState::Parsed;
+    ++inFlight_;
+
+    const std::uint64_t id = q.sub.queryId;
+    Tick probe_ticks = secondsToTicks(q.sub.probeSeconds);
+    q.state = QueryState::CacheProbe;
+    if (q.sub.cacheHit) {
+        // CacheProbe -> Reduce (rescore cached top-K on a channel
+        // accelerator) -> Complete.
+        Tick rescore_ticks =
+            secondsToTicks(q.sub.hitComputeSeconds);
+        events_.scheduleChain({
+            {probe_ticks,
+             [this, id] {
+                 queries_.at(id).state = QueryState::Reduce;
+             }},
+            {rescore_ticks,
+             [this, id] { completeQuery(queries_.at(id)); }},
+        });
+    } else {
+        events_.scheduleChain({{probe_ticks, [this, id] {
+                                    enterStriped(queries_.at(id));
+                                }}});
+    }
+}
+
+void
+QueryScheduler::enterStriped(QueryInfo &q)
+{
+    q.state = QueryState::Striped;
+    auto &units = pool(q.sub.level, q.sub.numAccelerators);
+    q.outstandingShards = q.sub.numAccelerators;
+    AcceleratorUnit::Shard shard;
+    shard.queryId = q.sub.queryId;
+    shard.remainingFeatures = q.sub.shardFeatures;
+    shard.computeSec = q.sub.computeSecondsPerFeature;
+    shard.flashSec = q.sub.flashSecondsPerFeature;
+    shard.weightSec = q.sub.weightSecondsPerFeature;
+    shard.exposedSec = q.sub.exposedSecondsPerFeature;
+    shard.dbKey = q.sub.dbKey;
+    for (auto &unit : units)
+        unit->join(shard);
+    q.state = QueryState::Scanning;
+    updateBusyHorizon();
+}
+
+void
+QueryScheduler::shardDone(std::uint64_t query_id)
+{
+    QueryInfo &q = queries_.at(query_id);
+    DS_ASSERT(q.outstandingShards > 0);
+    if (--q.outstandingShards > 0)
+        return;
+    // All shards merged map-reduce style on the embedded cores; the
+    // reduce itself is modeled as instantaneous (the K·accelerators
+    // merge is negligible next to the scan) but is a distinct state.
+    q.state = QueryState::Reduce;
+    const std::uint64_t id = query_id;
+    events_.scheduleAfter(
+        0, [this, id] { completeQuery(queries_.at(id)); });
+}
+
+void
+QueryScheduler::completeQuery(QueryInfo &q)
+{
+    q.state = QueryState::Complete;
+    q.completeTick = events_.now();
+    DS_ASSERT(inFlight_ > 0);
+    --inFlight_;
+    ++completed_;
+    if (q.sub.finalize)
+        q.sub.finalize();
+}
+
+void
+QueryScheduler::updateBusyHorizon()
+{
+    if (!busyHook_)
+        return;
+    Tick horizon = events_.now();
+    for (const auto &[level, units] : pools_)
+        for (const auto &unit : units)
+            horizon = std::max(horizon, unit->busyUntilEstimate());
+    busyHook_(horizon);
+}
+
+std::optional<QueryState>
+QueryScheduler::state(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        return std::nullopt;
+    return it->second.state;
+}
+
+Tick
+QueryScheduler::submitTick(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    return it->second.submitTick;
+}
+
+Tick
+QueryScheduler::completeTick(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    if (it->second.state != QueryState::Complete)
+        fatal("query %llu has not completed",
+              static_cast<unsigned long long>(query_id));
+    return it->second.completeTick;
+}
+
+std::size_t
+QueryScheduler::residentShards() const
+{
+    std::size_t n = 0;
+    for (const auto &[level, units] : pools_)
+        for (const auto &unit : units)
+            n += unit->residents();
+    return n;
+}
+
+std::size_t
+QueryScheduler::waitingShards() const
+{
+    std::size_t n = 0;
+    for (const auto &[level, units] : pools_)
+        for (const auto &unit : units)
+            n += unit->waiting();
+    return n;
+}
+
+} // namespace deepstore::core

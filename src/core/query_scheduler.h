@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Asynchronous query scheduler: event-driven, multi-query-in-flight
+ * execution of intelligent queries across the in-storage accelerator
+ * complex.
+ *
+ * The paper's runtime schedules SCN work "map-reduce style" across
+ * the accelerators and exposes an asynchronous query/getResults API
+ * (§4.7, Table 2). This module supplies the engine side of that
+ * contract: each submitted query runs a small state machine
+ *
+ *   Parsed -> CacheProbe -> Striped -> Scanning -> Reduce -> Complete
+ *                 |                                   ^
+ *                 +---- hit: rescore cached top-K ----+
+ *
+ * driven entirely by sim::EventQueue events — the engine never blocks
+ * on `events.run()`; callers advance the shared clock via
+ * DeepStore::poll()/drain() (or any other timed engine operation).
+ *
+ * Accelerator instances are **countable resources**. Each placement
+ * level owns one AcceleratorUnit per physical accelerator (1 at SSD
+ * level, one per channel, one per chip). A query's Striped stage
+ * splits its feature range into one shard per unit; a unit admits at
+ * most `maxResidentScans` concurrent shards (others wait FIFO), so
+ * concurrent queries genuinely queue for, share, and interleave on
+ * the hardware.
+ *
+ * Shards resident on the same unit time-share it under a
+ * generalized-processor-sharing model with NCAM-style flash-stream
+ * batching: co-resident scans of the *same database* share one DFV
+ * stream (the controller reads each page once and broadcasts it into
+ * the FLASH_DFV queues), while compute and weight streaming are paid
+ * per resident. With k same-database residents the per-feature wall
+ * time is
+ *
+ *     max( flash,  sum_k compute_k,  sum_k weight_k )
+ *
+ * so a flash-bound workload (the common case at channel level)
+ * overlaps up to k scans at almost no latency cost — this is where
+ * multi-query throughput comes from. With k = 1 the expression
+ * collapses to the steady-state per-feature time of the analytic
+ * model, so single-query latency is unchanged by the refactor.
+ *
+ * Per-query latency is defined as completion tick - submit tick
+ * (queueing included); the TimeLedger owns all time accounting.
+ */
+
+#ifndef DEEPSTORE_CORE_QUERY_SCHEDULER_H
+#define DEEPSTORE_CORE_QUERY_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/placement.h"
+#include "sim/event_queue.h"
+
+namespace deepstore::core {
+
+/** Lifecycle states of an in-flight query (§4.7.1). */
+enum class QueryState
+{
+    Parsed,     ///< validated, not yet probing the Query Cache
+    CacheProbe, ///< QCN scoring against cached queries
+    Striped,    ///< shards being placed onto accelerator units
+    Scanning,   ///< shards resident/waiting on accelerator units
+    Reduce,     ///< merging per-accelerator partial top-Ks
+    Complete,   ///< results available via getResults()
+};
+
+const char *toString(QueryState s);
+
+/** Scheduler tuning knobs. */
+struct QuerySchedulerConfig
+{
+    /**
+     * Max concurrent scan shards resident on one accelerator unit;
+     * additional shards wait FIFO. Bounds the interleaving degree
+     * (and the FLASH_DFV buffering the controller must provide).
+     */
+    std::uint32_t maxResidentScans = 8;
+};
+
+/** Everything the scheduler needs to time one query. The functional
+ *  work (scoring, merging, cache insert) stays in the engine's
+ *  `finalize` callback, invoked exactly once at completion time. */
+struct QuerySubmission
+{
+    std::uint64_t queryId = 0;
+    Level level = Level::ChannelLevel;
+    std::uint32_t numAccelerators = 0;
+
+    /** Features per accelerator shard (fractional stripes keep the
+     *  aggregate identical to the analytic model). */
+    double shardFeatures = 0.0;
+
+    // Per-accelerator, per-feature service legs (LevelPerf).
+    double computeSecondsPerFeature = 0.0;
+    double flashSecondsPerFeature = 0.0;
+    double weightSecondsPerFeature = 0.0;
+    /** Additive per-feature exposure that overlap cannot hide (the
+     *  FLASH_DFV refill latency, LevelPerf's remainder above the max
+     *  of the three legs). Shared per dbKey group like the flash
+     *  stream. */
+    double exposedSecondsPerFeature = 0.0;
+
+    /** Flash-stream sharing group (database id): co-resident shards
+     *  with equal keys share one DFV stream. */
+    std::uint64_t dbKey = 0;
+
+    /** Query Cache probe latency charged before striping (0 without
+     *  a cache). */
+    double probeSeconds = 0.0;
+
+    /** Probe outcome decided at submit time. */
+    bool cacheHit = false;
+
+    /** SCN rescore latency over the cached top-K (hit path only). */
+    double hitComputeSeconds = 0.0;
+
+    /** Runs at completion (state already Complete, clock at the
+     *  completion tick). */
+    std::function<void()> finalize;
+};
+
+/** The asynchronous scheduler (see file comment). */
+class QueryScheduler
+{
+  public:
+    QueryScheduler(sim::EventQueue &events,
+                   QuerySchedulerConfig config);
+    ~QueryScheduler();
+
+    QueryScheduler(const QueryScheduler &) = delete;
+    QueryScheduler &operator=(const QueryScheduler &) = delete;
+
+    /** Accept a validated query; returns immediately after
+     *  scheduling its state machine. */
+    void submit(QuerySubmission submission);
+
+    /** State of a submitted query (nullopt when unknown). */
+    std::optional<QueryState> state(std::uint64_t query_id) const;
+
+    /** Queries submitted but not yet Complete. */
+    std::size_t inFlight() const { return inFlight_; }
+
+    /** Total queries completed so far. */
+    std::uint64_t completedCount() const { return completed_; }
+
+    Tick submitTick(std::uint64_t query_id) const;
+    Tick completeTick(std::uint64_t query_id) const;
+
+    /**
+     * Hook invoked whenever the estimated busy-until horizon of the
+     * accelerator complex changes (the SSD uses it to answer regular
+     * I/O with a busy signal during scans, §4.5).
+     */
+    void setBusyHook(std::function<void(Tick)> hook)
+    {
+        busyHook_ = std::move(hook);
+    }
+
+    /** Scan shards currently resident across all units (occupancy
+     *  introspection for stats/benches). */
+    std::size_t residentShards() const;
+
+    /** Scan shards queued behind busy units. */
+    std::size_t waitingShards() const;
+
+  private:
+    struct QueryInfo;
+    class AcceleratorUnit;
+
+    void enterStriped(QueryInfo &q);
+    void shardDone(std::uint64_t query_id);
+    void completeQuery(QueryInfo &q);
+    void updateBusyHorizon();
+    std::vector<std::unique_ptr<AcceleratorUnit>> &
+    pool(Level level, std::uint32_t count);
+
+    sim::EventQueue &events_;
+    QuerySchedulerConfig config_;
+    std::map<std::uint64_t, QueryInfo> queries_;
+    std::map<Level, std::vector<std::unique_ptr<AcceleratorUnit>>>
+        pools_;
+    std::function<void(Tick)> busyHook_;
+    std::size_t inFlight_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_QUERY_SCHEDULER_H

@@ -1,0 +1,67 @@
+#include "core/time_ledger.h"
+
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+const char *
+toString(TimeComponent c)
+{
+    switch (c) {
+      case TimeComponent::HostWrite: return "hostWrite";
+      case TimeComponent::HostRead: return "hostRead";
+      case TimeComponent::ModelUpload: return "modelUpload";
+      case TimeComponent::QcLookup: return "qcLookup";
+      case TimeComponent::CacheHit: return "cacheHit";
+      case TimeComponent::Scan: return "scan";
+      case TimeComponent::Metadata: return "metadata";
+      case TimeComponent::Count: break;
+    }
+    return "unknown";
+}
+
+void
+TimeLedger::attribute(double s, TimeComponent c)
+{
+    if (s < 0.0)
+        panic("attributing a negative duration (%f s)", s);
+    perComponent_[static_cast<std::size_t>(c)] += s;
+}
+
+void
+TimeLedger::advance(double s, TimeComponent c)
+{
+    if (s < 0.0)
+        panic("advancing the clock by a negative duration (%f s)", s);
+    events_.runUntil(events_.now() + secondsToTicks(s));
+    attribute(s, c);
+}
+
+double
+TimeLedger::componentSeconds(TimeComponent c) const
+{
+    return perComponent_[static_cast<std::size_t>(c)];
+}
+
+double
+TimeLedger::attributedSeconds() const
+{
+    double sum = 0.0;
+    for (double v : perComponent_)
+        sum += v;
+    return sum;
+}
+
+void
+TimeLedger::dump(std::ostream &os) const
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TimeComponent::Count); ++i) {
+        os << "engine.time." << toString(static_cast<TimeComponent>(i))
+           << " = " << perComponent_[i] << "\n";
+    }
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * TimeLedger: the single owner of simulated-time accounting for the
+ * DeepStore engine.
+ *
+ * Before the async-scheduler refactor the engine kept a private
+ * `simSeconds_` accumulator that was bumped at eight scattered call
+ * sites, *in addition to* advancing the discrete-event clock — a
+ * double-accounting hazard (a cache hit added its latency to the
+ * accumulator and then ran the event queue over the same window).
+ *
+ * The ledger fixes this by construction: **simulated time IS the
+ * event-queue tick**. `seconds()` is a pure view of the queue's
+ * clock, so it can never drift from the device simulation. Code that
+ * previously added closed-form durations now either
+ *
+ *   - `attribute(s, c)`  — label an interval that already elapsed on
+ *     the event queue (e.g. an event-driven host write), or
+ *   - `advance(s, c)`    — move the shared clock forward by a
+ *     closed-form duration (e.g. a model upload over the host
+ *     interface), running any device/scheduler events that fall
+ *     inside the window, then label it.
+ *
+ * Per-component totals are *occupancy* seconds: with multiple queries
+ * in flight they may legitimately sum to more than the wall-clock
+ * total (two overlapping scans each attribute their full latency).
+ */
+
+#ifndef DEEPSTORE_CORE_TIME_LEDGER_H
+#define DEEPSTORE_CORE_TIME_LEDGER_H
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "sim/event_queue.h"
+
+namespace deepstore::core {
+
+/** Where a span of simulated time was spent. */
+enum class TimeComponent : std::size_t
+{
+    HostWrite,   ///< database writes / appends over the host path
+    HostRead,    ///< readDB transfers over the host path
+    ModelUpload, ///< SCN/QCN weight upload into SSD DRAM
+    QcLookup,    ///< QCN scoring of the Query Cache
+    CacheHit,    ///< SCN rescore of cached top-K entries
+    Scan,        ///< full accelerator scans (queueing included)
+    Metadata,    ///< metadata persist/reload on the reserved block
+    Count
+};
+
+const char *toString(TimeComponent c);
+
+/** Owner of simulated-time accounting (see file comment). */
+class TimeLedger
+{
+  public:
+    explicit TimeLedger(sim::EventQueue &events) : events_(events) {}
+
+    TimeLedger(const TimeLedger &) = delete;
+    TimeLedger &operator=(const TimeLedger &) = delete;
+
+    /** The simulated clock, in ticks. */
+    Tick nowTick() const { return events_.now(); }
+
+    /** The simulated clock, in seconds. Always equals
+     *  ticksToSeconds(nowTick()). */
+    double seconds() const { return ticksToSeconds(events_.now()); }
+
+    /**
+     * Label `s` seconds that have *already elapsed* on the event
+     * queue (the caller measured a tick delta). Does not move the
+     * clock.
+     */
+    void attribute(double s, TimeComponent c);
+
+    /**
+     * Advance the shared clock by a closed-form duration and label
+     * it. Device/scheduler events falling inside the window execute
+     * (the device keeps running while the host-side operation is in
+     * progress).
+     */
+    void advance(double s, TimeComponent c);
+
+    /** Occupancy seconds attributed to one component. */
+    double componentSeconds(TimeComponent c) const;
+
+    /** Sum of all attributed occupancy seconds. */
+    double attributedSeconds() const;
+
+    /** Dump `engine.time.<component>` lines (deterministic order). */
+    void dump(std::ostream &os) const;
+
+  private:
+    sim::EventQueue &events_;
+    std::array<double,
+               static_cast<std::size_t>(TimeComponent::Count)>
+        perComponent_{};
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_TIME_LEDGER_H

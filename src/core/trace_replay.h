@@ -1,20 +1,28 @@
 /**
  * @file
  * Trace replay: feed a timestamped query trace (paper §5) through a
- * single-server queueing model of a query system — the GPU+SSD
- * baseline or a DeepStore level, with or without the Query Cache —
- * and report throughput and the response-time distribution.
+ * query system and report throughput and the response-time
+ * distribution. Two backends:
  *
- * Queries are served FIFO: one scan owns the accelerators (or the
- * GPU) at a time, so a query's response time is its queueing delay
- * plus its own service time (cache lookup + hit/miss work).
+ * - replayTrace: a closed-form single-server FIFO queueing model (the
+ *   GPU+SSD baseline or a DeepStore level, with or without the Query
+ *   Cache). One scan owns the accelerators at a time, so a query's
+ *   response time is its queueing delay plus its own service time.
+ *
+ * - replayTraceOnEngine: drive a live DeepStore through its
+ *   asynchronous submit path. Arrivals become event-queue events at
+ *   their trace timestamps, queries overlap on the accelerator
+ *   complex under the scheduler's sharing model, and per-query
+ *   response times come from real completion ticks.
  */
 
 #ifndef DEEPSTORE_CORE_TRACE_REPLAY_H
 #define DEEPSTORE_CORE_TRACE_REPLAY_H
 
 #include <functional>
+#include <optional>
 
+#include "core/deepstore.h"
 #include "core/query_cache.h"
 #include "workloads/trace.h"
 
@@ -55,6 +63,33 @@ struct ReplayStats
 ReplayStats replayTrace(const workloads::QueryTrace &trace,
                         const ReplayService &service,
                         QueryCache *cache);
+
+/** How replayTraceOnEngine turns trace records into queries. */
+struct EngineReplayConfig
+{
+    std::size_t k = 5;
+    std::uint64_t modelId = 0;
+    std::uint64_t dbId = 0;
+    std::uint64_t dbStart = 0;
+    /** 0 = scan to the end of the database. */
+    std::uint64_t dbEnd = 0;
+    std::optional<Level> level;
+    /** QFVs come from universe->featureOf(queryId, featureDim). */
+    std::int64_t featureDim = 0;
+    const workloads::QueryUniverse *universe = nullptr;
+};
+
+/**
+ * Replay the trace on a live engine: each record's query is submitted
+ * asynchronously at its arrival tick, queries interleave on the
+ * accelerator complex, and response times are completion - arrival in
+ * simulated time. The engine's own Query Cache (setQC) decides
+ * hits/misses. Note `utilization` here reports accelerator-time
+ * occupancy over the span — it can exceed 1 when scans overlap.
+ */
+ReplayStats replayTraceOnEngine(DeepStore &store,
+                                const workloads::QueryTrace &trace,
+                                const EngineReplayConfig &config);
 
 } // namespace deepstore::core
 

@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <memory>
+
 #include "common/logging.h"
 
 namespace deepstore::sim {
@@ -23,6 +25,45 @@ EventId
 EventQueue::scheduleAfter(Tick delay, Callback cb)
 {
     return schedule(now_ + delay, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleChain(std::vector<ChainStage> stages)
+{
+    if (stages.empty())
+        panic("scheduleChain needs at least one stage");
+    // Each fired stage schedules its successor, so clock movement
+    // between stages is respected automatically.
+    auto run_from = std::make_shared<std::function<void(std::size_t)>>();
+    auto shared = std::make_shared<std::vector<ChainStage>>(
+        std::move(stages));
+    *run_from = [this, shared, run_from](std::size_t i) {
+        if ((*shared)[i].fn)
+            (*shared)[i].fn();
+        std::size_t next = i + 1;
+        if (next < shared->size())
+            scheduleAfter((*shared)[next].delay,
+                          [run_from, next] { (*run_from)(next); });
+    };
+    return scheduleAfter((*shared)[0].delay,
+                         [run_from] { (*run_from)(0); });
+}
+
+EventId
+EventQueue::schedulePeriodic(Tick first, Tick period,
+                             std::function<bool()> fn)
+{
+    if (period == 0)
+        panic("schedulePeriodic needs a positive period");
+    if (!fn)
+        panic("schedulePeriodic needs a callable");
+    auto tick = std::make_shared<std::function<void()>>();
+    auto body = std::make_shared<std::function<bool()>>(std::move(fn));
+    *tick = [this, body, tick, period] {
+        if ((*body)())
+            scheduleAfter(period, [tick] { (*tick)(); });
+    };
+    return scheduleAfter(first, [tick] { (*tick)(); });
 }
 
 bool

@@ -83,7 +83,7 @@ TEST(DeepStoreApi, QueryFindsTrueTopK)
     std::uint64_t model = ds.loadModel(dotModel(dim));
 
     std::vector<float> qfv = db_src->featureAt(17);
-    std::uint64_t qid = ds.query(qfv, 5, model, db, 0, 0);
+    std::uint64_t qid = ds.querySync(qfv, 5, model, db, 0, 0);
     const QueryResult &res = ds.getResults(qid);
     ASSERT_EQ(res.topK.size(), 5u);
     EXPECT_EQ(res.featuresScanned, 200u);
@@ -126,8 +126,8 @@ TEST(DeepStoreApi, SubRangeQueriesScanLess)
     std::uint64_t db = ds.writeDB(src);
     std::uint64_t model = ds.loadModel(dotModel(16));
     std::vector<float> qfv = src->featureAt(0);
-    std::uint64_t full = ds.query(qfv, 3, model, db, 0, 0);
-    std::uint64_t half = ds.query(qfv, 3, model, db, 0, 50);
+    std::uint64_t full = ds.querySync(qfv, 3, model, db, 0, 0);
+    std::uint64_t half = ds.querySync(qfv, 3, model, db, 0, 50);
     EXPECT_EQ(ds.getResults(full).featuresScanned, 100u);
     EXPECT_EQ(ds.getResults(half).featuresScanned, 50u);
     EXPECT_GT(ds.getResults(full).latencySeconds,
@@ -145,9 +145,9 @@ TEST(DeepStoreApi, LevelsDifferInLatencyNotResults)
     std::uint64_t model = ds.loadModel(dotModel(16));
     std::vector<float> qfv = src->featureAt(3);
     auto ch = ds.getResults(
-        ds.query(qfv, 4, model, db, 0, 0, Level::ChannelLevel));
+        ds.querySync(qfv, 4, model, db, 0, 0, Level::ChannelLevel));
     auto ssd = ds.getResults(
-        ds.query(qfv, 4, model, db, 0, 0, Level::SsdLevel));
+        ds.querySync(qfv, 4, model, db, 0, 0, Level::SsdLevel));
     EXPECT_EQ(ch.topK, ssd.topK);
     EXPECT_LT(ch.latencySeconds, ssd.latencySeconds);
 }
@@ -182,13 +182,13 @@ TEST(DeepStoreApi, QueryCacheHitReturnsCachedTopK)
              /*capacity=*/16);
 
     std::vector<float> qfv = src->featureAt(42);
-    std::uint64_t first = ds.query(qfv, 5, scn, db, 0, 0);
+    std::uint64_t first = ds.querySync(qfv, 5, scn, db, 0, 0);
     const auto &cold = ds.getResults(first);
     EXPECT_FALSE(cold.cacheHit);
 
     // The identical query again: must hit and return the same top-K
     // while scanning only the cached entries.
-    std::uint64_t second = ds.query(qfv, 5, scn, db, 0, 0);
+    std::uint64_t second = ds.querySync(qfv, 5, scn, db, 0, 0);
     const auto &warm = ds.getResults(second);
     EXPECT_TRUE(warm.cacheHit);
     EXPECT_EQ(warm.featuresScanned, 5u);
@@ -206,7 +206,7 @@ TEST(DeepStoreApi, ObjectIdsAreValidPpns)
     std::uint64_t db = ds.writeDB(src);
     std::uint64_t model = ds.loadModel(dotModel(16));
     auto res =
-        ds.getResults(ds.query(src->featureAt(0), 3, model, db, 0, 0));
+        ds.getResults(ds.querySync(src->featureAt(0), 3, model, db, 0, 0));
     const DbMetadata &md = ds.databaseInfo(db);
     for (const auto &r : res.topK) {
         EXPECT_EQ(r.objectId,
@@ -236,7 +236,7 @@ TEST(DeepStoreApi, DumpStatsReportsEngineAndSsdCounters)
     std::uint64_t scn = ds.loadModel(dotModel(16));
     std::uint64_t qcn = ds.loadModel(dotModel(16));
     ds.setQC(qcn, 0.2, 0.99, 4);
-    ds.getResults(ds.query(src->featureAt(1), 2, scn, db, 0, 0));
+    ds.getResults(ds.querySync(src->featureAt(1), 2, scn, db, 0, 0));
     std::ostringstream os;
     ds.dumpStats(os);
     std::string s = os.str();
@@ -256,7 +256,7 @@ TEST(DeepStoreApi, SerializedModelRoundTripsThroughApi)
     auto src = randomDb(16, 20, 19);
     std::uint64_t db = ds.writeDB(src);
     EXPECT_NO_THROW(
-        ds.getResults(ds.query(src->featureAt(1), 2, model, db, 0, 0)));
+        ds.getResults(ds.querySync(src->featureAt(1), 2, model, db, 0, 0)));
 }
 
 } // namespace

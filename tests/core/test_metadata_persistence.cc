@@ -96,7 +96,7 @@ TEST(MetadataPersistence, SurvivesDramLoss)
     std::uint64_t model = ds.loadModel(
         nn::ModelBundle{m, nn::ModelWeights::random(m, 1)});
     auto res = ds.getResults(
-        ds.query(gen.featureAt(5), 3, model, db, 0, 0));
+        ds.querySync(gen.featureAt(5), 3, model, db, 0, 0));
     EXPECT_EQ(res.featuresScanned, 200u);
 }
 

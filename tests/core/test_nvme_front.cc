@@ -16,12 +16,13 @@ struct Rig
     DeepStore store{DeepStoreConfig{}};
     NvmeFrontEnd nvme{store, 16};
 
-    /** Submit, process, and pop one completion. */
+    /** Submit, process, pump until a completion posts, pop it. */
     NvmeCompletion
     run(const NvmeCommand &cmd)
     {
         EXPECT_TRUE(nvme.submit(cmd));
         nvme.process();
+        nvme.pump();
         auto done = nvme.pollCompletion();
         EXPECT_TRUE(done.has_value());
         return *done;
@@ -214,6 +215,80 @@ TEST(NvmeFront, RejectsZeroDepthQueue)
 {
     DeepStore store{DeepStoreConfig{}};
     EXPECT_THROW(NvmeFrontEnd(store, 0), FatalError);
+}
+
+TEST(NvmeFront, QueryCompletionsArriveOutOfOrder)
+{
+    // Two queries over the same database: a slow SSD-level scan
+    // submitted first and a fast channel-level scan second. Their
+    // completion entries must post in simulated-latency order (fast
+    // first), not submission order.
+    Rig rig;
+    std::uint64_t db = rig.writeDb(8, 200);
+    std::uint64_t model = rig.loadDotModel(8);
+
+    auto make_query = [&](std::uint16_t cid, Level level) {
+        NvmeCommand q;
+        q.opcode = NvmeOpcode::Query;
+        q.cid = cid;
+        q.prp =
+            rig.nvme.buffers().add(std::vector<float>(8, 1.0f));
+        q.cdw[0] = 3;
+        q.cdw[1] = model;
+        q.cdw[2] = db;
+        q.cdw[5] = static_cast<std::uint64_t>(level) + 1;
+        return q;
+    };
+    NvmeCommand slow = make_query(100, Level::SsdLevel);
+    NvmeCommand fast = make_query(101, Level::ChannelLevel);
+    ASSERT_TRUE(rig.nvme.submit(slow));
+    ASSERT_TRUE(rig.nvme.submit(fast));
+    rig.nvme.process();
+
+    // Both accepted: no completions yet, both engine queries known.
+    EXPECT_FALSE(rig.nvme.pollCompletion().has_value());
+    auto slow_qid = rig.nvme.queryIdForCid(100);
+    auto fast_qid = rig.nvme.queryIdForCid(101);
+    ASSERT_TRUE(slow_qid.has_value());
+    ASSERT_TRUE(fast_qid.has_value());
+
+    // GetResults on an in-flight query: retryable InProgress.
+    NvmeCommand g;
+    g.opcode = NvmeOpcode::GetResults;
+    g.cid = 102;
+    g.prp = rig.nvme.buffers().add({});
+    g.cdw[0] = *slow_qid;
+    ASSERT_TRUE(rig.nvme.submit(g));
+    rig.nvme.process();
+    auto early = rig.nvme.pollCompletion();
+    ASSERT_TRUE(early.has_value());
+    EXPECT_EQ(early->status, NvmeStatus::InProgress);
+    EXPECT_EQ(early->result, *slow_qid);
+
+    // First interrupt: the channel-level query (submitted second).
+    ASSERT_TRUE(rig.nvme.pump());
+    auto first = rig.nvme.pollCompletion();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->cid, 101);
+    EXPECT_EQ(first->status, NvmeStatus::Success);
+    EXPECT_EQ(first->result, *fast_qid);
+
+    // Second interrupt: the SSD-level query.
+    ASSERT_TRUE(rig.nvme.pump());
+    auto second = rig.nvme.pollCompletion();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->cid, 100);
+    EXPECT_EQ(second->result, *slow_qid);
+
+    // GetResults now succeeds for both.
+    g.cid = 103;
+    auto gdone = rig.run(g);
+    EXPECT_EQ(gdone.status, NvmeStatus::Success);
+    EXPECT_EQ(gdone.result, 3u);
+
+    // Latencies reflect the levels.
+    EXPECT_GT(rig.store.getResults(*slow_qid).latencySeconds,
+              rig.store.getResults(*fast_qid).latencySeconds);
 }
 
 } // namespace

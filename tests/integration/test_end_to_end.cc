@@ -93,9 +93,9 @@ TEST(EndToEnd, MultipleDatabasesAndModelsCoexist)
     EXPECT_NE(md_a.startPpn, md_b.startPpn);
 
     auto ra = store.getResults(
-        store.query(gen_a.featureAt(10), 3, model_a, db_a, 0, 0));
+        store.querySync(gen_a.featureAt(10), 3, model_a, db_a, 0, 0));
     auto rb = store.getResults(
-        store.query(gen_b.featureAt(10), 3, model_b, db_b, 0, 0));
+        store.querySync(gen_b.featureAt(10), 3, model_b, db_b, 0, 0));
     EXPECT_EQ(ra.featuresScanned, 300u);
     EXPECT_EQ(rb.featuresScanned, 200u);
     // Model/database dimension mismatch across pairs is rejected.
@@ -128,7 +128,7 @@ TEST(EndToEnd, CachedQueryStreamBehavesLikeAlgorithm1)
         auto qfv = gen.featureForTopic(intents[i],
                                        1000 + i); // fresh phrasing
         auto res = store.getResults(
-            store.query(qfv, 4, scn, db, 0, 0));
+            store.querySync(qfv, 4, scn, db, 0, 0));
         if (res.cacheHit) {
             ++hits;
             hit_latency += res.latencySeconds;
