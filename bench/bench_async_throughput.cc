@@ -106,6 +106,13 @@ main()
     double analytic =
         perf.aggregateSeconds * static_cast<double>(kFeatures);
 
+    bench::JsonReport report("async_throughput");
+    report.meta("dim", static_cast<double>(kDim))
+        .meta("features", static_cast<double>(kFeatures))
+        .meta("queriesPerDepth",
+              static_cast<double>(kQueriesPerDepth))
+        .meta("analyticDepth1LatencySeconds", analytic);
+
     TextTable t({"in-flight", "sim QPS", "mean lat (ms)",
                  "speedup vs 1"});
     double base_qps = 0.0;
@@ -124,7 +131,13 @@ main()
         t.addRow({std::to_string(depth), TextTable::num(qps, 0),
                   TextTable::num(mean_latency * 1e3, 3),
                   TextTable::num(qps / base_qps, 2) + "x"});
+        report.beginRow()
+            .col("depth", static_cast<double>(depth))
+            .col("simQps", qps)
+            .col("meanLatencySeconds", mean_latency)
+            .col("speedupVsDepth1", qps / base_qps);
     }
     t.print(std::cout);
+    report.write();
     return 0;
 }

@@ -12,6 +12,10 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
 
 namespace deepstore::bench {
 
@@ -33,6 +37,126 @@ section(const std::string &title)
 {
     std::printf("\n--- %s ---\n", title.c_str());
 }
+
+/**
+ * Machine-readable bench output: collects named scalars plus a list
+ * of uniform rows and writes them as `BENCH_<name>.json` in the
+ * working directory, so CI and plotting scripts can consume bench
+ * results without scraping the text tables.
+ *
+ *     JsonReport report("async_throughput");
+ *     report.meta("features", 20000.0);
+ *     report.beginRow().col("depth", 4.0).col("qps", qps);
+ *     report.write();
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    /** Top-level scalar (numeric). */
+    JsonReport &
+    meta(const std::string &key, double value)
+    {
+        meta_.push_back(quote(key) + ": " + num(value));
+        return *this;
+    }
+
+    /** Top-level scalar (string). */
+    JsonReport &
+    meta(const std::string &key, const std::string &value)
+    {
+        meta_.push_back(quote(key) + ": " + quote(value));
+        return *this;
+    }
+
+    /** Start a new entry in the "rows" array. */
+    JsonReport &
+    beginRow()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Numeric column of the current row. */
+    JsonReport &
+    col(const std::string &key, double value)
+    {
+        DS_ASSERT(!rows_.empty());
+        rows_.back().push_back(quote(key) + ": " + num(value));
+        return *this;
+    }
+
+    /** String column of the current row. */
+    JsonReport &
+    col(const std::string &key, const std::string &value)
+    {
+        DS_ASSERT(!rows_.empty());
+        rows_.back().push_back(quote(key) + ": " + quote(value));
+        return *this;
+    }
+
+    /** Output path: BENCH_<name>.json in the working directory. */
+    std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+    /** Serialize and write the report; fatal() on I/O failure. */
+    void
+    write() const
+    {
+        std::FILE *f = std::fopen(path().c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", path().c_str());
+        std::string out = "{\n  " + quote("bench") + ": " +
+                          quote(name_);
+        for (const auto &m : meta_)
+            out += ",\n  " + m;
+        out += ",\n  " + quote("rows") + ": [";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out += i ? ",\n    {" : "\n    {";
+            for (std::size_t j = 0; j < rows_[i].size(); ++j)
+                out += (j ? ", " : "") + rows_[i][j];
+            out += "}";
+        }
+        out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+        if (std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+            std::fclose(f);
+            fatal("short write to %s", path().c_str());
+        }
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path().c_str());
+    }
+
+  private:
+    static std::string
+    num(double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.12g", v);
+        return buf;
+    }
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof esc, "\\u%04x", c);
+                out += esc;
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    std::string name_;
+    std::vector<std::string> meta_;
+    std::vector<std::vector<std::string>> rows_;
+};
 
 } // namespace deepstore::bench
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Mixed ingest/query workload: simulated query latency and QPS while
+ * appendDB writes stream into the same SSD, at in-flight depths
+ * 1/4/16. With the unified flash datapath the programs and the scan
+ * streams execute on the *same* per-channel FlashControllers, so the
+ * degradation measured here is physical plane/bus contention, not a
+ * modeled penalty: host programs occupy planes for programLatency
+ * while scan reads queue behind them.
+ *
+ * Each depth runs twice — queries alone, then queries with a
+ * closed-loop ingest stream — and reports the latency/QPS ratio.
+ * Results are also written to BENCH_mixed_ingest_query.json.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/deepstore.h"
+#include "workloads/feature_gen.h"
+
+using namespace deepstore;
+
+namespace {
+
+constexpr std::int64_t kDim = 128;        // 512 B features
+constexpr std::uint64_t kFeatures = 20'000;
+constexpr std::uint64_t kQueries = 64;
+constexpr std::uint64_t kIngestBatch = 1'024; // 32 pages per append
+
+nn::ModelBundle
+dotModel(std::int64_t dim)
+{
+    nn::Model m("bench-scn", dim, false);
+    m.addLayer(nn::Layer::elementWise("dot", nn::EwOp::DotProduct,
+                                      dim));
+    auto w = nn::ModelWeights::random(m, 1);
+    return nn::ModelBundle{std::move(m), std::move(w)};
+}
+
+struct RunResult
+{
+    double qps = 0.0;
+    double meanLatency = 0.0;
+    double maxLatency = 0.0;
+    double ingestFeaturesPerSec = 0.0;
+};
+
+/**
+ * Closed-loop queries at `depth` in flight until kQueries complete;
+ * when `ingest` is set, appendDB batches stream into the queried
+ * database for the whole span (each append advances simulated time,
+ * so query completions interleave with the program traffic).
+ */
+RunResult
+runMixed(int depth, bool ingest)
+{
+    core::DeepStoreConfig cfg;
+    cfg.defaultLevel = core::Level::ChannelLevel;
+    core::DeepStore ds(cfg);
+    workloads::FeatureGenerator gen(kDim, 32, 21);
+    std::uint64_t db = ds.writeDB(
+        std::make_shared<core::GeneratedFeatureSource>(gen,
+                                                       kFeatures));
+    std::uint64_t model = ds.loadModel(dotModel(kDim));
+
+    std::uint64_t submitted = 0;
+    RunResult r;
+    std::uint64_t completed = 0;
+    double latency_sum = 0.0;
+    double t_last = 0.0;
+
+    std::function<void()> submitOne = [&] {
+        std::vector<float> qfv = gen.featureAt(submitted % kFeatures);
+        // Query the original range only, so the scan work stays
+        // constant while the database grows underneath it.
+        std::uint64_t qid =
+            ds.query(qfv, 5, model, db, 0, kFeatures);
+        ++submitted;
+        ds.onComplete(qid, [&](const core::QueryResult &res) {
+            latency_sum += res.latencySeconds;
+            r.maxLatency = std::max(r.maxLatency,
+                                    res.latencySeconds);
+            ++completed;
+            t_last = ds.simulatedSeconds();
+            if (submitted < kQueries)
+                submitOne();
+        });
+    };
+
+    const double t0 = ds.simulatedSeconds();
+    for (int i = 0; i < depth &&
+                    submitted < kQueries;
+         ++i)
+        submitOne();
+
+    std::uint64_t appended = 0;
+    while (completed < kQueries) {
+        if (ingest) {
+            // One ingest batch: 32 full-page programs through the
+            // host path, contending with every in-flight scan.
+            ds.appendDB(db,
+                        std::make_shared<core::GeneratedFeatureSource>(
+                            gen, kIngestBatch));
+            appended += kIngestBatch;
+        } else {
+            ds.drain();
+        }
+    }
+
+    const double span = t_last - t0;
+    r.qps = static_cast<double>(completed) / span;
+    r.meanLatency = latency_sum / static_cast<double>(completed);
+    r.ingestFeaturesPerSec =
+        ingest ? static_cast<double>(appended) / span : 0.0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "mixed ingest + query",
+        "closed-loop channel-level queries vs concurrent appendDB "
+        "ingest\n(unified datapath: programs and scans share the "
+        "flash controllers)");
+
+    bench::JsonReport report("mixed_ingest_query");
+    report.meta("dim", static_cast<double>(kDim))
+        .meta("features", static_cast<double>(kFeatures))
+        .meta("queries", static_cast<double>(kQueries))
+        .meta("ingestBatchFeatures",
+              static_cast<double>(kIngestBatch));
+
+    TextTable t({"in-flight", "ingest", "sim QPS", "mean lat (ms)",
+                 "max lat (ms)", "lat vs idle", "ingest MF/s"});
+    for (int depth : {1, 4, 16}) {
+        RunResult idle = runMixed(depth, false);
+        RunResult mixed = runMixed(depth, true);
+        const double slowdown = mixed.meanLatency / idle.meanLatency;
+        for (const auto *p : {&idle, &mixed}) {
+            const bool ingest = p == &mixed;
+            t.addRow({std::to_string(depth), ingest ? "yes" : "no",
+                      TextTable::num(p->qps, 0),
+                      TextTable::num(p->meanLatency * 1e3, 3),
+                      TextTable::num(p->maxLatency * 1e3, 3),
+                      ingest ? TextTable::num(slowdown, 2) + "x"
+                             : "1.00x",
+                      TextTable::num(
+                          p->ingestFeaturesPerSec / 1e6, 2)});
+            report.beginRow()
+                .col("depth", static_cast<double>(depth))
+                .col("ingest", ingest ? 1.0 : 0.0)
+                .col("simQps", p->qps)
+                .col("meanLatencySeconds", p->meanLatency)
+                .col("maxLatencySeconds", p->maxLatency)
+                .col("latencyVsIdle", ingest ? slowdown : 1.0)
+                .col("ingestFeaturesPerSecond",
+                     p->ingestFeaturesPerSec);
+        }
+    }
+    t.print(std::cout);
+    report.write();
+    return 0;
+}

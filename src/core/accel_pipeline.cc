@@ -1,139 +1,37 @@
 #include "core/accel_pipeline.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "core/scan_core.h"
 #include "sim/clock.h"
+#include "ssd/dfv_stream.h"
 
 namespace deepstore::core {
 
 namespace {
 
-/** Mutable state of one pipeline run, driven by event callbacks. */
-struct PipelineState
+/** Page address for the i-th page of this channel's stripe:
+ *  round-robin chips, then planes, then advance block/page — the
+ *  §4.4 layout restricted to one channel (identical to
+ *  Geometry::decode for a one-channel SSD, which is what makes the
+ *  live engine path and this standalone run comparable
+ *  tick-for-tick). */
+ssd::PageAddress
+pageAddress(std::uint64_t i, std::uint32_t channel_id,
+            const ssd::FlashParams &params)
 {
-    sim::EventQueue &events;
-    ssd::FlashController &channel;
-    ssd::FlashParams params;
-    PipelineRunConfig config;
-    ssd::FeatureLayout layout;
-
-    std::uint64_t totalPages = 0;
-    std::uint64_t pagesIssued = 0;
-    std::uint64_t pagesCompleted = 0;
-    std::uint64_t pagesFreed = 0;
-    std::uint64_t inflight = 0;
-
-    std::uint64_t featuresDone = 0;
-    bool computing = false;
-    Tick computeIdleSince = 0;
-
-    PipelineRunStats stats;
-
-    PipelineState(sim::EventQueue &ev, ssd::FlashController &ch,
-                  const ssd::FlashParams &p,
-                  const PipelineRunConfig &cfg)
-        : events(ev), channel(ch), params(p), config(cfg),
-          layout{cfg.featureBytes, p.pageBytes}
-    {
-        totalPages = layout.pagesForFeatures(cfg.features);
-        computeIdleSince = ev.now();
-    }
-
-    /** Page address for the i-th page of this channel's stripe:
-     *  round-robin chips, then planes, then advance block/page. */
-    ssd::PageAddress
-    pageAddress(std::uint64_t i) const
-    {
-        ssd::PageAddress a;
-        a.channel = channel.channelId();
-        a.chip = static_cast<std::uint32_t>(i % params.chipsPerChannel);
-        std::uint64_t r = i / params.chipsPerChannel;
-        a.plane = static_cast<std::uint32_t>(r % params.planesPerChip);
-        r /= params.planesPerChip;
-        a.page = static_cast<std::uint32_t>(r % params.pagesPerBlock);
-        a.block = static_cast<std::uint32_t>(
-            (r / params.pagesPerBlock) % params.blocksPerPlane);
-        return a;
-    }
-
-    /** Pages currently occupying FLASH_DFV slots (buffered or in
-     *  flight). */
-    std::uint64_t
-    slotsUsed() const
-    {
-        return inflight + (pagesCompleted - pagesFreed);
-    }
-
-    bool
-    nextFeatureReady() const
-    {
-        if (featuresDone >= config.features)
-            return false;
-        return pagesCompleted >=
-               layout.pagesForFeatures(featuresDone + 1);
-    }
-};
-
-void tryCompute(const std::shared_ptr<PipelineState> &st);
-
-void
-issueReads(const std::shared_ptr<PipelineState> &st)
-{
-    while (st->pagesIssued < st->totalPages &&
-           st->slotsUsed() < st->config.queueDepthPages) {
-        std::uint64_t idx = st->pagesIssued++;
-        ++st->inflight;
-        ssd::FlashCommand cmd;
-        cmd.op = ssd::FlashOp::Read;
-        cmd.addr = st->pageAddress(idx);
-        cmd.transferBytes = st->layout.transferBytesPerPage();
-        cmd.onComplete = [st](Tick) {
-            --st->inflight;
-            ++st->pagesCompleted;
-            ++st->stats.pageReads;
-            tryCompute(st);
-        };
-        st->channel.issue(std::move(cmd));
-    }
-}
-
-void
-tryCompute(const std::shared_ptr<PipelineState> &st)
-{
-    if (st->computing)
-        return;
-    if (!st->nextFeatureReady()) {
-        // Starved (or finished): account idle time from now until
-        // the next start.
-        return;
-    }
-    // Account starvation between the previous completion and now.
-    st->stats.starvedSeconds +=
-        ticksToSeconds(st->events.now() - st->computeIdleSince);
-    st->computing = true;
-    sim::Clock clock(st->config.frequencyHz);
-    Tick busy = clock.cyclesToTicks(st->config.computeCyclesPerFeature);
-    st->stats.computeBusySeconds += ticksToSeconds(busy);
-    st->events.scheduleAfter(busy, [st] {
-        st->computing = false;
-        ++st->featuresDone;
-        st->computeIdleSince = st->events.now();
-        // Free the FLASH_DFV slots of fully consumed pages. A page
-        // shared with the *next* feature (packed layout) stays
-        // buffered until that feature is done with it.
-        std::uint64_t consumed =
-            st->layout.pagesForFeatures(st->featuresDone);
-        if (st->featuresDone < st->config.features && consumed > 0 &&
-            st->layout.pagesForFeatures(st->featuresDone + 1) ==
-                consumed) {
-            --consumed;
-        }
-        st->pagesFreed = std::max(st->pagesFreed, consumed);
-        issueReads(st);
-        tryCompute(st);
-    });
+    ssd::PageAddress a;
+    a.channel = channel_id;
+    a.chip = static_cast<std::uint32_t>(i % params.chipsPerChannel);
+    std::uint64_t r = i / params.chipsPerChannel;
+    a.plane = static_cast<std::uint32_t>(r % params.planesPerChip);
+    r /= params.planesPerChip;
+    a.page = static_cast<std::uint32_t>(r % params.pagesPerBlock);
+    a.block = static_cast<std::uint32_t>(
+        (r / params.pagesPerBlock) % params.blocksPerPlane);
+    return a;
 }
 
 } // namespace
@@ -151,18 +49,76 @@ runAcceleratorPipeline(sim::EventQueue &events,
     if (config.queueDepthPages == 0)
         fatal("FLASH_DFV queue depth must be at least 1");
 
-    auto st = std::make_shared<PipelineState>(events, channel, params,
-                                              config);
-    Tick start = events.now();
-    issueReads(st);
+    ssd::FeatureLayout layout{config.featureBytes, params.pageBytes};
+    const std::uint64_t total_pages =
+        layout.pagesForFeatures(config.features);
+    const std::uint64_t transfer_bytes =
+        layout.transferBytesPerPage();
+
+    // Single-controller shim: every plan page targets this channel.
+    StatGroup stream_stats;
+    ssd::DfvStreamService service(
+        events,
+        [&channel](std::uint32_t) -> ssd::FlashController & {
+            return channel;
+        },
+        stream_stats);
+
+    ScanStepShape shape;
+    if (config.featureBytes <= params.pageBytes) {
+        shape.pageReadsPerStep = 1;
+        shape.featuresPerStep = layout.featuresPerPage();
+    } else {
+        shape.pageReadsPerStep = layout.pagesPerFeature();
+        shape.featuresPerStep = 1;
+    }
+
+    // A burst must end on a step boundary or the refill barrier
+    // would wait forever on pages the scan cannot consume.
+    const std::uint32_t prs =
+        static_cast<std::uint32_t>(shape.pageReadsPerStep);
+    std::uint32_t depth = config.queueDepthPages;
+    depth = std::max(prs, depth - depth % prs);
+
+    ssd::DfvPlan plan;
+    plan.pages.reserve(total_pages);
+    for (std::uint64_t i = 0; i < total_pages; ++i)
+        plan.pages.push_back(
+            pageAddress(i, channel.channelId(), params));
+    plan.transferBytesPerPage = transfer_bytes;
+    plan.queueDepthPages = depth;
+    plan.perChannelIssueInterval = secondsToTicks(
+        1.0 / ssd::channelPageRate(params, transfer_bytes));
+
+    const Tick start = events.now();
+    ComputeArbiter arbiter;
+    ssd::DfvStream &stream = service.open(std::move(plan));
+    GroupScan scan(events, arbiter, &stream, shape);
+    sim::Clock clock(config.frequencyHz);
+    ScanMember member;
+    member.id = 0;
+    member.features = config.features;
+    member.serviceTicksPerFeature =
+        clock.cyclesToTicks(config.computeCyclesPerFeature);
+    scan.addMember(member);
+    bool finished = false;
+    scan.onGroupDone([&finished] { finished = true; });
+    scan.start();
     events.run();
-    if (st->featuresDone != config.features)
+    if (!finished)
         panic("pipeline stalled: %llu of %llu features done",
-              static_cast<unsigned long long>(st->featuresDone),
+              static_cast<unsigned long long>(scan.position()),
               static_cast<unsigned long long>(config.features));
-    st->stats.featuresProcessed = st->featuresDone;
-    st->stats.totalSeconds = ticksToSeconds(events.now() - start);
-    return st->stats;
+
+    PipelineRunStats stats;
+    stats.pageReads = stream.pagesDelivered();
+    service.close(stream);
+    stats.featuresProcessed = config.features;
+    stats.totalSeconds = ticksToSeconds(events.now() - start);
+    stats.computeBusySeconds =
+        ticksToSeconds(scan.computeBusyTicks());
+    stats.starvedSeconds = ticksToSeconds(scan.starvedTicks());
+    return stats;
 }
 
 } // namespace deepstore::core

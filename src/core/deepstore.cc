@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/clock.h"
 #include "ssd/throughput.h"
 
 namespace deepstore::core {
@@ -12,14 +13,22 @@ DeepStore::DeepStore(DeepStoreConfig config)
       ssd_(std::make_unique<ssd::Ssd>(events_, config.flash)),
       model_(config.flash)
 {
+    // Scan streams issue real flash reads through the *same*
+    // per-channel controllers that serve hostRead/hostWrite and
+    // metadata persistence, so query and host traffic observably
+    // contend for planes and channel buses. (The pre-refactor global
+    // accelerator window — deferring all host I/O past the scan
+    // horizon — is gone; contention is physical now.)
+    dfv_ = std::make_unique<ssd::DfvStreamService>(
+        events_,
+        [this](std::uint32_t channel) -> ssd::FlashController & {
+            return ssd_->controller(channel);
+        },
+        ssd_->stats());
     QuerySchedulerConfig scfg;
     scfg.maxResidentScans = config_.maxResidentScansPerAccelerator;
-    scheduler_ = std::make_unique<QueryScheduler>(events_, scfg);
-    // While accelerators scan, the flash read path answers regular
-    // I/O with a busy signal (§4.5); the scheduler keeps the SSD's
-    // busy window in sync with its resource horizon.
-    scheduler_->setBusyHook(
-        [this](Tick until) { ssd_->setAcceleratorWindow(until); });
+    scheduler_ =
+        std::make_unique<QueryScheduler>(events_, scfg, *dfv_);
 }
 
 void
@@ -265,26 +274,30 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
     seenQueries_.push_back(qfv);
     std::uint64_t qid = nextQueryId_++;
 
-    std::uint64_t features = db_end - db_start;
     QuerySubmission sub;
     sub.queryId = qid;
     sub.level = level;
     sub.numAccelerators = perf.placement.numAccelerators;
-    // Fractional stripes: every shard gets features/N, keeping the
-    // single-query latency identical to the analytic aggregate.
-    sub.shardFeatures =
-        static_cast<double>(features) /
-        static_cast<double>(perf.placement.numAccelerators);
-    sub.computeSecondsPerFeature = perf.computeSeconds;
-    sub.flashSecondsPerFeature = perf.flashSeconds;
-    sub.weightSecondsPerFeature = perf.weightStreamSeconds;
-    // LevelPerf folds the FLASH_DFV refill exposure additively into
-    // perAccelSeconds; carry that remainder so a lone shard costs
-    // exactly the analytic per-accelerator time.
-    sub.exposedSecondsPerFeature =
-        perf.perAccelSeconds -
-        std::max({perf.computeSeconds, perf.flashSeconds,
-                  perf.weightStreamSeconds});
+    // Resolve the query range to per-unit physical page runs via the
+    // FTL/striping tables: the Scanning stage's flash term comes from
+    // real FlashCommand reads, not analytic bandwidth. Compute and
+    // weight streaming stay analytic per resident; the per-feature
+    // compute ticks use the same cycle rounding as the standalone
+    // AccelPipeline so the two paths agree tick-for-tick.
+    ScanPlan plan = resolveScanPlan(
+        perf.placement, config_.flash, db, db_start, db_end,
+        [this](std::uint64_t lpn) {
+            return ssd_->ftl().translate(lpn);
+        });
+    sub.shards = std::move(plan.units);
+    sub.pageReadsPerStep = plan.pageReadsPerStep;
+    sub.featuresPerStep = plan.featuresPerStep;
+    sub.planSignature = plan.signature;
+    Tick compute_ticks =
+        sim::Clock(perf.placement.array.frequencyHz)
+            .cyclesToTicks(perf.modelRun.totalCycles());
+    sub.serviceTicksPerFeature = std::max(
+        compute_ticks, secondsToTicks(perf.weightStreamSeconds));
     sub.dbKey = db_id;
 
     double probe = 0.0;

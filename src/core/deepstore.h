@@ -41,6 +41,7 @@
 #include "nn/executor.h"
 #include "nn/serialize.h"
 #include "sim/event_queue.h"
+#include "ssd/dfv_stream.h"
 #include "ssd/ssd.h"
 
 namespace deepstore::core {
@@ -237,6 +238,10 @@ class DeepStore
     std::unique_ptr<ssd::Ssd> ssd_;
     DeepStoreModel model_;
     MetadataStore metadata_;
+    /** DFV streams over the *same* controllers that serve host I/O
+     *  (scan/host contention is physical). Declared before the
+     *  scheduler, which references it. */
+    std::unique_ptr<ssd::DfvStreamService> dfv_;
     std::unique_ptr<QueryScheduler> scheduler_;
 
     std::map<std::uint64_t, std::shared_ptr<FeatureSource>> sources_;

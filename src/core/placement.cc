@@ -1,6 +1,11 @@
 #include "core/placement.h"
 
+#include <algorithm>
+#include <map>
+
 #include "common/logging.h"
+#include "ssd/geometry.h"
+#include "ssd/throughput.h"
 
 namespace deepstore::core {
 
@@ -91,6 +96,140 @@ makePlacement(Level level, const ssd::FlashParams &flash)
     if (p.numAccelerators == 0)
         panic("placement produced zero accelerators");
     return p;
+}
+
+namespace {
+
+/** Accelerator-pool index owning a physical page at this level. */
+std::uint32_t
+unitIndexFor(Level level, const ssd::PageAddress &addr,
+             const ssd::FlashParams &flash)
+{
+    switch (level) {
+      case Level::SsdLevel: return 0;
+      case Level::ChannelLevel: return addr.channel;
+      case Level::ChipLevel:
+        return addr.channel * flash.chipsPerChannel + addr.chip;
+    }
+    return 0;
+}
+
+/** splitmix64 step (deterministic plan signatures). */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return h ^ (h >> 27);
+}
+
+} // namespace
+
+ScanPlan
+resolveScanPlan(const Placement &placement,
+                const ssd::FlashParams &flash, const DbMetadata &db,
+                std::uint64_t db_start, std::uint64_t db_end,
+                const LpnTranslator &translate)
+{
+    DS_ASSERT(db_start < db_end);
+    DS_ASSERT(db_end <= db.numFeatures);
+    DS_ASSERT(translate);
+    const Level level = placement.level;
+    ssd::Geometry geom(flash);
+    ssd::FeatureLayout layout{db.featureBytes, flash.pageBytes};
+
+    // Per-page bus traffic and the steady-state same-controller
+    // issue stagger of this datapath.
+    const std::uint64_t transfer_bytes =
+        level == Level::ChipLevel ? 0
+                                  : layout.transferBytesPerPage();
+    Tick interval;
+    if (level == Level::ChipLevel) {
+        // A chip-level stream spans only its own chip's planes.
+        interval = secondsToTicks(
+            flash.readLatency /
+            static_cast<double>(flash.planesPerChip));
+    } else {
+        interval = secondsToTicks(
+            1.0 / ssd::channelPageRate(flash, transfer_bytes));
+    }
+
+    // Accumulate per-unit page runs in unit order.
+    std::map<std::uint32_t, UnitScan> units;
+    auto unitFor = [&](std::uint32_t index) -> UnitScan & {
+        UnitScan &u = units[index];
+        u.unitIndex = index;
+        return u;
+    };
+
+    ScanPlan plan;
+    if (db.featureBytes <= flash.pageBytes) {
+        // Packed small features: a page's features belong to the
+        // accelerator of the page's flash slice.
+        const std::uint64_t fpp = layout.featuresPerPage();
+        const std::uint64_t first_page = db_start / fpp;
+        const std::uint64_t last_page = (db_end - 1) / fpp;
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+            const std::uint64_t ppn = translate(db.startLpn + p);
+            const ssd::PageAddress addr = geom.decode(ppn);
+            UnitScan &u =
+                unitFor(unitIndexFor(level, addr, flash));
+            u.plan.pages.push_back(addr);
+            const std::uint64_t lo =
+                std::max(p * fpp, db_start);
+            const std::uint64_t hi =
+                std::min((p + 1) * fpp, db_end);
+            u.features += hi - lo;
+        }
+        plan.pageReadsPerStep = 1;
+        plan.featuresPerStep = fpp;
+    } else {
+        // Large features span pages striped across channels: deal
+        // features round-robin to units; each unit reads its
+        // features' real (cross-channel) addresses.
+        const std::uint64_t ppf = layout.pagesPerFeature();
+        const std::uint32_t n_units = placement.numAccelerators;
+        for (std::uint64_t f = db_start; f < db_end; ++f) {
+            UnitScan &u = unitFor(
+                static_cast<std::uint32_t>(f % n_units));
+            for (std::uint64_t k = 0; k < ppf; ++k) {
+                const std::uint64_t ppn =
+                    translate(db.startLpn + f * ppf + k);
+                u.plan.pages.push_back(geom.decode(ppn));
+            }
+            u.features += 1;
+        }
+        plan.pageReadsPerStep = ppf;
+        plan.featuresPerStep = 1;
+    }
+
+    // Round the FLASH_DFV queue depth down to a whole number of
+    // steps: a burst must always free its pages (a fractional
+    // feature's pages can never latch into the array, so a burst
+    // that ends mid-feature would stall the refill barrier).
+    const std::uint32_t prs =
+        static_cast<std::uint32_t>(plan.pageReadsPerStep);
+    std::uint32_t depth = placement.dfvQueueDepthPages;
+    depth = std::max(prs, depth - depth % prs);
+
+    plan.units.reserve(units.size());
+    for (auto &[index, u] : units) {
+        DS_ASSERT(u.features > 0 && !u.plan.pages.empty());
+        u.plan.transferBytesPerPage = transfer_bytes;
+        u.plan.queueDepthPages = depth;
+        u.plan.perChannelIssueInterval = interval;
+        plan.units.push_back(std::move(u));
+    }
+
+    std::uint64_t sig = mix(0x5ca9da7aULL, db.dbId);
+    sig = mix(sig, db.startLpn);
+    sig = mix(sig, db.featureBytes);
+    sig = mix(sig, db_start);
+    sig = mix(sig, db_end);
+    sig = mix(sig, static_cast<std::uint64_t>(level));
+    sig = mix(sig, placement.dfvQueueDepthPages);
+    plan.signature = sig;
+    return plan;
 }
 
 } // namespace deepstore::core

@@ -14,9 +14,13 @@
 #define DEEPSTORE_CORE_PLACEMENT_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "core/metadata.h"
 #include "energy/energy_model.h"
+#include "ssd/dfv_stream.h"
 #include "ssd/flash_params.h"
 #include "systolic/array_config.h"
 
@@ -73,6 +77,70 @@ Placement makePlacement(Level level, const ssd::FlashParams &flash);
 /** Total power budget available to in-storage accelerators (§4.5):
  *  75 W PCIe limit minus ~20 W for the existing SSD hardware. */
 constexpr double kAcceleratorPowerBudgetW = 55.0;
+
+// ---- physical scan-plan resolution (§4.4) ------------------------
+
+/** One accelerator unit's slice of a query's scan. */
+struct UnitScan
+{
+    /** Unit index within the placement's accelerator pool (channel
+     *  id at channel level, channel*chipsPerChannel+chip at chip
+     *  level, 0 at SSD level). */
+    std::uint32_t unitIndex = 0;
+
+    /** Features physically resident on this unit's flash slice
+     *  within the query range. */
+    std::uint64_t features = 0;
+
+    /** Addressed page reads feeding this unit's FLASH_DFV queue. */
+    ssd::DfvPlan plan;
+};
+
+/**
+ * A query range resolved to per-unit physical page runs. Units with
+ * zero features in the range are omitted.
+ */
+struct ScanPlan
+{
+    std::vector<UnitScan> units;
+
+    /** Delivered-pages -> ready-features mapping (uniform steps;
+     *  shared by every unit of the plan). */
+    std::uint64_t pageReadsPerStep = 1;
+    std::uint64_t featuresPerStep = 1;
+
+    /** Identity of the plan's page layout: two submissions with equal
+     *  signatures (same db, range, level, feature size) produce
+     *  identical per-unit plans, the precondition for joining an
+     *  in-flight group's read-once-broadcast stream. */
+    std::uint64_t signature = 0;
+};
+
+/** LPN -> PPN translation hook (the FTL's translate()). */
+using LpnTranslator = std::function<std::uint64_t(std::uint64_t)>;
+
+/**
+ * Resolve the feature range [db_start, db_end) of a database to the
+ * physical page reads each accelerator of `placement` must issue,
+ * walking the FTL per covering page (appends may cross superblocks,
+ * so the PPN run is not assumed contiguous) and the channel-major
+ * striping tables of Geometry.
+ *
+ * Small features (<= page) pack per page: each unit scans the
+ * features of the pages on its flash slice. Large features span
+ * ceil(size/page) pages striped across channels; they are dealt
+ * round-robin to units and each unit reads its features' real
+ * (cross-channel) page addresses.
+ *
+ * Chip-level plans consume straight from the plane page buffers
+ * (transferBytesPerPage 0, Fig. 3); the other levels move the useful
+ * payload over the channel bus.
+ */
+ScanPlan resolveScanPlan(const Placement &placement,
+                         const ssd::FlashParams &flash,
+                         const DbMetadata &db, std::uint64_t db_start,
+                         std::uint64_t db_end,
+                         const LpnTranslator &translate);
 
 } // namespace deepstore::core
 

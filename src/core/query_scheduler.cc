@@ -1,17 +1,11 @@
 #include "core/query_scheduler.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/logging.h"
+#include "core/scan_core.h"
 
 namespace deepstore::core {
-
-namespace {
-/** Residual feature count below which a shard counts as finished
- *  (absorbs tick-quantization rounding). */
-constexpr double kShardEpsilon = 1e-7;
-} // namespace
 
 const char *
 toString(QueryState s)
@@ -39,201 +33,177 @@ struct QueryScheduler::QueryInfo
 
 /**
  * One countable accelerator instance. Holds up to `maxResident`
- * concurrently scanning shards (generalized processor sharing with
- * flash-stream batching, see header) plus a FIFO queue of waiting
- * shards. All progress happens through its own completion events.
+ * concurrently scanning shards plus a FIFO queue of waiting shards.
+ * Shards are grouped by (dbKey, plan signature) into GroupScans; each
+ * group owns one DfvStream of real flash reads (read-once-broadcast)
+ * and the groups of one unit serialize their compute batches on the
+ * unit's ComputeArbiter. All progress happens through stream-delivery
+ * and batch-completion events.
  */
 class QueryScheduler::AcceleratorUnit
 {
   public:
-    struct Shard
+    /** A shard placement request. */
+    struct ShardReq
     {
         std::uint64_t queryId = 0;
-        double remainingFeatures = 0.0;
-        double computeSec = 0.0; ///< per feature
-        double flashSec = 0.0;   ///< per feature
-        double weightSec = 0.0;  ///< per feature
-        double exposedSec = 0.0; ///< per feature, additive
+        std::uint64_t features = 0;
+        Tick serviceTicks = 0;
         std::uint64_t dbKey = 0;
+        std::uint64_t signature = 0;
+        ScanStepShape shape;
+        ssd::DfvPlan plan;
     };
 
     AcceleratorUnit(sim::EventQueue &events, QueryScheduler &sched,
+                    ssd::DfvStreamService &dfv,
                     std::uint32_t max_resident)
-        : events_(events), sched_(sched), maxResident_(max_resident)
+        : events_(events), sched_(sched), dfv_(dfv),
+          maxResident_(max_resident)
     {
         DS_ASSERT(maxResident_ > 0);
     }
 
-    void
-    join(Shard shard)
+    ~AcceleratorUnit()
     {
-        DS_ASSERT(shard.remainingFeatures > 0.0);
-        syncProgress();
-        if (residents_.size() < maxResident_)
-            residents_.push_back(shard);
-        else
-            waiting_.push_back(shard);
-        replan();
+        // Streams of still-open groups belong to the service; close
+        // them so active() stays truthful on teardown.
+        for (auto &g : groups_)
+            if (g->stream)
+                dfv_.close(*g->stream);
     }
 
-    std::size_t residents() const { return residents_.size(); }
+    void
+    join(ShardReq req)
+    {
+        DS_ASSERT(req.features > 0);
+        if (residents_ < maxResident_)
+            admit(std::move(req));
+        else
+            waiting_.push_back(std::move(req));
+    }
+
+    std::size_t residents() const { return residents_; }
     std::size_t waiting() const { return waiting_.size(); }
 
-    /** Estimated tick at which this unit goes idle (0 when idle
-     *  already; waiting shards make the estimate a lower bound). */
+    /**
+     * Estimated tick at which this unit goes idle: the array's
+     * reserved horizon plus the next flash delivery each live group
+     * is waiting for (FlashController::estimateReadCompletion via
+     * DfvStream::nextDeliveryEstimate — the physical load signal).
+     * A lower bound while shards are waiting or streams unfinished.
+     */
     Tick
     busyUntilEstimate() const
     {
-        if (residents_.empty())
-            return 0;
-        double max_rem = 0.0;
-        for (const auto &r : residents_)
-            max_rem = std::max(max_rem, r.remainingFeatures);
-        return lastUpdate_ +
-               static_cast<Tick>(
-                   std::ceil(max_rem * rateTicksPerFeature_));
+        Tick t = residents_ > 0 ? arbiter_.busyUntil() : 0;
+        for (const auto &g : groups_) {
+            if (g->finished || !g->stream)
+                continue;
+            t = std::max(t, g->stream->nextDeliveryEstimate());
+        }
+        return t;
     }
 
   private:
-    /**
-     * Wall seconds one feature position costs every resident under
-     * the current membership: the flash stream (and its exposed
-     * refill latency) is paid once per distinct database (page read
-     * once, broadcast to co-scanning queries), compute and weight
-     * streaming once per resident. With a single resident this is
-     * exactly LevelPerf::perAccelSeconds, so lone queries match the
-     * analytic steady-state model.
-     */
-    double
-    perFeatureSeconds() const
+    struct Group
     {
-        double compute = 0.0;
-        double weight = 0.0;
-        double flash = 0.0;
-        double exposed = 0.0;
-        for (std::size_t i = 0; i < residents_.size(); ++i) {
-            const auto &r = residents_[i];
-            compute += r.computeSec;
-            weight += r.weightSec;
-            // Charge the stream for the first resident of each dbKey
-            // only, at the largest per-feature cost in the group
-            // (conservative for mixed feature sizes).
-            bool first = true;
-            double group_flash = r.flashSec;
-            double group_exposed = r.exposedSec;
-            for (std::size_t j = 0; j < residents_.size(); ++j) {
-                if (residents_[j].dbKey != r.dbKey)
-                    continue;
-                if (j < i)
-                    first = false;
-                group_flash =
-                    std::max(group_flash, residents_[j].flashSec);
-                group_exposed =
-                    std::max(group_exposed, residents_[j].exposedSec);
-            }
-            if (first) {
-                flash += group_flash;
-                exposed += group_exposed;
-            }
-        }
-        return std::max(flash, std::max(compute, weight)) + exposed;
-    }
+        std::uint64_t dbKey = 0;
+        std::uint64_t signature = 0;
+        ssd::DfvStream *stream = nullptr;
+        std::unique_ptr<GroupScan> scan;
+        bool finished = false;
+    };
 
-    /** Advance every resident by the progress made since
-     *  lastUpdate_ under the previously planned rate. */
     void
-    syncProgress()
+    admit(ShardReq &&req)
     {
-        Tick now = events_.now();
-        if (rateTicksPerFeature_ > 0.0 && now > lastUpdate_ &&
-            !residents_.empty()) {
-            double df = static_cast<double>(now - lastUpdate_) /
-                        rateTicksPerFeature_;
-            for (auto &r : residents_)
-                r.remainingFeatures -= df;
-        }
-        lastUpdate_ = now;
-    }
-
-    /** Recompute the sharing rate and (re)schedule the next shard
-     *  completion. @pre syncProgress() ran at the current tick. */
-    void
-    replan()
-    {
-        if (pending_) {
-            events_.cancel(*pending_);
-            pending_.reset();
-        }
-        if (residents_.empty()) {
-            rateTicksPerFeature_ = 0.0;
+        ++residents_;
+        ScanMember member{req.queryId, req.features,
+                          req.serviceTicks};
+        // Read-once-broadcast: join an in-flight group with the same
+        // database and plan, provided its stream has not advanced
+        // (a later joiner would have missed broadcast pages).
+        for (auto &g : groups_) {
+            if (g->finished || g->dbKey != req.dbKey ||
+                g->signature != req.signature ||
+                !g->scan->canAdmit())
+                continue;
+            g->scan->addMember(member);
             return;
         }
-        double pf = perFeatureSeconds();
-        if (pf <= 0.0)
-            panic("accelerator unit has a zero per-feature cost");
-        rateTicksPerFeature_ =
-            pf * static_cast<double>(kTicksPerSecond);
-        double min_rem = residents_.front().remainingFeatures;
-        for (const auto &r : residents_)
-            min_rem = std::min(min_rem, r.remainingFeatures);
-        min_rem = std::max(min_rem, 0.0);
-        Tick delay = static_cast<Tick>(
-            std::ceil(min_rem * rateTicksPerFeature_));
-        pending_ =
-            events_.scheduleAfter(delay, [this] { onEvent(); });
+        auto g = std::make_unique<Group>();
+        Group *gp = g.get();
+        gp->dbKey = req.dbKey;
+        gp->signature = req.signature;
+        if (!req.plan.pages.empty())
+            gp->stream = &dfv_.open(std::move(req.plan));
+        gp->scan = std::make_unique<GroupScan>(
+            events_, arbiter_, gp->stream, req.shape);
+        gp->scan->onMemberDone(
+            [this](std::uint64_t query_id) { memberDone(query_id); });
+        gp->scan->onGroupDone([this, gp] {
+            gp->finished = true;
+            if (gp->stream) {
+                dfv_.close(*gp->stream);
+                gp->stream = nullptr;
+            }
+            scheduleCleanup();
+        });
+        groups_.push_back(std::move(g));
+        gp->scan->addMember(member);
+        gp->scan->start();
     }
 
-    /** A shard-completion event fired. */
     void
-    onEvent()
+    memberDone(std::uint64_t query_id)
     {
-        pending_.reset(); // consumed by the queue
-        syncProgress();
-        std::vector<std::uint64_t> done;
-        auto finished = [](const Shard &s) {
-            return s.remainingFeatures <= kShardEpsilon;
-        };
-        for (const auto &r : residents_)
-            if (finished(r))
-                done.push_back(r.queryId);
-        if (done.empty() && !residents_.empty()) {
-            // Defensive against FP drift: retire the closest shard.
-            auto it = std::min_element(
-                residents_.begin(), residents_.end(),
-                [](const Shard &a, const Shard &b) {
-                    return a.remainingFeatures < b.remainingFeatures;
-                });
-            done.push_back(it->queryId);
-            it->remainingFeatures = 0.0;
-        }
-        residents_.erase(
-            std::remove_if(residents_.begin(), residents_.end(),
-                           finished),
-            residents_.end());
-        while (!waiting_.empty() &&
-               residents_.size() < maxResident_) {
-            residents_.push_back(waiting_.front());
-            waiting_.pop_front();
-        }
-        replan();
-        for (std::uint64_t id : done)
-            sched_.shardDone(id);
-        sched_.updateBusyHorizon();
+        DS_ASSERT(residents_ > 0);
+        --residents_;
+        sched_.shardDone(query_id);
+        scheduleCleanup();
+    }
+
+    /** Defer group destruction and waiting-shard admission out of
+     *  the GroupScan callback context (same tick, later event). */
+    void
+    scheduleCleanup()
+    {
+        if (cleanupPending_)
+            return;
+        cleanupPending_ = true;
+        events_.scheduleAfter(0, [this] {
+            cleanupPending_ = false;
+            groups_.erase(
+                std::remove_if(groups_.begin(), groups_.end(),
+                               [](const std::unique_ptr<Group> &g) {
+                                   return g->finished;
+                               }),
+                groups_.end());
+            while (!waiting_.empty() && residents_ < maxResident_) {
+                ShardReq req = std::move(waiting_.front());
+                waiting_.pop_front();
+                admit(std::move(req));
+            }
+            sched_.updateBusyHorizon();
+        });
     }
 
     sim::EventQueue &events_;
     QueryScheduler &sched_;
+    ssd::DfvStreamService &dfv_;
+    ComputeArbiter arbiter_;
     std::uint32_t maxResident_;
-    std::vector<Shard> residents_;
-    std::deque<Shard> waiting_;
-    Tick lastUpdate_ = 0;
-    double rateTicksPerFeature_ = 0.0;
-    std::optional<sim::EventId> pending_;
+    std::vector<std::unique_ptr<Group>> groups_;
+    std::deque<ShardReq> waiting_;
+    std::size_t residents_ = 0;
+    bool cleanupPending_ = false;
 };
 
 QueryScheduler::QueryScheduler(sim::EventQueue &events,
-                               QuerySchedulerConfig config)
-    : events_(events), config_(config)
+                               QuerySchedulerConfig config,
+                               ssd::DfvStreamService &dfv)
+    : events_(events), config_(config), dfv_(dfv)
 {
     if (config_.maxResidentScans == 0)
         fatal("maxResidentScans must be at least 1");
@@ -249,7 +219,7 @@ QueryScheduler::pool(Level level, std::uint32_t count)
         units.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i)
             units.push_back(std::make_unique<AcceleratorUnit>(
-                events_, *this, config_.maxResidentScans));
+                events_, *this, dfv_, config_.maxResidentScans));
     }
     if (units.size() != count)
         panic("accelerator count changed for level %s: %zu vs %u",
@@ -264,7 +234,9 @@ QueryScheduler::submit(QuerySubmission submission)
     DS_ASSERT(submission.finalize);
     if (!submission.cacheHit) {
         DS_ASSERT(submission.numAccelerators > 0);
-        DS_ASSERT(submission.shardFeatures > 0.0);
+        DS_ASSERT(!submission.shards.empty());
+        DS_ASSERT(submission.pageReadsPerStep > 0);
+        DS_ASSERT(submission.featuresPerStep > 0);
     }
     auto [it, inserted] =
         queries_.emplace(submission.queryId, QueryInfo{});
@@ -305,17 +277,21 @@ QueryScheduler::enterStriped(QueryInfo &q)
 {
     q.state = QueryState::Striped;
     auto &units = pool(q.sub.level, q.sub.numAccelerators);
-    q.outstandingShards = q.sub.numAccelerators;
-    AcceleratorUnit::Shard shard;
-    shard.queryId = q.sub.queryId;
-    shard.remainingFeatures = q.sub.shardFeatures;
-    shard.computeSec = q.sub.computeSecondsPerFeature;
-    shard.flashSec = q.sub.flashSecondsPerFeature;
-    shard.weightSec = q.sub.weightSecondsPerFeature;
-    shard.exposedSec = q.sub.exposedSecondsPerFeature;
-    shard.dbKey = q.sub.dbKey;
-    for (auto &unit : units)
-        unit->join(shard);
+    q.outstandingShards =
+        static_cast<std::uint32_t>(q.sub.shards.size());
+    for (auto &shard : q.sub.shards) {
+        DS_ASSERT(shard.unitIndex < units.size());
+        AcceleratorUnit::ShardReq req;
+        req.queryId = q.sub.queryId;
+        req.features = shard.features;
+        req.serviceTicks = q.sub.serviceTicksPerFeature;
+        req.dbKey = q.sub.dbKey;
+        req.signature = q.sub.planSignature;
+        req.shape = ScanStepShape{q.sub.pageReadsPerStep,
+                                  q.sub.featuresPerStep};
+        req.plan = std::move(shard.plan);
+        units[shard.unitIndex]->join(std::move(req));
+    }
     q.state = QueryState::Scanning;
     updateBusyHorizon();
 }

@@ -20,26 +20,27 @@
  * Accelerator instances are **countable resources**. Each placement
  * level owns one AcceleratorUnit per physical accelerator (1 at SSD
  * level, one per channel, one per chip). A query's Striped stage
- * splits its feature range into one shard per unit; a unit admits at
- * most `maxResidentScans` concurrent shards (others wait FIFO), so
+ * places one shard per unit that physically holds part of its range
+ * (the resolveScanPlan striping tables); a unit admits at most
+ * `maxResidentScans` concurrent shards (others wait FIFO), so
  * concurrent queries genuinely queue for, share, and interleave on
  * the hardware.
  *
- * Shards resident on the same unit time-share it under a
- * generalized-processor-sharing model with NCAM-style flash-stream
- * batching: co-resident scans of the *same database* share one DFV
- * stream (the controller reads each page once and broadcasts it into
- * the FLASH_DFV queues), while compute and weight streaming are paid
- * per resident. With k same-database residents the per-feature wall
- * time is
- *
- *     max( flash,  sum_k compute_k,  sum_k weight_k )
- *
- * so a flash-bound workload (the common case at channel level)
- * overlaps up to k scans at almost no latency cost — this is where
- * multi-query throughput comes from. With k = 1 the expression
- * collapses to the steady-state per-feature time of the analytic
- * model, so single-query latency is unchanged by the refactor.
+ * The Scanning stage's **flash term is physical**: every shard's
+ * feature pages stream through a DfvStream issuing real FlashCommand
+ * reads against the same per-channel FlashControllers that serve
+ * hostRead/hostWrite — scans and host I/O observably contend for
+ * planes and channel buses. Co-resident same-database shards with
+ * identical plans share one stream (read-once-broadcast, NCAM-style
+ * flash grouping): the controller reads each page once and
+ * broadcasts it into every subscriber's FLASH_DFV queue. Compute and
+ * weight streaming remain analytic per resident (a per-feature
+ * service time on the unit's ComputeArbiter), so a flash-bound
+ * workload overlaps up to k same-database scans at almost no latency
+ * cost — this is where multi-query throughput comes from. With k = 1
+ * the live path reproduces the analytic model's steady-state
+ * per-feature time (burst-refill exposure included, produced by the
+ * stream's burst barrier rather than an additive closed-form term).
  *
  * Per-query latency is defined as completion tick - submit tick
  * (queueing included); the TimeLedger owns all time accounting.
@@ -58,6 +59,7 @@
 
 #include "core/placement.h"
 #include "sim/event_queue.h"
+#include "ssd/dfv_stream.h"
 
 namespace deepstore::core {
 
@@ -94,23 +96,29 @@ struct QuerySubmission
     Level level = Level::ChannelLevel;
     std::uint32_t numAccelerators = 0;
 
-    /** Features per accelerator shard (fractional stripes keep the
-     *  aggregate identical to the analytic model). */
-    double shardFeatures = 0.0;
+    /** Per-unit physical scan shards (resolveScanPlan output; units
+     *  without features in the range are absent). Plans are moved
+     *  into the units' DFV streams on admission. */
+    std::vector<UnitScan> shards;
 
-    // Per-accelerator, per-feature service legs (LevelPerf).
-    double computeSecondsPerFeature = 0.0;
-    double flashSecondsPerFeature = 0.0;
-    double weightSecondsPerFeature = 0.0;
-    /** Additive per-feature exposure that overlap cannot hide (the
-     *  FLASH_DFV refill latency, LevelPerf's remainder above the max
-     *  of the three legs). Shared per dbKey group like the flash
-     *  stream. */
-    double exposedSecondsPerFeature = 0.0;
+    /** Delivered-pages -> ready-features step shape shared by every
+     *  shard (resolveScanPlan output). */
+    std::uint64_t pageReadsPerStep = 1;
+    std::uint64_t featuresPerStep = 1;
+
+    /** Analytic per-feature service time on the array:
+     *  max(compute leg, weight-streaming leg). The flash leg is
+     *  physical — it comes from the DFV stream. */
+    Tick serviceTicksPerFeature = 0;
 
     /** Flash-stream sharing group (database id): co-resident shards
-     *  with equal keys share one DFV stream. */
+     *  with equal keys *and* plan signatures share one DFV stream. */
     std::uint64_t dbKey = 0;
+
+    /** Plan identity (resolveScanPlan signature): joining an
+     *  in-flight broadcast stream requires identical per-unit
+     *  plans. */
+    std::uint64_t planSignature = 0;
 
     /** Query Cache probe latency charged before striping (0 without
      *  a cache). */
@@ -131,8 +139,14 @@ struct QuerySubmission
 class QueryScheduler
 {
   public:
+    /**
+     * @param dfv stream service over the flash controllers that also
+     * serve host I/O (the unified datapath). Must outlive the
+     * scheduler.
+     */
     QueryScheduler(sim::EventQueue &events,
-                   QuerySchedulerConfig config);
+                   QuerySchedulerConfig config,
+                   ssd::DfvStreamService &dfv);
     ~QueryScheduler();
 
     QueryScheduler(const QueryScheduler &) = delete;
@@ -156,8 +170,10 @@ class QueryScheduler
 
     /**
      * Hook invoked whenever the estimated busy-until horizon of the
-     * accelerator complex changes (the SSD uses it to answer regular
-     * I/O with a busy signal during scans, §4.5).
+     * accelerator complex changes. The estimate is fed by
+     * FlashController::estimateReadCompletion through each live
+     * stream's nextDeliveryEstimate() — the Striped-stage load
+     * estimate of the physical datapath.
      */
     void setBusyHook(std::function<void(Tick)> hook)
     {
@@ -184,6 +200,7 @@ class QueryScheduler
 
     sim::EventQueue &events_;
     QuerySchedulerConfig config_;
+    ssd::DfvStreamService &dfv_;
     std::map<std::uint64_t, QueryInfo> queries_;
     std::map<Level, std::vector<std::unique_ptr<AcceleratorUnit>>>
         pools_;

@@ -1,0 +1,135 @@
+#include "core/scan_core.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace deepstore::core {
+
+GroupScan::GroupScan(sim::EventQueue &events, ComputeArbiter &arbiter,
+                     ssd::DfvStream *stream, ScanStepShape shape)
+    : events_(events), arbiter_(arbiter), stream_(stream),
+      shape_(shape)
+{
+    if (shape_.pageReadsPerStep == 0 || shape_.featuresPerStep == 0)
+        fatal("scan step shape needs non-zero steps");
+}
+
+void
+GroupScan::addMember(ScanMember member)
+{
+    if (member.features == 0)
+        fatal("a scan member needs at least one feature");
+    if (!canAdmit())
+        panic("scan group admission after the stream advanced "
+              "(position %llu)",
+              static_cast<unsigned long long>(position_));
+    maxFeatures_ = std::max(maxFeatures_, member.features);
+    members_.push_back(member);
+    ++membersLeft_;
+    if (started_)
+        pump();
+}
+
+void
+GroupScan::start()
+{
+    DS_ASSERT(!started_);
+    if (members_.empty())
+        fatal("scan group started with no members");
+    started_ = true;
+    idleSince_ = events_.now();
+    if (stream_) {
+        stream_->onDelivered([this] { pump(); });
+    }
+    pump();
+}
+
+std::uint64_t
+GroupScan::readyFeatures() const
+{
+    if (!stream_)
+        return maxFeatures_;
+    std::uint64_t steps =
+        stream_->pagesDelivered() / shape_.pageReadsPerStep;
+    std::uint64_t ready = steps * shape_.featuresPerStep;
+    return std::min(ready, maxFeatures_);
+}
+
+std::uint64_t
+GroupScan::pagesForPosition(std::uint64_t pos) const
+{
+    if (!stream_)
+        return 0;
+    if (pos >= maxFeatures_)
+        return stream_->pagesTotal();
+    return (pos / shape_.featuresPerStep) * shape_.pageReadsPerStep;
+}
+
+void
+GroupScan::pump()
+{
+    if (!started_ || batchActive_ || position_ >= maxFeatures_)
+        return;
+    const std::uint64_t ready = readyFeatures();
+    if (ready <= position_)
+        return; // starving; a delivery callback re-pumps
+    const Tick now = events_.now();
+    starvedTicks_ += now - idleSince_;
+
+    // Batch bounds: constant membership inside a batch, so member
+    // retirements land on exact batch-completion ticks.
+    std::uint64_t limit = maxFeatures_;
+    Tick service_sum = 0;
+    for (const auto &m : members_) {
+        if (m.features <= position_)
+            continue;
+        service_sum += m.serviceTicksPerFeature;
+        limit = std::min(limit, m.features);
+    }
+    DS_ASSERT(limit > position_);
+    const std::uint64_t n = std::min(ready, limit) - position_;
+    const std::uint64_t new_position = position_ + n;
+
+    // Consumption at batch start: the batch's features are latched
+    // into the array, so their FLASH_DFV slots free up and the next
+    // burst can overlap this batch's compute.
+    if (stream_)
+        stream_->consumedThrough(pagesForPosition(new_position));
+
+    const Tick cost = static_cast<Tick>(n) * service_sum;
+    computeBusyTicks_ += cost;
+    batchActive_ = true;
+    const Tick completion = arbiter_.acquire(now, cost);
+    events_.schedule(completion, [this, new_position] {
+        batchComplete(new_position);
+    });
+}
+
+void
+GroupScan::batchComplete(std::uint64_t new_position)
+{
+    DS_ASSERT(batchActive_);
+    batchActive_ = false;
+    const std::uint64_t old_position = position_;
+    position_ = new_position;
+    idleSince_ = events_.now();
+
+    // Retire members whose last feature just completed.
+    for (const auto &m : members_) {
+        if (m.features > old_position && m.features <= new_position) {
+            DS_ASSERT(membersLeft_ > 0);
+            --membersLeft_;
+            if (onMemberDone_)
+                onMemberDone_(m.id);
+        }
+    }
+    if (membersLeft_ == 0) {
+        if (onGroupDone_)
+            onGroupDone_();
+        return;
+    }
+    pump();
+}
+
+} // namespace deepstore::core

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Shared scan-execution core: the lockstep consumer that turns a
+ * DFV page stream into computed features.
+ *
+ * One GroupScan models the read-once-broadcast scan group of §4.4:
+ * every co-resident same-database scan on one accelerator subscribes
+ * to the same DfvStream; the accelerator computes the SCN over each
+ * delivered feature once per member (compute and weight streaming are
+ * paid per member, the flash stream once per group). The group's
+ * stream position advances in *batches* bounded by what the stream
+ * has delivered and by the nearest member retirement point, so member
+ * completions land on exact ticks without floating-point progress
+ * accounting.
+ *
+ * Consumption is reported at batch *start*: once a batch's features
+ * are latched into the array, their FLASH_DFV slots are free and the
+ * stream may refill (the next burst overlaps the compute tail). This
+ * is what keeps a flash-bound scan's burst period equal to the
+ * analytic `readLatency + depth / page_rate`, i.e. within tolerance
+ * of the closed-form DeepStoreModel.
+ *
+ * Both the live query scheduler (one GroupScan per co-resident
+ * same-database scan group per accelerator unit) and the standalone
+ * AccelPipeline (a single-member group) are built on this type, so
+ * the two paths agree tick-for-tick by construction — the
+ * cross-validation the test suite asserts.
+ */
+
+#ifndef DEEPSTORE_CORE_SCAN_CORE_H
+#define DEEPSTORE_CORE_SCAN_CORE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "ssd/dfv_stream.h"
+
+namespace deepstore::core {
+
+/**
+ * The accelerator's systolic array as a serially reusable resource:
+ * batches from every scan group resident on one accelerator acquire
+ * it in arrival order. Distinct groups' *flash* streams proceed in
+ * parallel (separate DfvStreams on the shared controllers); only the
+ * compute serializes.
+ */
+class ComputeArbiter
+{
+  public:
+    /** Tick at which the array frees up (<= now means idle). */
+    Tick busyUntil() const { return freeAt_; }
+
+    /**
+     * Reserve the array for `cost` ticks starting no earlier than
+     * `now`; returns the completion tick.
+     */
+    Tick
+    acquire(Tick now, Tick cost)
+    {
+        Tick start = freeAt_ > now ? freeAt_ : now;
+        freeAt_ = start + cost;
+        return freeAt_;
+    }
+
+  private:
+    Tick freeAt_ = 0;
+};
+
+/** How delivered pages map to computable features for one scan plan
+ *  (uniform steps; range-boundary partial pages round optimistically
+ *  by at most one step). */
+struct ScanStepShape
+{
+    /** Plan pages consumed per step. */
+    std::uint64_t pageReadsPerStep = 1;
+    /** Features made ready per step. */
+    std::uint64_t featuresPerStep = 1;
+};
+
+/** One subscriber of a scan group. */
+struct ScanMember
+{
+    /** Caller-chosen id reported back through onMemberDone. */
+    std::uint64_t id = 0;
+    /** Stream positions (features) this member consumes. */
+    std::uint64_t features = 0;
+    /** Analytic per-feature service time of this member on the
+     *  array: max(compute leg, weight-streaming leg). The flash leg
+     *  is *not* analytic here — it is the physical stream. */
+    Tick serviceTicksPerFeature = 0;
+};
+
+/** One read-once-broadcast scan group (see file comment). */
+class GroupScan
+{
+  public:
+    /**
+     * @param stream the group's DFV page stream, or nullptr for a
+     *   degenerate plan with no pages (everything immediately ready).
+     *   The caller owns the stream and closes it after onGroupDone.
+     */
+    GroupScan(sim::EventQueue &events, ComputeArbiter &arbiter,
+              ssd::DfvStream *stream, ScanStepShape shape);
+
+    GroupScan(const GroupScan &) = delete;
+    GroupScan &operator=(const GroupScan &) = delete;
+
+    /** Fired (from a batch-completion event) when a member's last
+     *  feature completes. */
+    void onMemberDone(std::function<void(std::uint64_t)> cb)
+    {
+        onMemberDone_ = std::move(cb);
+    }
+
+    /** Fired after the last member retires. The stream may still be
+     *  open; the caller closes it. Destroying this GroupScan from
+     *  inside the callback is not allowed (defer via a 0-tick
+     *  event). */
+    void onGroupDone(std::function<void()> cb)
+    {
+        onGroupDone_ = std::move(cb);
+    }
+
+    /**
+     * Add a subscriber. Only legal while the group is still at
+     * stream position 0 with no batch latched (canAdmit()): a later
+     * joiner would have missed broadcast pages.
+     */
+    void addMember(ScanMember member);
+
+    /** Begin consuming: hooks the stream's delivery callback and
+     *  latches the first batch once data is ready. */
+    void start();
+
+    bool canAdmit() const { return position_ == 0 && !batchActive_; }
+
+    /** Features fully computed (group stream position). */
+    std::uint64_t position() const { return position_; }
+
+    bool done() const { return membersLeft_ == 0 && started_; }
+
+    std::size_t members() const { return members_.size(); }
+
+    /** Largest member feature count (the group's stream length in
+     *  features). */
+    std::uint64_t featuresTotal() const { return maxFeatures_; }
+
+    // ---- run statistics ------------------------------------------
+
+    /** Ticks the group waited on flash with the array willing. */
+    Tick starvedTicks() const { return starvedTicks_; }
+
+    /** Ticks of array time this group's batches reserved. */
+    Tick computeBusyTicks() const { return computeBusyTicks_; }
+
+  private:
+    /** Latch the next batch if data is ready and no batch is out. */
+    void pump();
+
+    /** Features currently computable from the stream. */
+    std::uint64_t readyFeatures() const;
+
+    /** Plan pages fully consumed once `pos` features are latched. */
+    std::uint64_t pagesForPosition(std::uint64_t pos) const;
+
+    void batchComplete(std::uint64_t new_position);
+
+    sim::EventQueue &events_;
+    ComputeArbiter &arbiter_;
+    ssd::DfvStream *stream_;
+    ScanStepShape shape_;
+
+    std::vector<ScanMember> members_;
+    std::function<void(std::uint64_t)> onMemberDone_;
+    std::function<void()> onGroupDone_;
+
+    std::uint64_t maxFeatures_ = 0;
+    std::uint64_t position_ = 0;
+    std::size_t membersLeft_ = 0;
+    bool batchActive_ = false;
+    bool started_ = false;
+
+    Tick idleSince_ = 0;
+    Tick starvedTicks_ = 0;
+    Tick computeBusyTicks_ = 0;
+};
+
+} // namespace deepstore::core
+
+#endif // DEEPSTORE_CORE_SCAN_CORE_H

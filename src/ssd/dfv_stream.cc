@@ -1,0 +1,151 @@
+#include "ssd/dfv_stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace deepstore::ssd {
+
+DfvStream::DfvStream(
+    sim::EventQueue &events, DfvPlan plan,
+    std::function<FlashController &(std::uint32_t)> route,
+    StatGroup &stats)
+    : events_(events), plan_(std::move(plan)),
+      route_(std::move(route)), stats_(stats),
+      delivered_(plan_.pages.size(), false)
+{
+    if (plan_.pages.empty())
+        fatal("a DFV stream needs at least one page");
+    if (plan_.queueDepthPages == 0)
+        fatal("FLASH_DFV queue depth must be at least 1");
+}
+
+void
+DfvStream::maybeIssueBurst()
+{
+    if (closed_ || issued_ == pagesTotal())
+        return;
+    // Burst barrier (§4.4): the bounded FLASH_DFV queue refills only
+    // once every outstanding slot has been drained by the consumers.
+    if (consumed_ < issued_)
+        return;
+    const std::uint64_t n = std::min<std::uint64_t>(
+        plan_.queueDepthPages, pagesTotal() - issued_);
+    ++bursts_;
+    stats_.get("dfv.bursts") += 1;
+    // Stagger same-controller reads at the steady-state page
+    // interval; different controllers issue in parallel.
+    std::map<std::uint32_t, std::uint64_t> perChannel;
+    for (std::uint64_t j = 0; j < n; ++j) {
+        const std::uint64_t index = issued_ + j;
+        const PageAddress &addr = plan_.pages[index];
+        const Tick delay =
+            perChannel[addr.channel]++ * plan_.perChannelIssueInterval;
+        events_.scheduleAfter(delay, [this, index] {
+            if (closed_)
+                return;
+            const PageAddress &a = plan_.pages[index];
+            FlashCommand cmd;
+            cmd.op = FlashOp::Read;
+            cmd.addr = a;
+            cmd.transferBytes = plan_.transferBytesPerPage;
+            cmd.onComplete = [this, index](Tick) {
+                pageDelivered(index);
+            };
+            route_(a.channel).issue(std::move(cmd));
+        });
+    }
+    issued_ += n;
+}
+
+void
+DfvStream::pageDelivered(std::uint64_t index)
+{
+    if (closed_)
+        return;
+    DS_ASSERT(index < delivered_.size());
+    DS_ASSERT(!delivered_[index]);
+    delivered_[index] = true;
+    stats_.get("dfv.pagesStreamed") += 1;
+    stats_.get("dfv.bytesStreamed") +=
+        static_cast<double>(plan_.transferBytesPerPage);
+    const std::uint64_t before = deliveredPrefix_;
+    while (deliveredPrefix_ < delivered_.size() &&
+           delivered_[deliveredPrefix_])
+        ++deliveredPrefix_;
+    if (deliveredPrefix_ != before && onDelivered_)
+        onDelivered_();
+}
+
+void
+DfvStream::consumedThrough(std::uint64_t pages)
+{
+    if (closed_)
+        return;
+    if (pages <= consumed_)
+        return;
+    DS_ASSERT(pages <= issued_);
+    consumed_ = pages;
+    maybeIssueBurst();
+}
+
+Tick
+DfvStream::nextDeliveryEstimate() const
+{
+    if (closed_)
+        return 0;
+    // The next page the consumer is waiting for: first undelivered
+    // entry (in flight or still unissued).
+    const std::uint64_t next =
+        std::min<std::uint64_t>(deliveredPrefix_, pagesTotal());
+    if (next == pagesTotal())
+        return 0;
+    const PageAddress &addr = plan_.pages[next];
+    return route_(addr.channel)
+        .estimateReadCompletion(addr, plan_.transferBytesPerPage);
+}
+
+DfvStreamService::DfvStreamService(sim::EventQueue &events,
+                                   Router route, StatGroup &stats)
+    : events_(events), route_(std::move(route)), stats_(stats)
+{
+    DS_ASSERT(route_);
+}
+
+DfvStream &
+DfvStreamService::open(DfvPlan plan)
+{
+    streams_.push_back(std::unique_ptr<DfvStream>(
+        new DfvStream(events_, std::move(plan), route_, stats_)));
+    ++active_;
+    stats_.get("dfv.streamsOpened") += 1;
+    DfvStream &s = *streams_.back();
+    s.maybeIssueBurst();
+    return s;
+}
+
+void
+DfvStreamService::close(DfvStream &stream)
+{
+    for (auto &owned : streams_) {
+        if (owned.get() != &stream)
+            continue;
+        if (owned->closed_)
+            fatal("DFV stream closed twice");
+        owned->closed_ = true;
+        owned->onDelivered_ = nullptr;
+        // Keep the object alive (in-flight completion callbacks may
+        // still land and check closed_) but release the bulk memory.
+        owned->plan_.pages.clear();
+        owned->plan_.pages.shrink_to_fit();
+        owned->delivered_.clear();
+        owned->delivered_.shrink_to_fit();
+        DS_ASSERT(active_ > 0);
+        --active_;
+        return;
+    }
+    fatal("close() on a stream this service does not own");
+}
+
+} // namespace deepstore::ssd

@@ -222,9 +222,11 @@ TEST(NvmeFront, QueryCompletionsArriveOutOfOrder)
     // Two queries over the same database: a slow SSD-level scan
     // submitted first and a fast channel-level scan second. Their
     // completion entries must post in simulated-latency order (fast
-    // first), not submission order.
+    // first), not submission order. The database must span enough
+    // flash pages that channel striping actually parallelizes the
+    // scan (a one-page database runs on a single unit at any level).
     Rig rig;
-    std::uint64_t db = rig.writeDb(8, 200);
+    std::uint64_t db = rig.writeDb(8, 20000);
     std::uint64_t model = rig.loadDotModel(8);
 
     auto make_query = [&](std::uint16_t cid, Level level) {

@@ -76,14 +76,24 @@ TEST(AsyncQuery, GetResultsWhileInFlightIsFatal)
 
 TEST(AsyncQuery, SingleQueryLatencyMatchesAnalyticModel)
 {
-    // The async path must not change single-query latency: one query
-    // with no competition costs aggregateSeconds x features, like the
-    // pre-refactor blocking engine.
+    // A lone steady-state query must reproduce the analytic model's
+    // prediction. The live path's flash term is physical (bursts of
+    // real page reads against the FlashControllers), so the analytic
+    // burst-refill exposure term must *emerge* from the stream's
+    // refill barrier rather than being added as a formula. Full-page
+    // features and 8 full bursts per channel put the run in steady
+    // state; SSD and channel levels must agree within 2%. The chip
+    // level's closed form keeps its lockstep-group approximation
+    // (1/wsGroupSize page reads per feature), which undercounts real
+    // reads when featuresPerPage < wsGroupSize — the live path
+    // charges one plane read per page, the physical floor — so chip
+    // gets a sanity band rather than a parity bound (see ROADMAP,
+    // "closed-form terms").
+    const std::int64_t dim = 4096;       // 16 KiB: 1 feature/page
+    const std::uint64_t features = 8192; // 256 pages per channel
     for (Level level :
          {Level::SsdLevel, Level::ChannelLevel, Level::ChipLevel}) {
         DeepStore ds{DeepStoreConfig{}};
-        const std::int64_t dim = 64;
-        const std::uint64_t features = 500;
         auto src = randomDb(dim, features, 3);
         std::uint64_t db = ds.writeDB(src);
         std::uint64_t model = ds.loadModel(dotModel(dim));
@@ -98,7 +108,8 @@ TEST(AsyncQuery, SingleQueryLatencyMatchesAnalyticModel)
         std::uint64_t qid = ds.querySync(src->featureAt(1), 5, model,
                                          db, 0, 0, level);
         double got = ds.getResults(qid).latencySeconds;
-        EXPECT_NEAR(got, expected, expected * 0.01)
+        const double tol = level == Level::ChipLevel ? 0.30 : 0.02;
+        EXPECT_NEAR(got, expected, expected * tol)
             << "level " << toString(level);
     }
 }
@@ -131,8 +142,11 @@ TEST(AsyncQuery, OnCompleteFiresOnceInOrder)
 
 TEST(AsyncQuery, WaitForAdvancesOnlyToThatQuery)
 {
+    // Large enough that channel striping parallelizes the scan: 64
+    // pages -> 2 per channel, so the SSD-level unit computes 32x the
+    // features of any channel unit.
     DeepStore ds{DeepStoreConfig{}};
-    auto src = randomDb(32, 400, 5);
+    auto src = randomDb(32, 8192, 5);
     std::uint64_t db = ds.writeDB(src);
     std::uint64_t model = ds.loadModel(dotModel(32));
 
