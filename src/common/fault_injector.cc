@@ -1,0 +1,94 @@
+#include "common/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace deepstore {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config))
+{
+    if (config_.uncorrectableReadProbability < 0.0 ||
+        config_.uncorrectableReadProbability > 1.0 ||
+        config_.planeStallProbability < 0.0 ||
+        config_.planeStallProbability > 1.0 ||
+        config_.channelStallProbability < 0.0 ||
+        config_.channelStallProbability > 1.0)
+        fatal("fault probabilities must lie in [0, 1]");
+    if (config_.planeStallSeconds < 0.0 ||
+        config_.channelStallSeconds < 0.0)
+        fatal("fault stall durations must be non-negative");
+    blacklist_.insert(config_.pageBlacklist.begin(),
+                      config_.pageBlacklist.end());
+    flashFaults_ = config_.anyFlashFaults();
+}
+
+double
+FaultInjector::hashUniform(std::uint64_t seed, Domain domain,
+                           std::uint64_t key, std::uint32_t attempt)
+{
+    // splitmix64 finalizer over a mixed (seed, domain, key, attempt)
+    // word: stateless, so decisions replay identically regardless of
+    // the order in which the simulation asks.
+    std::uint64_t x = seed;
+    x ^= 0x9E3779B97F4A7C15ULL +
+         (static_cast<std::uint64_t>(domain) << 56);
+    x ^= key * 0xBF58476D1CE4E5B9ULL;
+    x ^= (static_cast<std::uint64_t>(attempt) + 1) *
+         0x94D049BB133111EBULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::pageUncorrectable(std::uint64_t page_key,
+                                 std::uint32_t attempt) const
+{
+    if (pageBlacklisted(page_key))
+        return true;
+    if (config_.uncorrectableReadProbability <= 0.0)
+        return false;
+    return hashUniform(config_.seed, Domain::FlashUncorrectable,
+                       page_key, attempt) <
+           config_.uncorrectableReadProbability;
+}
+
+Tick
+FaultInjector::planeStallTicks(std::uint64_t page_key,
+                               std::uint32_t attempt) const
+{
+    if (config_.planeStallProbability <= 0.0 ||
+        config_.planeStallSeconds <= 0.0)
+        return 0;
+    if (hashUniform(config_.seed, Domain::PlaneStall, page_key,
+                    attempt) >= config_.planeStallProbability)
+        return 0;
+    return secondsToTicks(config_.planeStallSeconds);
+}
+
+Tick
+FaultInjector::channelStallTicks(std::uint64_t page_key,
+                                 std::uint32_t attempt) const
+{
+    if (config_.channelStallProbability <= 0.0 ||
+        config_.channelStallSeconds <= 0.0)
+        return 0;
+    if (hashUniform(config_.seed, Domain::ChannelStall, page_key,
+                    attempt) >= config_.channelStallProbability)
+        return 0;
+    return secondsToTicks(config_.channelStallSeconds);
+}
+
+std::optional<Tick>
+FaultInjector::unitFailureTick(std::uint32_t level_id,
+                               std::uint32_t unit_index) const
+{
+    for (const auto &f : config_.unitFailures) {
+        if (f.levelId == level_id && f.unitIndex == unit_index)
+            return f.atTick;
+    }
+    return std::nullopt;
+}
+
+} // namespace deepstore

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault-injection subsystem for the DeepStore
+ * simulation.
+ *
+ * Real computational-storage stacks must survive uncorrectable reads,
+ * slow or failed dies, and overloaded accelerators. This module makes
+ * those failure classes a first-class, *reproducible* dimension of
+ * the simulation: every fault decision is a pure function of
+ * (seed, domain, entity key, attempt), evaluated by hashing — no
+ * mutable RNG state, no draw-order dependence. Two runs with the same
+ * seed and schedule observe bit-identical faults regardless of event
+ * interleaving, and a retried operation re-rolls deterministically by
+ * incrementing its attempt counter.
+ *
+ * Fault domains:
+ *  - FlashUncorrectable: a page read fails ECC even after the full
+ *    read-retry ladder (per-page probability plus an explicit page
+ *    blacklist for targeted schedules).
+ *  - PlaneStall: a transient per-plane stall (die busy with internal
+ *    housekeeping) delaying the array read.
+ *  - ChannelStall: a transient channel-bus stall delaying the data
+ *    transfer.
+ *  - AcceleratorUnit: a whole accelerator instance fails at a
+ *    scheduled tick (per (level, unit) entries).
+ *
+ * The injector lives in common/ and is keyed by opaque 64-bit entity
+ * keys so it has no dependency on the SSD or core layers; callers
+ * encode their addresses (see ssd::faultKey for flash pages).
+ * A default-constructed config injects nothing and costs one branch
+ * per query site, keeping the fault-free datapath tick-identical to a
+ * build without this subsystem.
+ */
+
+#ifndef DEEPSTORE_COMMON_FAULT_INJECTOR_H
+#define DEEPSTORE_COMMON_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace deepstore {
+
+/** Scheduled failure of one accelerator unit. */
+struct UnitFailure
+{
+    /** Placement level id (matches core::Level's underlying value:
+     *  0 = SSD, 1 = channel, 2 = chip). */
+    std::uint32_t levelId = 0;
+    /** Unit index within the level's accelerator pool. */
+    std::uint32_t unitIndex = 0;
+    /** Tick at which the unit stops responding. */
+    Tick atTick = 0;
+};
+
+/** Declarative fault schedule (see file comment for the domains). */
+struct FaultConfig
+{
+    /** Root seed of every hash-derived decision. */
+    std::uint64_t seed = 1;
+
+    /** Per-page probability that a read is uncorrectable on a given
+     *  attempt (independent re-roll per attempt; 0 disables). */
+    double uncorrectableReadProbability = 0.0;
+
+    /** Pages (by fault key) that fail ECC on *every* attempt —
+     *  targeted schedules for tests and benches. */
+    std::vector<std::uint64_t> pageBlacklist;
+
+    /** Per-read probability of a transient plane stall before the
+     *  array read, and its duration. */
+    double planeStallProbability = 0.0;
+    double planeStallSeconds = 0.0;
+
+    /** Per-read probability of a transient channel-bus stall before
+     *  the data transfer, and its duration. */
+    double channelStallProbability = 0.0;
+    double channelStallSeconds = 0.0;
+
+    /** Accelerator units that die at a scheduled tick. */
+    std::vector<UnitFailure> unitFailures;
+
+    /** Any flash-domain fault possible under this schedule? */
+    bool
+    anyFlashFaults() const
+    {
+        return uncorrectableReadProbability > 0.0 ||
+               !pageBlacklist.empty() || planeStallProbability > 0.0 ||
+               channelStallProbability > 0.0;
+    }
+
+    /** True when the schedule injects nothing at all. */
+    bool
+    empty() const
+    {
+        return !anyFlashFaults() && unitFailures.empty();
+    }
+};
+
+/**
+ * Pure-function fault oracle over a FaultConfig (see file comment).
+ * Copyable and cheap; every FlashController owns one and the query
+ * scheduler consults one — all copies built from the same config
+ * agree on every decision by construction.
+ */
+class FaultInjector
+{
+  public:
+    /** Decision domains (salt the hash so domains are independent). */
+    enum class Domain : std::uint32_t
+    {
+        FlashUncorrectable = 1,
+        PlaneStall = 2,
+        ChannelStall = 3,
+        AcceleratorUnit = 4,
+    };
+
+    FaultInjector() = default;
+    explicit FaultInjector(FaultConfig config);
+
+    const FaultConfig &config() const { return config_; }
+
+    bool flashFaultsEnabled() const { return flashFaults_; }
+    bool enabled() const { return !config_.empty(); }
+
+    /** Is this page on the always-fail blacklist? */
+    bool pageBlacklisted(std::uint64_t page_key) const
+    {
+        return !blacklist_.empty() &&
+               blacklist_.count(page_key) != 0;
+    }
+
+    /** Does the read of `page_key` on `attempt` fail ECC even after
+     *  the retry ladder? (Blacklisted pages always do.) */
+    bool pageUncorrectable(std::uint64_t page_key,
+                           std::uint32_t attempt) const;
+
+    /** Transient plane-stall delay for this read (0 when none). */
+    Tick planeStallTicks(std::uint64_t page_key,
+                         std::uint32_t attempt) const;
+
+    /** Transient channel-stall delay for this read (0 when none). */
+    Tick channelStallTicks(std::uint64_t page_key,
+                           std::uint32_t attempt) const;
+
+    /** Scheduled death tick of an accelerator unit, if any. */
+    std::optional<Tick>
+    unitFailureTick(std::uint32_t level_id,
+                    std::uint32_t unit_index) const;
+
+    /**
+     * The deterministic core: uniform [0,1) from
+     * (seed, domain, key, attempt). Exposed for tests that pin the
+     * schedule-replay property.
+     */
+    static double hashUniform(std::uint64_t seed, Domain domain,
+                              std::uint64_t key,
+                              std::uint32_t attempt);
+
+  private:
+    FaultConfig config_;
+    std::unordered_set<std::uint64_t> blacklist_;
+    bool flashFaults_ = false;
+};
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_FAULT_INJECTOR_H

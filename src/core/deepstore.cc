@@ -27,8 +27,19 @@ DeepStore::DeepStore(DeepStoreConfig config)
         ssd_->stats());
     QuerySchedulerConfig scfg;
     scfg.maxResidentScans = config_.maxResidentScansPerAccelerator;
-    scheduler_ =
-        std::make_unique<QueryScheduler>(events_, scfg, *dfv_);
+    // The scheduler's accelerator-unit fault domain shares the flash
+    // fault schedule's seed and unit-failure list.
+    scfg.faults = config_.flash.faults;
+    scfg.shardWatchdogSeconds = config_.shardWatchdogSeconds;
+    scfg.maxShardRetries = config_.maxShardRetries;
+    scfg.shardRetryBackoffSeconds = config_.shardRetryBackoffSeconds;
+    scfg.unitsAtLevel[static_cast<std::size_t>(Level::SsdLevel)] = 1;
+    scfg.unitsAtLevel[static_cast<std::size_t>(Level::ChannelLevel)] =
+        config_.flash.channels;
+    scfg.unitsAtLevel[static_cast<std::size_t>(Level::ChipLevel)] =
+        config_.flash.channels * config_.flash.chipsPerChannel;
+    scheduler_ = std::make_unique<QueryScheduler>(
+        events_, scfg, *dfv_, &ssd_->stats());
 }
 
 void
@@ -241,7 +252,8 @@ std::uint64_t
 DeepStore::query(const std::vector<float> &qfv, std::size_t k,
                  std::uint64_t model_id, std::uint64_t db_id,
                  std::uint64_t db_start, std::uint64_t db_end,
-                 std::optional<Level> level_opt)
+                 std::optional<Level> level_opt,
+                 double deadline_seconds)
 {
     const LoadedModel &m = lookupModel(model_id);
     const DbMetadata &db = metadata_.lookup(db_id);
@@ -290,9 +302,17 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
             return ssd_->ftl().translate(lpn);
         });
     sub.shards = std::move(plan.units);
+    // Page-retry knobs ride on each shard's DFV plan (the stream
+    // layer owns the bounded reissue + backoff machinery).
+    for (auto &shard : sub.shards) {
+        shard.plan.maxPageRetries = config_.maxPageRetries;
+        shard.plan.pageRetryBackoffSeconds =
+            config_.pageRetryBackoffSeconds;
+    }
     sub.pageReadsPerStep = plan.pageReadsPerStep;
     sub.featuresPerStep = plan.featuresPerStep;
     sub.planSignature = plan.signature;
+    sub.deadlineSeconds = deadline_seconds;
     Tick compute_ticks =
         sim::Clock(perf.placement.array.frequencyHz)
             .cyclesToTicks(perf.modelRun.totalCycles());
@@ -337,16 +357,22 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
                 QueryResult res;
                 res.queryId = qid;
                 res.cacheHit = true;
-                res.featuresScanned = cached.size();
-                // Re-run the SCN on only the cached top-K features.
-                TopK topk(std::max<std::size_t>(k, 1));
-                for (const auto &c : cached) {
-                    auto dfv = source->featureAt(c.featureId);
-                    float s = mp->executor->score(q, dfv);
-                    topk.insert(
-                        ScoredResult{c.featureId, c.objectId, s});
+                res.outcome = scheduler_->outcome(qid);
+                res.coverageFraction =
+                    scheduler_->coverageFraction(qid);
+                if (res.outcome == QueryOutcome::Success) {
+                    res.featuresScanned = cached.size();
+                    // Re-run the SCN on only the cached top-K
+                    // features.
+                    TopK topk(std::max<std::size_t>(k, 1));
+                    for (const auto &c : cached) {
+                        auto dfv = source->featureAt(c.featureId);
+                        float s = mp->executor->score(q, dfv);
+                        topk.insert(
+                            ScoredResult{c.featureId, c.objectId, s});
+                    }
+                    res.topK = topk.results();
                 }
-                res.topK = topk.results();
                 res.latencySeconds = ticksToSeconds(
                     scheduler_->completeTick(qid) -
                     scheduler_->submitTick(qid));
@@ -370,10 +396,21 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
         QueryResult res;
         res.queryId = qid;
         res.cacheHit = false;
-        res.featuresScanned = db_end - db_start;
-        res.topK = scanTopK(q, k, *mp, dbmd, db_start, db_end,
-                            n_accel, source);
-        if (queryCache_)
+        res.outcome = scheduler_->outcome(qid);
+        res.coverageFraction = scheduler_->coverageFraction(qid);
+        // Degraded queries report the top-K over the prefix of the
+        // range that was actually scanned; partial results never
+        // seed the Query Cache.
+        const std::uint64_t range = db_end - db_start;
+        res.featuresScanned = static_cast<std::uint64_t>(
+            res.coverageFraction * static_cast<double>(range));
+        res.featuresScanned = std::min(res.featuresScanned, range);
+        if (res.featuresScanned > 0)
+            res.topK =
+                scanTopK(q, k, *mp, dbmd, db_start,
+                         db_start + res.featuresScanned, n_accel,
+                         source);
+        if (queryCache_ && res.outcome == QueryOutcome::Success)
             queryCache_->insert(this_query, res.topK);
         res.latencySeconds =
             ticksToSeconds(scheduler_->completeTick(qid) -
@@ -406,6 +443,12 @@ DeepStore::poll(std::uint64_t query_id) const
 }
 
 bool
+DeepStore::cancel(std::uint64_t query_id)
+{
+    return scheduler_->cancel(query_id);
+}
+
+bool
 DeepStore::step()
 {
     return events_.step();
@@ -429,7 +472,7 @@ DeepStore::waitFor(std::uint64_t query_id)
     if (!st)
         fatal("unknown query_id %llu",
               static_cast<unsigned long long>(query_id));
-    while (*scheduler_->state(query_id) != QueryState::Complete) {
+    while (!isTerminal(*scheduler_->state(query_id))) {
         if (!events_.step())
             panic("scheduler stalled waiting for query %llu",
                   static_cast<unsigned long long>(query_id));
@@ -575,20 +618,36 @@ DeepStore::dumpStats(std::ostream &os) const
     ssd_->stats().dump(os);
 }
 
-const QueryResult &
-DeepStore::getResults(std::uint64_t query_id) const
+FetchResult
+DeepStore::tryGetResults(std::uint64_t query_id) const
 {
     auto it = results_.find(query_id);
     if (it != results_.end())
-        return it->second;
+        return FetchResult{FetchStatus::Ready, &it->second};
     auto st = scheduler_->state(query_id);
-    if (st)
-        fatal("query %llu is still in flight (state %s); poll() or "
+    if (st && !isTerminal(*st))
+        return FetchResult{FetchStatus::InFlight, nullptr};
+    return FetchResult{FetchStatus::Unknown, nullptr};
+}
+
+const QueryResult &
+DeepStore::getResults(std::uint64_t query_id) const
+{
+    FetchResult fr = tryGetResults(query_id);
+    switch (fr.status) {
+    case FetchStatus::Ready:
+        return *fr.result;
+    case FetchStatus::InFlight:
+        fatal("query %llu is still in flight (state %s); use "
+              "tryGetResults() for a retryable probe, or poll()/"
               "drain() before getResults()",
               static_cast<unsigned long long>(query_id),
-              toString(*st));
-    fatal("unknown query_id %llu",
-          static_cast<unsigned long long>(query_id));
+              toString(*scheduler_->state(query_id)));
+    case FetchStatus::Unknown:
+    default:
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    }
 }
 
 CompositeFeatureSource::CompositeFeatureSource(

@@ -59,6 +59,25 @@ struct DeepStoreConfig
     /** Max concurrent scan shards per accelerator unit (the
      *  interleaving degree of the async scheduler). */
     std::uint32_t maxResidentScansPerAccelerator = 8;
+
+    // ---- fault tolerance -----------------------------------------
+    // The flash fault schedule itself lives in flash.faults (every
+    // fault decision is a pure function of its seed); these knobs
+    // tune the recovery machinery layered on top.
+
+    /** Per-shard watchdog: a shard that has not finished within this
+     *  many simulated seconds of placement is snatched and
+     *  re-striped. 0 disables. */
+    double shardWatchdogSeconds = 0.0;
+    /** Re-striping budget per shard before the query degrades. */
+    std::uint32_t maxShardRetries = 2;
+    /** Backoff before the first shard re-dispatch; doubles per
+     *  retry. */
+    double shardRetryBackoffSeconds = 100e-6;
+    /** Bounded reissue budget for an uncorrectable page read. */
+    std::uint32_t maxPageRetries = 2;
+    /** Backoff before the first page reissue; doubles per attempt. */
+    double pageRetryBackoffSeconds = 20e-6;
 };
 
 /** Completed query: results plus simulated execution metrics. */
@@ -70,6 +89,28 @@ struct QueryResult
     double latencySeconds = 0.0;
     bool cacheHit = false;
     std::uint64_t featuresScanned = 0;
+    /** Why the query terminated (Success on the happy path). */
+    QueryOutcome outcome = QueryOutcome::Success;
+    /** Features actually scanned / features requested, in [0, 1];
+     *  1.0 for full-coverage completions. */
+    double coverageFraction = 1.0;
+};
+
+/** Non-fatal getResults outcome (see DeepStore::tryGetResults). */
+enum class FetchStatus
+{
+    Ready,    ///< terminal; `result` points at the QueryResult
+    InFlight, ///< known but not yet terminal — retry later
+    Unknown,  ///< no such query id
+};
+
+/** tryGetResults return value: a typed, retryable outcome mirroring
+ *  the NVMe front end's InProgress semantics. */
+struct FetchResult
+{
+    FetchStatus status = FetchStatus::Unknown;
+    /** Valid only when status == Ready; owned by the engine. */
+    const QueryResult *result = nullptr;
 };
 
 /** The DeepStore system (engine + API facade). */
@@ -121,7 +162,8 @@ class DeepStore
     std::uint64_t query(const std::vector<float> &qfv, std::size_t k,
                         std::uint64_t model_id, std::uint64_t db_id,
                         std::uint64_t db_start, std::uint64_t db_end,
-                        std::optional<Level> level = std::nullopt);
+                        std::optional<Level> level = std::nullopt,
+                        double deadline_seconds = 0.0);
 
     /**
      * querySync: submit and block (in simulated time) until this
@@ -137,6 +179,13 @@ class DeepStore
     /** Current state of a query (nullopt for unknown ids). Does not
      *  advance simulated time. */
     std::optional<QueryState> poll(std::uint64_t query_id) const;
+
+    /**
+     * Cancel an in-flight query: it terminates immediately in the
+     * Degraded state with outcome Aborted and partial coverage.
+     * @return false for unknown or already-terminal queries.
+     */
+    bool cancel(std::uint64_t query_id);
 
     /** Run one simulator event. @return false when idle. */
     bool step();
@@ -159,9 +208,19 @@ class DeepStore
     void onComplete(std::uint64_t query_id,
                     std::function<void(const QueryResult &)> cb);
 
-    /** getResults: retrieve (and keep) a completed query's results.
+    /**
+     * tryGetResults: non-blocking, non-fatal fetch. Returns Ready
+     * with a pointer to the results once the query is terminal
+     * (Complete *or* Degraded), InFlight while it is still running
+     * (retry after advancing simulated time), and Unknown for ids
+     * never submitted — consistent with the NVMe front end's
+     * retryable InProgress status.
+     */
+    FetchResult tryGetResults(std::uint64_t query_id) const;
+
+    /** getResults: retrieve (and keep) a terminal query's results.
      *  fatal() for unknown ids *and* for queries still in flight —
-     *  poll() first, or go through querySync()/drain(). */
+     *  use tryGetResults() for a non-fatal, retryable probe. */
     const QueryResult &getResults(std::uint64_t query_id) const;
 
     // ---- introspection -------------------------------------------

@@ -6,6 +6,27 @@
 
 namespace deepstore::core {
 
+namespace {
+
+/** Map a terminal query outcome onto its NVMe completion status. */
+NvmeStatus
+statusForOutcome(QueryOutcome outcome)
+{
+    switch (outcome) {
+    case QueryOutcome::Success:
+        return NvmeStatus::Success;
+    case QueryOutcome::DeadlineExceeded:
+        return NvmeStatus::DeadlineExceeded;
+    case QueryOutcome::Aborted:
+        return NvmeStatus::Aborted;
+    case QueryOutcome::Degraded:
+    default:
+        return NvmeStatus::DegradedSuccess;
+    }
+}
+
+} // namespace
+
 std::uint64_t
 HostBufferRegistry::add(std::vector<float> data)
 {
@@ -178,21 +199,29 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
                 break;
             }
             std::optional<Level> level;
-            if (cmd.cdw[5] != 0)
-                level = static_cast<Level>(cmd.cdw[5] - 1);
+            const std::uint64_t level_field =
+                cmd.cdw[5] & 0xFFFFFFFFULL;
+            if (level_field != 0)
+                level = static_cast<Level>(level_field - 1);
+            // cdw5 high 32 bits: optional deadline in microseconds.
+            const double deadline_seconds =
+                static_cast<double>(cmd.cdw[5] >> 32) * 1e-6;
             std::uint64_t qid = store_.query(
                 *qfv, static_cast<std::size_t>(cmd.cdw[0]),
                 cmd.cdw[1], cmd.cdw[2], cmd.cdw[3], cmd.cdw[4],
-                level);
+                level, deadline_seconds);
             queryCids_[cmd.cid] = qid;
             // Defer the completion entry until the in-storage
             // scheduler finishes the query; entries post in
-            // simulated-latency order, not submission order.
+            // simulated-latency order, not submission order. A
+            // degraded/aborted/overdue query completes with the
+            // matching vendor status, not an error — partial results
+            // stay retrievable through GetResults.
             std::uint16_t cid = cmd.cid;
             store_.onComplete(
-                qid, [this, cid, qid](const QueryResult &) {
+                qid, [this, cid, qid](const QueryResult &res) {
                     cq_.push_back(NvmeCompletion{
-                        cid, NvmeStatus::Success, qid});
+                        cid, statusForOutcome(res.outcome), qid});
                 });
             return std::nullopt;
           }
@@ -202,24 +231,37 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
                 done.status = NvmeStatus::InvalidField;
                 break;
             }
-            auto state = store_.poll(cmd.cdw[0]);
-            if (!state) {
+            FetchResult fr = store_.tryGetResults(cmd.cdw[0]);
+            if (fr.status == FetchStatus::Unknown) {
                 done.status = NvmeStatus::InvalidField;
                 break;
             }
-            if (*state != QueryState::Complete) {
+            if (fr.status == FetchStatus::InFlight) {
                 // Retryable: the host should pump() and resubmit.
                 done.status = NvmeStatus::InProgress;
                 done.result = cmd.cdw[0];
                 break;
             }
-            const QueryResult &res = store_.getResults(cmd.cdw[0]);
+            const QueryResult &res = *fr.result;
             out->clear();
             for (const auto &r : res.topK) {
                 out->push_back(static_cast<float>(r.featureId));
                 out->push_back(r.score);
             }
+            done.status = statusForOutcome(res.outcome);
             done.result = res.topK.size();
+            break;
+          }
+          case NvmeOpcode::AbortQuery: {
+            if (!store_.poll(cmd.cdw[0])) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            // Idempotent at the wire level: aborting an
+            // already-terminal query succeeds without effect (its
+            // results keep their original status).
+            store_.cancel(cmd.cdw[0]);
+            done.result = cmd.cdw[0];
             break;
           }
           case NvmeOpcode::SetQC:

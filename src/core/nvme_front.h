@@ -49,6 +49,7 @@ enum class NvmeOpcode : std::uint8_t
     Query = 0xC4,
     GetResults = 0xC5,
     SetQC = 0xC6,
+    AbortQuery = 0xC7,
 };
 
 /** NVMe-like status codes returned in completions. */
@@ -61,6 +62,15 @@ enum class NvmeStatus : std::uint16_t
     /** Vendor-specific, retryable: the referenced query is still
      *  executing in-storage; poll again after pump(). */
     InProgress = 0x1C0,
+    /** Vendor-specific: the query terminated Degraded — partial
+     *  results are available (coverageFraction < 1). */
+    DegradedSuccess = 0x1C1,
+    /** Vendor-specific: the query's deadline fired before the scan
+     *  finished; partial results are available. */
+    DeadlineExceeded = 0x1C2,
+    /** Vendor-specific: the query was aborted via AbortQuery (or
+     *  engine-side cancel); partial results are available. */
+    Aborted = 0x1C3,
 };
 
 /** A 64-byte-SQE-shaped command. */
@@ -74,9 +84,12 @@ struct NvmeCommand
      *  AppendDB:  cdw0 = db_id
      *  ReadDB:    cdw0 = db_id, cdw1 = start, cdw2 = count
      *  Query:     cdw0 = k, cdw1 = model_id, cdw2 = db_id,
-     *             cdw3 = db_start, cdw4 = db_end, cdw5 = level+1
-     *             (0 = engine default)
+     *             cdw3 = db_start, cdw4 = db_end,
+     *             cdw5 low 32 bits = level+1 (0 = engine default),
+     *             cdw5 high 32 bits = deadline in microseconds
+     *             (0 = no deadline)
      *  GetResults:cdw0 = query_id
+     *  AbortQuery:cdw0 = query_id
      *  SetQC:     cdw0 = qcn model_id, cdw1 = threshold * 1e4,
      *             cdw2 = accuracy * 1e4, cdw3 = capacity */
     std::uint64_t cdw[6] = {0, 0, 0, 0, 0, 0};

@@ -10,8 +10,11 @@
  * contract: each submitted query runs a small state machine
  *
  *   Parsed -> CacheProbe -> Striped -> Scanning -> Reduce -> Complete
- *                 |                                   ^
- *                 +---- hit: rescore cached top-K ----+
+ *                 |                        |           ^        |
+ *                 +-- hit: rescore top-K --|-----------+        |
+ *                                          v                    v
+ *                                       Degraded  <-------------+
+ *                             (deadline / cancel / lost shards)
  *
  * driven entirely by sim::EventQueue events — the engine never blocks
  * on `events.run()`; callers advance the shared clock via
@@ -33,14 +36,21 @@
  * planes and channel buses. Co-resident same-database shards with
  * identical plans share one stream (read-once-broadcast, NCAM-style
  * flash grouping): the controller reads each page once and
- * broadcasts it into every subscriber's FLASH_DFV queue. Compute and
- * weight streaming remain analytic per resident (a per-feature
- * service time on the unit's ComputeArbiter), so a flash-bound
- * workload overlaps up to k same-database scans at almost no latency
- * cost — this is where multi-query throughput comes from. With k = 1
- * the live path reproduces the analytic model's steady-state
- * per-feature time (burst-refill exposure included, produced by the
- * stream's burst barrier rather than an additive closed-form term).
+ * broadcasts it into every subscriber's FLASH_DFV queue.
+ *
+ * Fault tolerance (the shard-level recovery state machine): the
+ * FaultConfig schedule can kill whole accelerator units at a tick;
+ * a per-shard watchdog catches silently-slow shards. In both cases
+ * the dead/stuck shard's *remaining* feature range is re-striped
+ * onto an alive sibling unit at the same level (falling back to the
+ * parent level when no sibling survives), with bounded retries and
+ * exponential backoff in simulated time. A query whose shards
+ * exhaust their retry budget — or that hits its deadline, or is
+ * cancelled — finishes in the Degraded terminal state, reporting the
+ * fraction of its range that was actually scanned. Every recovery
+ * decision is a deterministic consequence of the (seeded) fault
+ * schedule, so degraded runs replay bit-identically; with an empty
+ * schedule the datapath is tick-identical to a fault-free build.
  *
  * Per-query latency is defined as completion tick - submit tick
  * (queueing included); the TimeLedger owns all time accounting.
@@ -57,6 +67,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/stats.h"
 #include "core/placement.h"
 #include "sim/event_queue.h"
 #include "ssd/dfv_stream.h"
@@ -71,10 +83,25 @@ enum class QueryState
     Striped,    ///< shards being placed onto accelerator units
     Scanning,   ///< shards resident/waiting on accelerator units
     Reduce,     ///< merging per-accelerator partial top-Ks
-    Complete,   ///< results available via getResults()
+    Complete,   ///< full-coverage results available via getResults()
+    Degraded,   ///< terminal with partial (possibly zero) coverage
 };
 
 const char *toString(QueryState s);
+
+/** True for the two terminal states (Complete and Degraded). */
+bool isTerminal(QueryState s);
+
+/** Why a query reached its terminal state. */
+enum class QueryOutcome
+{
+    Success,          ///< full coverage (state Complete)
+    Degraded,         ///< shards lost coverage (retries exhausted)
+    DeadlineExceeded, ///< deadline fired before the scan finished
+    Aborted,          ///< cancelled via cancel()
+};
+
+const char *toString(QueryOutcome o);
 
 /** Scheduler tuning knobs. */
 struct QuerySchedulerConfig
@@ -85,6 +112,29 @@ struct QuerySchedulerConfig
      * (and the FLASH_DFV buffering the controller must provide).
      */
     std::uint32_t maxResidentScans = 8;
+
+    /** Fault schedule (accelerator-unit failures consult the
+     *  AcceleratorUnit domain). Empty by default. */
+    FaultConfig faults;
+
+    /** Per-shard watchdog: a shard (waiting or scanning) that has
+     *  not finished within this many simulated seconds of placement
+     *  is snatched and re-striped. 0 disables. */
+    double shardWatchdogSeconds = 0.0;
+
+    /** Re-striping budget per shard (across unit deaths and watchdog
+     *  fires); an exhausted shard abandons its remainder and the
+     *  query degrades. */
+    std::uint32_t maxShardRetries = 2;
+
+    /** Backoff before the first re-dispatch; doubles per retry. */
+    double shardRetryBackoffSeconds = 100e-6;
+
+    /** Accelerator count per level (indexed by Level's underlying
+     *  value), used to build the *parent*-level pool when re-striping
+     *  has to fall back a level. 0 = unknown (no fallback possible
+     *  unless that pool already exists). */
+    std::uint32_t unitsAtLevel[3] = {0, 0, 0};
 };
 
 /** Everything the scheduler needs to time one query. The functional
@@ -130,7 +180,12 @@ struct QuerySubmission
     /** SCN rescore latency over the cached top-K (hit path only). */
     double hitComputeSeconds = 0.0;
 
-    /** Runs at completion (state already Complete, clock at the
+    /** Optional deadline relative to submission; a query still in
+     *  flight when it fires terminates Degraded with outcome
+     *  DeadlineExceeded. 0 = no deadline. */
+    double deadlineSeconds = 0.0;
+
+    /** Runs at completion (state already terminal, clock at the
      *  completion tick). */
     std::function<void()> finalize;
 };
@@ -143,10 +198,14 @@ class QueryScheduler
      * @param dfv stream service over the flash controllers that also
      * serve host I/O (the unified datapath). Must outlive the
      * scheduler.
+     * @param stats counter sink for the sched.* fault/recovery
+     * counters (nullptr keeps a private group — counters still
+     * accumulate but are not dumped with the SSD's).
      */
     QueryScheduler(sim::EventQueue &events,
                    QuerySchedulerConfig config,
-                   ssd::DfvStreamService &dfv);
+                   ssd::DfvStreamService &dfv,
+                   StatGroup *stats = nullptr);
     ~QueryScheduler();
 
     QueryScheduler(const QueryScheduler &) = delete;
@@ -156,13 +215,30 @@ class QueryScheduler
      *  scheduling its state machine. */
     void submit(QuerySubmission submission);
 
+    /**
+     * Cancel an in-flight query: its shards are detached from their
+     * units (in-flight flash drains harmlessly in the background)
+     * and it terminates immediately in the Degraded state with
+     * outcome Aborted. @return false for unknown or already-terminal
+     * queries.
+     */
+    bool cancel(std::uint64_t query_id);
+
     /** State of a submitted query (nullopt when unknown). */
     std::optional<QueryState> state(std::uint64_t query_id) const;
 
-    /** Queries submitted but not yet Complete. */
+    /** Terminal outcome of a query; only meaningful once the query
+     *  reached a terminal state (fatal for unknown ids). */
+    QueryOutcome outcome(std::uint64_t query_id) const;
+
+    /** Features actually scanned / features requested, in [0, 1].
+     *  1.0 for full-coverage (and cache-hit) completions. */
+    double coverageFraction(std::uint64_t query_id) const;
+
+    /** Queries submitted but not yet terminal. */
     std::size_t inFlight() const { return inFlight_; }
 
-    /** Total queries completed so far. */
+    /** Total queries that reached a terminal state so far. */
     std::uint64_t completedCount() const { return completed_; }
 
     Tick submitTick(std::uint64_t query_id) const;
@@ -190,23 +266,49 @@ class QueryScheduler
   private:
     struct QueryInfo;
     class AcceleratorUnit;
+    struct ShardRemnant;
+
+    /** Scheduler-side state of one shard (stable across
+     *  re-striping; `features` is the current incarnation's
+     *  remaining target). */
+    struct ShardState
+    {
+        std::uint64_t queryId = 0;
+        std::uint64_t features = 0;
+        std::uint32_t retries = 0;
+        Level level = Level::ChannelLevel;
+        std::uint32_t unitIndex = 0;
+    };
 
     void enterStriped(QueryInfo &q);
-    void shardDone(std::uint64_t query_id);
-    void completeQuery(QueryInfo &q);
+    void shardDone(std::uint64_t seq, std::uint64_t features_ok);
+    void shardFailed(ShardRemnant remnant);
+    void finishShard(QueryInfo &q, std::uint64_t seq);
+    void degradeQuery(QueryInfo &q, QueryOutcome outcome);
+    void completeQuery(QueryInfo &q, QueryOutcome outcome);
     void updateBusyHorizon();
     std::vector<std::unique_ptr<AcceleratorUnit>> &
     pool(Level level, std::uint32_t count);
+    /** Alive sibling at the same level (excluding `exclude` when
+     *  possible), else the first alive unit walking up parent
+     *  levels; nullopt when nothing is left. */
+    std::optional<std::pair<Level, std::uint32_t>>
+    chooseUnit(Level level, std::uint32_t exclude);
 
     sim::EventQueue &events_;
     QuerySchedulerConfig config_;
     ssd::DfvStreamService &dfv_;
+    FaultInjector injector_;
+    StatGroup ownStats_;
+    StatGroup &stats_;
     std::map<std::uint64_t, QueryInfo> queries_;
+    std::map<std::uint64_t, ShardState> shards_;
     std::map<Level, std::vector<std::unique_ptr<AcceleratorUnit>>>
         pools_;
     std::function<void(Tick)> busyHook_;
     std::size_t inFlight_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t nextShardSeq_ = 1;
 };
 
 } // namespace deepstore::core

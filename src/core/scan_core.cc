@@ -66,10 +66,76 @@ GroupScan::pagesForPosition(std::uint64_t pos) const
     return (pos / shape_.featuresPerStep) * shape_.pageReadsPerStep;
 }
 
+std::uint64_t
+GroupScan::lostFeatures(std::uint64_t f) const
+{
+    if (!stream_ || stream_->pagesFailed() == 0)
+        return 0;
+    const std::uint64_t failed =
+        stream_->failedThrough(pagesForPosition(f));
+    if (failed == 0)
+        return 0;
+    // Approximate, conservative mapping of failed pages to features:
+    // packed features lose a whole page's worth; multi-page features
+    // lose at least one feature per failed page.
+    const std::uint64_t lost =
+        (failed * shape_.featuresPerStep + shape_.pageReadsPerStep -
+         1) /
+        shape_.pageReadsPerStep;
+    return std::min(lost, f);
+}
+
+std::uint64_t
+GroupScan::completedFeatures(std::uint64_t id) const
+{
+    for (const auto &m : members_) {
+        if (m.id != id)
+            continue;
+        const std::uint64_t done = std::min(position_, m.features);
+        return done - lostFeatures(done);
+    }
+    fatal("completedFeatures: unknown member id %llu",
+          static_cast<unsigned long long>(id));
+}
+
+std::uint64_t
+GroupScan::removeMember(std::uint64_t id)
+{
+    const std::uint64_t done = completedFeatures(id);
+    members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                  [id](const ScanMember &m) {
+                                      return m.id == id;
+                                  }),
+                   members_.end());
+    DS_ASSERT(membersLeft_ > 0);
+    --membersLeft_;
+    maxFeatures_ = position_;
+    for (const auto &m : members_)
+        maxFeatures_ = std::max(maxFeatures_, m.features);
+    if (membersLeft_ == 0)
+        abort();
+    return done;
+}
+
+void
+GroupScan::abort()
+{
+    if (aborted_)
+        return;
+    aborted_ = true;
+    if (batchActive_) {
+        events_.cancel(batchEvent_);
+        batchActive_ = false;
+    }
+    onMemberDone_ = nullptr;
+    onGroupDone_ = nullptr;
+}
+
 void
 GroupScan::pump()
 {
-    if (!started_ || batchActive_ || position_ >= maxFeatures_)
+    if (!started_ || aborted_ || batchActive_ ||
+        position_ >= maxFeatures_)
         return;
     const std::uint64_t ready = readyFeatures();
     if (ready <= position_)
@@ -101,7 +167,7 @@ GroupScan::pump()
     computeBusyTicks_ += cost;
     batchActive_ = true;
     const Tick completion = arbiter_.acquire(now, cost);
-    events_.schedule(completion, [this, new_position] {
+    batchEvent_ = events_.schedule(completion, [this, new_position] {
         batchComplete(new_position);
     });
 }
@@ -115,13 +181,15 @@ GroupScan::batchComplete(std::uint64_t new_position)
     position_ = new_position;
     idleSince_ = events_.now();
 
-    // Retire members whose last feature just completed.
+    // Retire members whose last feature just completed, reporting
+    // how many features each actually computed from good pages.
     for (const auto &m : members_) {
         if (m.features > old_position && m.features <= new_position) {
             DS_ASSERT(membersLeft_ > 0);
             --membersLeft_;
             if (onMemberDone_)
-                onMemberDone_(m.id);
+                onMemberDone_(m.id,
+                              m.features - lostFeatures(m.features));
         }
     }
     if (membersLeft_ == 0) {

@@ -108,8 +108,11 @@ class GroupScan
     GroupScan &operator=(const GroupScan &) = delete;
 
     /** Fired (from a batch-completion event) when a member's last
-     *  feature completes. */
-    void onMemberDone(std::function<void(std::uint64_t)> cb)
+     *  feature completes, carrying the member id and the features
+     *  actually computed from good pages (== the member's feature
+     *  count minus features lost to uncorrectable pages). */
+    void onMemberDone(
+        std::function<void(std::uint64_t, std::uint64_t)> cb)
     {
         onMemberDone_ = std::move(cb);
     }
@@ -147,6 +150,38 @@ class GroupScan
      *  features). */
     std::uint64_t featuresTotal() const { return maxFeatures_; }
 
+    /** Live subscribers (recovery introspection). */
+    const std::vector<ScanMember> &memberList() const
+    {
+        return members_;
+    }
+
+    /** Features of member `id` computed from good pages so far
+     *  (min(position, member features) minus the failed-page loss).
+     *  fatal() for unknown ids. */
+    std::uint64_t completedFeatures(std::uint64_t id) const;
+
+    /** Plan pages fully consumed once `pos` features are latched
+     *  (public: the recovery path slices remnant plans with it). */
+    std::uint64_t pagesForPosition(std::uint64_t pos) const;
+
+    /**
+     * Remove a live member without retiring it (cancellation /
+     * watchdog snatch / unit death). Returns the member's completed
+     * good features. When the last member is removed the pending
+     * batch event (if any) is cancelled and no further callbacks
+     * fire — the caller then treats the group as finished and closes
+     * its stream.
+     */
+    std::uint64_t removeMember(std::uint64_t id);
+
+    /**
+     * Hard-stop the group: cancel the pending batch event and drop
+     * both callbacks. Safe to call at any time; idempotent. The
+     * caller still owns/closes the stream.
+     */
+    void abort();
+
     // ---- run statistics ------------------------------------------
 
     /** Ticks the group waited on flash with the array willing. */
@@ -162,8 +197,9 @@ class GroupScan
     /** Features currently computable from the stream. */
     std::uint64_t readyFeatures() const;
 
-    /** Plan pages fully consumed once `pos` features are latched. */
-    std::uint64_t pagesForPosition(std::uint64_t pos) const;
+    /** Features lost to failed pages within the first `f` features
+     *  of the plan (approximate step rounding, capped at f). */
+    std::uint64_t lostFeatures(std::uint64_t f) const;
 
     void batchComplete(std::uint64_t new_position);
 
@@ -173,7 +209,7 @@ class GroupScan
     ScanStepShape shape_;
 
     std::vector<ScanMember> members_;
-    std::function<void(std::uint64_t)> onMemberDone_;
+    std::function<void(std::uint64_t, std::uint64_t)> onMemberDone_;
     std::function<void()> onGroupDone_;
 
     std::uint64_t maxFeatures_ = 0;
@@ -181,6 +217,8 @@ class GroupScan
     std::size_t membersLeft_ = 0;
     bool batchActive_ = false;
     bool started_ = false;
+    bool aborted_ = false;
+    sim::EventId batchEvent_ = 0;
 
     Tick idleSince_ = 0;
     Tick starvedTicks_ = 0;

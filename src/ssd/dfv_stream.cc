@@ -43,33 +43,77 @@ DfvStream::maybeIssueBurst()
         const Tick delay =
             perChannel[addr.channel]++ * plan_.perChannelIssueInterval;
         events_.scheduleAfter(delay, [this, index] {
-            if (closed_)
-                return;
-            const PageAddress &a = plan_.pages[index];
-            FlashCommand cmd;
-            cmd.op = FlashOp::Read;
-            cmd.addr = a;
-            cmd.transferBytes = plan_.transferBytesPerPage;
-            cmd.onComplete = [this, index](Tick) {
-                pageDelivered(index);
-            };
-            route_(a.channel).issue(std::move(cmd));
+            issuePage(index, 0);
         });
     }
     issued_ += n;
 }
 
 void
-DfvStream::pageDelivered(std::uint64_t index)
+DfvStream::issuePage(std::uint64_t index, std::uint32_t attempt)
+{
+    if (closed_)
+        return;
+    const PageAddress &a = plan_.pages[index];
+    FlashCommand cmd;
+    cmd.op = FlashOp::Read;
+    cmd.addr = a;
+    cmd.transferBytes = plan_.transferBytesPerPage;
+    cmd.attempt = attempt;
+    cmd.onComplete = [this, index, attempt](Tick, FlashStatus st) {
+        if (closed_)
+            return;
+        if (st == FlashStatus::Uncorrectable)
+            pageUncorrectable(index, attempt);
+        else
+            pageDelivered(index, true);
+    };
+    route_(a.channel).issue(std::move(cmd));
+}
+
+void
+DfvStream::pageUncorrectable(std::uint64_t index,
+                             std::uint32_t attempt)
+{
+    if (attempt < plan_.maxPageRetries) {
+        // Bounded reissue with exponential backoff in simulated
+        // time; the injector re-rolls its decision per attempt.
+        stats_.get("dfv.pageRetries") += 1;
+        attempts_[index] = attempt + 1;
+        const Tick backoff =
+            secondsToTicks(plan_.pageRetryBackoffSeconds *
+                           static_cast<double>(1ULL << attempt));
+        events_.scheduleAfter(backoff, [this, index, attempt] {
+            if (closed_)
+                return;
+            issuePage(index, attempt + 1);
+        });
+        return;
+    }
+    // Abandon: record the loss, but count the page as delivered so
+    // the prefix (and the burst barrier) keeps advancing — a bad
+    // page degrades coverage, it never deadlocks the scan.
+    stats_.get("dfv.pagesFailed") += 1;
+    auto it = std::lower_bound(failedPages_.begin(),
+                               failedPages_.end(), index);
+    failedPages_.insert(it, index);
+    attempts_.erase(index);
+    pageDelivered(index, false);
+}
+
+void
+DfvStream::pageDelivered(std::uint64_t index, bool ok)
 {
     if (closed_)
         return;
     DS_ASSERT(index < delivered_.size());
     DS_ASSERT(!delivered_[index]);
     delivered_[index] = true;
-    stats_.get("dfv.pagesStreamed") += 1;
-    stats_.get("dfv.bytesStreamed") +=
-        static_cast<double>(plan_.transferBytesPerPage);
+    if (ok) {
+        stats_.get("dfv.pagesStreamed") += 1;
+        stats_.get("dfv.bytesStreamed") +=
+            static_cast<double>(plan_.transferBytesPerPage);
+    }
     const std::uint64_t before = deliveredPrefix_;
     while (deliveredPrefix_ < delivered_.size() &&
            delivered_[deliveredPrefix_])
@@ -102,8 +146,32 @@ DfvStream::nextDeliveryEstimate() const
     if (next == pagesTotal())
         return 0;
     const PageAddress &addr = plan_.pages[next];
+    auto attempt_it = attempts_.find(next);
+    const std::uint32_t attempt =
+        attempt_it == attempts_.end() ? 0 : attempt_it->second;
     return route_(addr.channel)
-        .estimateReadCompletion(addr, plan_.transferBytesPerPage);
+        .estimateReadCompletion(addr, plan_.transferBytesPerPage,
+                                attempt);
+}
+
+std::uint64_t
+DfvStream::failedThrough(std::uint64_t pages) const
+{
+    return static_cast<std::uint64_t>(
+        std::lower_bound(failedPages_.begin(), failedPages_.end(),
+                         pages) -
+        failedPages_.begin());
+}
+
+DfvPlan
+DfvStream::subplan(std::uint64_t from, std::uint64_t to) const
+{
+    DS_ASSERT(from <= to);
+    DS_ASSERT(to <= plan_.pages.size());
+    DfvPlan p = plan_; // copies the scalar knobs
+    p.pages.assign(plan_.pages.begin() + static_cast<long>(from),
+                   plan_.pages.begin() + static_cast<long>(to));
+    return p;
 }
 
 DfvStreamService::DfvStreamService(sim::EventQueue &events,
@@ -141,6 +209,9 @@ DfvStreamService::close(DfvStream &stream)
         owned->plan_.pages.shrink_to_fit();
         owned->delivered_.clear();
         owned->delivered_.shrink_to_fit();
+        owned->failedPages_.clear();
+        owned->failedPages_.shrink_to_fit();
+        owned->attempts_.clear();
         DS_ASSERT(active_ > 0);
         --active_;
         return;

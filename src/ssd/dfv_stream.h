@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,17 @@ struct DfvPlan
     /** Stagger between two reads issued to the *same* controller
      *  within one burst (steady-state page interval). */
     Tick perChannelIssueInterval = 0;
+
+    // ---- fault handling ------------------------------------------
+
+    /** Reissues of an uncorrectable page before it is abandoned
+     *  (each reissue re-rolls the deterministic fault decision with
+     *  attempt+1). */
+    std::uint32_t maxPageRetries = 2;
+
+    /** Backoff before the first reissue; doubles per attempt
+     *  (exponential backoff in simulated time). */
+    double pageRetryBackoffSeconds = 20e-6;
 };
 
 /**
@@ -80,10 +92,27 @@ class DfvStream
   public:
     std::uint64_t pagesTotal() const { return plan_.pages.size(); }
 
-    /** Contiguous prefix of the plan that has been delivered. */
+    /** Contiguous prefix of the plan that has been delivered.
+     *  Permanently failed pages count as delivered (the scan skips
+     *  them; the loss is tracked separately), so a bad page can
+     *  never stall the burst barrier. */
     std::uint64_t pagesDelivered() const { return deliveredPrefix_; }
 
     bool done() const { return deliveredPrefix_ == pagesTotal(); }
+
+    /** Pages abandoned as uncorrectable after the retry budget. */
+    std::uint64_t pagesFailed() const { return failedPages_.size(); }
+
+    /** Failed pages among the first `pages` plan entries. */
+    std::uint64_t failedThrough(std::uint64_t pages) const;
+
+    /**
+     * Copy of the plan slice [from, to) with the plan's scalar knobs
+     * (transfer bytes, depth, interval, retry budget) — the remnant
+     * plan the scheduler re-stripes onto a sibling unit when this
+     * stream's accelerator dies mid-scan.
+     */
+    DfvPlan subplan(std::uint64_t from, std::uint64_t to) const;
 
     /**
      * Report that every subscriber has consumed the first `pages`
@@ -116,7 +145,9 @@ class DfvStream
               StatGroup &stats);
 
     void maybeIssueBurst();
-    void pageDelivered(std::uint64_t index);
+    void issuePage(std::uint64_t index, std::uint32_t attempt);
+    void pageDelivered(std::uint64_t index, bool ok);
+    void pageUncorrectable(std::uint64_t index, std::uint32_t attempt);
 
     sim::EventQueue &events_;
     DfvPlan plan_;
@@ -128,6 +159,11 @@ class DfvStream
     std::uint64_t consumed_ = 0;
     std::uint64_t bursts_ = 0;
     std::vector<bool> delivered_;
+    /** Plan indices abandoned as uncorrectable, kept sorted (tiny:
+     *  failures are rare by construction). */
+    std::vector<std::uint64_t> failedPages_;
+    /** In-flight retry attempt per plan index (sparse). */
+    std::map<std::uint64_t, std::uint32_t> attempts_;
     std::function<void()> onDelivered_;
     bool closed_ = false;
 };

@@ -20,12 +20,39 @@ FlashParams::validate() const
         fatal("bandwidths must be positive");
 }
 
+const char *
+toString(FlashStatus s)
+{
+    switch (s) {
+      case FlashStatus::Ok:
+        return "Ok";
+      case FlashStatus::RetriedOk:
+        return "RetriedOk";
+      case FlashStatus::Uncorrectable:
+        return "Uncorrectable";
+    }
+    return "?";
+}
+
+std::uint64_t
+faultKey(const PageAddress &addr)
+{
+    // Disjoint bit fields: page[0:16) block[16:32) plane[32:40)
+    // chip[40:48) channel[48:64). Exact for any geometry the
+    // validator accepts, so distinct pages never collide.
+    return (static_cast<std::uint64_t>(addr.channel) << 48) |
+           (static_cast<std::uint64_t>(addr.chip) << 40) |
+           (static_cast<std::uint64_t>(addr.plane) << 32) |
+           (static_cast<std::uint64_t>(addr.block) << 16) |
+           static_cast<std::uint64_t>(addr.page);
+}
+
 FlashController::FlashController(sim::EventQueue &events,
                                  const FlashParams &params,
                                  std::uint32_t channel_id,
                                  StatGroup &stats)
     : events_(events), params_(params), channelId_(channel_id),
-      stats_(stats),
+      stats_(stats), injector_(params.faults),
       planeBusy_(static_cast<std::size_t>(params.chipsPerChannel) *
                      params.planesPerChip,
                  0)
@@ -53,6 +80,36 @@ FlashController::planeBusyUntilConst(const PageAddress &addr) const
                       addr.plane];
 }
 
+FlashController::ReadTiming
+FlashController::readTiming(const PageAddress &addr,
+                            std::uint32_t attempt) const
+{
+    ReadTiming t;
+    // Legacy deterministic read-retry ladder: the array read is
+    // stretched by the full penalty but still succeeds.
+    double latency = params_.readLatency;
+    if (params_.readRetryProbability > 0.0 && needsRetry(addr)) {
+        latency *= 1.0 + params_.readRetryPenalty;
+        t.status = FlashStatus::RetriedOk;
+    }
+    t.arrayTicks = secondsToTicks(latency);
+    if (injector_.flashFaultsEnabled()) {
+        const std::uint64_t key = faultKey(addr);
+        if (injector_.pageUncorrectable(key, attempt)) {
+            // The controller walks the whole retry ladder before
+            // giving up, so a failed read still costs the stretched
+            // array latency.
+            t.status = FlashStatus::Uncorrectable;
+            t.arrayTicks = secondsToTicks(
+                params_.readLatency *
+                (1.0 + params_.readRetryPenalty));
+        }
+        t.arrayTicks += injector_.planeStallTicks(key, attempt);
+        t.channelStall = injector_.channelStallTicks(key, attempt);
+    }
+    return t;
+}
+
 void
 FlashController::issue(FlashCommand cmd)
 {
@@ -69,31 +126,44 @@ FlashController::issue(FlashCommand cmd)
 
     switch (cmd.op) {
       case FlashOp::Read: {
-        // Array read: plane busy for the read latency, stretched by
-        // a deterministic retry when failure injection is enabled.
-        double latency = params_.readLatency;
-        if (params_.readRetryProbability > 0.0 &&
-            needsRetry(cmd.addr)) {
-            latency *= 1.0 + params_.readRetryPenalty;
-            stats_.get("flash.readRetries") += 1;
-        }
+        const ReadTiming t = readTiming(cmd.addr, cmd.attempt);
         Tick read_start = std::max(now, plane);
-        Tick read_done = read_start + secondsToTicks(latency);
+        Tick read_done = read_start + t.arrayTicks;
+        plane = read_done;
+        stats_.get("flash.pageReads") += 1;
+        if (t.status == FlashStatus::RetriedOk)
+            stats_.get("flash.readRetries") += 1;
+        if (t.channelStall > 0)
+            stats_.get("flash.channelStalls") += 1;
+        if (t.status == FlashStatus::Uncorrectable) {
+            // The controller gives up after the ladder and reports
+            // the error without a data transfer.
+            stats_.get("flash.uncorrectableReads") += 1;
+            if (cmd.onComplete) {
+                events_.schedule(
+                    read_done, [cb = std::move(cmd.onComplete),
+                                read_done] {
+                        cb(read_done, FlashStatus::Uncorrectable);
+                    });
+            }
+            break;
+        }
         // Bus transfer after the page lands in the page buffer.
-        Tick xfer_start = std::max(read_done, busBusyUntil_);
+        Tick xfer_start =
+            std::max(read_done, busBusyUntil_) + t.channelStall;
         Tick xfer_done =
             xfer_start +
             secondsToTicks(params_.channelTransferTime(
                 cmd.transferBytes));
-        plane = read_done;
         busBusyUntil_ = xfer_done;
-        stats_.get("flash.pageReads") += 1;
         stats_.get("flash.readBytes") +=
             static_cast<double>(cmd.transferBytes);
         if (cmd.onComplete) {
             events_.schedule(xfer_done,
                              [cb = std::move(cmd.onComplete),
-                              xfer_done] { cb(xfer_done); });
+                              xfer_done, st = t.status] {
+                                 cb(xfer_done, st);
+                             });
         }
         break;
       }
@@ -115,7 +185,9 @@ FlashController::issue(FlashCommand cmd)
         if (cmd.onComplete) {
             events_.schedule(prog_done,
                              [cb = std::move(cmd.onComplete),
-                              prog_done] { cb(prog_done); });
+                              prog_done] {
+                                 cb(prog_done, FlashStatus::Ok);
+                             });
         }
         break;
       }
@@ -127,7 +199,7 @@ FlashController::issue(FlashCommand cmd)
         if (cmd.onComplete) {
             events_.schedule(
                 done, [cb = std::move(cmd.onComplete), done] {
-                    cb(done);
+                    cb(done, FlashStatus::Ok);
                 });
         }
         break;
@@ -153,14 +225,18 @@ FlashController::needsRetry(const PageAddress &addr) const
 
 Tick
 FlashController::estimateReadCompletion(const PageAddress &addr,
-                                        std::uint64_t bytes) const
+                                        std::uint64_t bytes,
+                                        std::uint32_t attempt) const
 {
     const Tick now = events_.now();
-    Tick read_done = std::max(now, planeBusyUntilConst(addr)) +
-                     secondsToTicks(params_.readLatency);
-    Tick xfer_done =
-        std::max(read_done, busBusyUntil_) +
-        secondsToTicks(params_.channelTransferTime(bytes));
+    const ReadTiming t = readTiming(addr, attempt);
+    Tick read_done =
+        std::max(now, planeBusyUntilConst(addr)) + t.arrayTicks;
+    if (t.status == FlashStatus::Uncorrectable)
+        return read_done;
+    Tick xfer_done = std::max(read_done, busBusyUntil_) +
+                     t.channelStall +
+                     secondsToTicks(params_.channelTransferTime(bytes));
     return xfer_done;
 }
 

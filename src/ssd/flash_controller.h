@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/stats.h"
 #include "sim/event_queue.h"
 #include "ssd/geometry.h"
@@ -32,6 +33,23 @@ enum class FlashOp
     Erase,
 };
 
+/** How a flash command completed. */
+enum class FlashStatus : std::uint8_t
+{
+    Ok,            ///< first-pass success
+    RetriedOk,     ///< succeeded after the read-retry ladder
+    Uncorrectable, ///< ECC failure even after the full ladder
+};
+
+const char *toString(FlashStatus s);
+
+/**
+ * Opaque 64-bit fault-injection key of a physical page (the entity
+ * key the FaultInjector hashes). Also used for page blacklists in
+ * fault schedules.
+ */
+std::uint64_t faultKey(const PageAddress &addr);
+
 /** One flash command against a page (or block, for erase). */
 struct FlashCommand
 {
@@ -39,8 +57,12 @@ struct FlashCommand
     PageAddress addr;
     /** Bytes to move over the bus (<= pageBytes; 0 for erase). */
     std::uint64_t transferBytes = 0;
-    /** Completion callback (fires when data is on the bus-side). */
-    std::function<void(Tick)> onComplete;
+    /** Read-retry attempt number (fault injection re-rolls its
+     *  uncorrectable decision per attempt). */
+    std::uint32_t attempt = 0;
+    /** Completion callback (fires when data is on the bus-side),
+     *  carrying the completion tick and the command's status. */
+    std::function<void(Tick, FlashStatus)> onComplete;
 };
 
 /**
@@ -60,16 +82,38 @@ class FlashController
     /**
      * Earliest tick at which a newly issued read to the given plane
      * would complete (used by schedulers for load estimates).
+     * Accounts for the read-retry stretch and injected stalls, so the
+     * estimate matches what issue() would actually produce for the
+     * same attempt number.
      */
     Tick estimateReadCompletion(const PageAddress &addr,
-                                std::uint64_t bytes) const;
+                                std::uint64_t bytes,
+                                std::uint32_t attempt = 0) const;
 
     std::uint32_t channelId() const { return channelId_; }
 
     /** Tick at which the channel bus frees up. */
     Tick busBusyUntil() const { return busBusyUntil_; }
 
+    const FaultInjector &injector() const { return injector_; }
+
   private:
+    /**
+     * Shared timing model of one page read: array latency (with the
+     * legacy retry stretch and the injected plane stall) and bus-side
+     * delay (injected channel stall), plus the resulting status.
+     * Used by both issue() and estimateReadCompletion() so estimates
+     * stay exact under fault injection.
+     */
+    struct ReadTiming
+    {
+        Tick arrayTicks = 0;   ///< plane occupancy (incl. stalls)
+        Tick channelStall = 0; ///< bus stall before the transfer
+        FlashStatus status = FlashStatus::Ok;
+    };
+    ReadTiming readTiming(const PageAddress &addr,
+                          std::uint32_t attempt) const;
+
     Tick &planeBusyUntil(const PageAddress &addr);
     Tick planeBusyUntilConst(const PageAddress &addr) const;
 
@@ -80,6 +124,7 @@ class FlashController
     FlashParams params_;
     std::uint32_t channelId_;
     StatGroup &stats_;
+    FaultInjector injector_;
 
     /** busy-until per (chip, plane). */
     std::vector<Tick> planeBusy_;

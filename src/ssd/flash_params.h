@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "common/fault_injector.h"
 #include "common/units.h"
 
 namespace deepstore::ssd {
@@ -57,6 +58,15 @@ struct FlashParams
 
     /** Extra array-read latencies paid by a retried read. */
     double readRetryPenalty = 3.0;
+
+    /**
+     * Deterministic fault schedule (common/fault_injector.h):
+     * uncorrectable page reads, page blacklists, transient
+     * plane/channel stalls, and accelerator-unit failures. The
+     * default schedule injects nothing, keeping the datapath
+     * tick-identical to a fault-free build.
+     */
+    FaultConfig faults;
 
     // ---- derived quantities -------------------------------------
 

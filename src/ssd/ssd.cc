@@ -63,7 +63,8 @@ Ssd::hostWrite(std::uint64_t lpn_start, std::uint64_t count,
             cmd.op = FlashOp::Program;
             cmd.addr = addr;
             cmd.transferBytes = params_.pageBytes;
-            cmd.onComplete = [remaining, last, cb](Tick t) {
+            cmd.onComplete = [remaining, last, cb](Tick t,
+                                                   FlashStatus) {
                 *last = std::max(*last, t);
                 if (--*remaining == 0 && cb)
                     cb(*last);
@@ -94,7 +95,8 @@ Ssd::hostRead(std::uint64_t lpn_start, std::uint64_t count,
             cmd.op = FlashOp::Read;
             cmd.addr = addr;
             cmd.transferBytes = params_.pageBytes;
-            cmd.onComplete = [this, remaining, last, cb](Tick t) {
+            cmd.onComplete = [this, remaining, last,
+                              cb](Tick t, FlashStatus) {
                 // External interface transfer serializes at the
                 // PCIe-class bandwidth.
                 Tick xfer_start = std::max(t, externalBusyUntil_);
@@ -149,7 +151,7 @@ Ssd::hostTrim(std::uint64_t lpn_start, std::uint64_t count,
                         cmd.op = FlashOp::Erase;
                         cmd.addr = PageAddress{ch, chip, plane, sb, 0};
                         cmd.onComplete = [remaining, last,
-                                          cb](Tick t) {
+                                          cb](Tick t, FlashStatus) {
                             *last = std::max(*last, t);
                             if (--*remaining == 0 && cb)
                                 cb(*last);
@@ -171,7 +173,11 @@ Ssd::internalRead(std::uint64_t ppn, std::uint64_t bytes,
     cmd.op = FlashOp::Read;
     cmd.addr = addr;
     cmd.transferBytes = std::min(bytes, params_.pageBytes);
-    cmd.onComplete = std::move(on_complete);
+    cmd.onComplete = [cb = std::move(on_complete)](Tick t,
+                                                   FlashStatus) {
+        if (cb)
+            cb(t);
+    };
     stats_.get("internal.reads") += 1;
     controllers_[addr.channel]->issue(std::move(cmd));
 }

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Fault injection & graceful degradation across the unified datapath:
+ *
+ *  - tick-identity regression: with an empty fault schedule the
+ *    engine reproduces pre-fault-subsystem golden completion ticks
+ *    exactly (the "injection disabled == fault-free build" contract);
+ *  - deterministic degradation: a seeded schedule yields the same
+ *    coverageFraction and the same stats dump on every run, while the
+ *    identical no-fault run returns full coverage;
+ *  - the shard recovery machine: unit deaths re-stripe onto siblings
+ *    (full coverage via re-reads), watchdogs snatch slow shards,
+ *    retry budgets bound the recovery;
+ *  - deadlines, cancellation, tryGetResults, and the NVMe vendor
+ *    statuses for degraded completions.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/deepstore.h"
+#include "core/nvme_front.h"
+#include "workloads/feature_gen.h"
+
+namespace deepstore::core {
+namespace {
+
+nn::ModelBundle
+dotModel(std::int64_t dim)
+{
+    nn::Model m("dot-scn", dim, false);
+    m.addLayer(nn::Layer::elementWise("dot", nn::EwOp::DotProduct,
+                                      dim));
+    auto w = nn::ModelWeights::random(m, 1);
+    return nn::ModelBundle{std::move(m), std::move(w)};
+}
+
+std::shared_ptr<FeatureSource>
+randomDb(std::int64_t dim, std::uint64_t count, std::uint64_t seed)
+{
+    workloads::FeatureGenerator gen(dim, 16, seed);
+    return std::make_shared<GeneratedFeatureSource>(gen, count);
+}
+
+/** One full run under `cfg`: writeDB + loadModel + one sync query.
+ *  Returns the query id; `ds` is left drained. */
+struct RunResult
+{
+    double coverage = 0.0;
+    QueryOutcome outcome = QueryOutcome::Success;
+    Tick completeTick = 0;
+    std::uint64_t featuresScanned = 0;
+    std::size_t topK = 0;
+    std::string stats;
+};
+
+RunResult
+runOne(const DeepStoreConfig &cfg, std::int64_t dim,
+       std::uint64_t features, std::uint64_t db_seed)
+{
+    DeepStore ds(cfg);
+    auto src = randomDb(dim, features, db_seed);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(dim));
+    std::uint64_t qid =
+        ds.querySync(src->featureAt(1), 4, model, db, 0, 0);
+    const QueryResult &res = ds.getResults(qid);
+    RunResult r;
+    r.coverage = res.coverageFraction;
+    r.outcome = res.outcome;
+    r.completeTick = ds.scheduler().completeTick(qid);
+    r.featuresScanned = res.featuresScanned;
+    r.topK = res.topK.size();
+    std::ostringstream os;
+    ds.dumpStats(os);
+    r.stats = os.str();
+    return r;
+}
+
+// ---- tick-identity regression ----------------------------------
+
+TEST(FaultFree, TickIdenticalToGoldenPrePRRun)
+{
+    // Golden completion ticks captured on the pre-fault-subsystem
+    // tree. An empty fault schedule must reproduce them bit-exactly:
+    // the injection hooks cost a branch, never a tick.
+    {
+        DeepStore ds{DeepStoreConfig{}};
+        auto src = randomDb(32, 500, 42);
+        std::uint64_t db = ds.writeDB(src);
+        std::uint64_t model = ds.loadModel(dotModel(32));
+        auto q = randomDb(32, 1, 99)->featureAt(0);
+        std::uint64_t qid = ds.querySync(q, 4, model, db, 0, 0);
+        EXPECT_EQ(ds.scheduler().submitTick(qid), 522480000u);
+        EXPECT_EQ(ds.scheduler().completeTick(qid), 598840000u);
+        EXPECT_EQ(ds.getResults(qid).outcome, QueryOutcome::Success);
+        EXPECT_DOUBLE_EQ(ds.getResults(qid).coverageFraction, 1.0);
+    }
+    {
+        DeepStore ds{DeepStoreConfig{}};
+        auto src = randomDb(64, 900, 7);
+        std::uint64_t db = ds.writeDB(src);
+        std::uint64_t model = ds.loadModel(dotModel(64));
+        std::uint64_t a =
+            ds.query(randomDb(64, 1, 101)->featureAt(0), 4, model,
+                     db, 0, 0, Level::ChannelLevel);
+        std::uint64_t b =
+            ds.query(randomDb(64, 1, 102)->featureAt(0), 4, model,
+                     db, 0, 0, Level::ChipLevel);
+        std::uint64_t c =
+            ds.query(randomDb(64, 1, 103)->featureAt(0), 4, model,
+                     db, 0, 0, Level::SsdLevel);
+        ds.drain();
+        EXPECT_EQ(ds.scheduler().completeTick(a), 597560000u);
+        EXPECT_EQ(ds.scheduler().completeTick(b), 631680000u);
+        EXPECT_EQ(ds.scheduler().completeTick(c), 740210000u);
+        EXPECT_EQ(ds.events().now(), 740210000u);
+    }
+}
+
+// ---- deterministic degradation (the acceptance criterion) -------
+
+TEST(Degradation, SeededFaultsDegradeCoverageDeterministically)
+{
+    const std::int64_t dim = 32;
+    const std::uint64_t features = 2000; // 16 pages, 16 channels
+
+    DeepStoreConfig fault_cfg;
+    fault_cfg.flash.faults.seed = 2024;
+    fault_cfg.flash.faults.uncorrectableReadProbability = 0.4;
+    fault_cfg.maxPageRetries = 0; // failures are permanent
+
+    RunResult f1 = runOne(fault_cfg, dim, features, 11);
+    RunResult f2 = runOne(fault_cfg, dim, features, 11);
+
+    // Degraded, with partial-but-nonzero coverage.
+    EXPECT_EQ(f1.outcome, QueryOutcome::Degraded);
+    EXPECT_LT(f1.coverage, 1.0);
+    EXPECT_GT(f1.coverage, 0.0);
+    EXPECT_LT(f1.featuresScanned, features);
+    EXPECT_GT(f1.topK, 0u);
+
+    // Bit-identical replay: coverage, ticks, and the whole stats
+    // dump (sched.* and dfv.* fault counters included).
+    EXPECT_DOUBLE_EQ(f1.coverage, f2.coverage);
+    EXPECT_EQ(f1.completeTick, f2.completeTick);
+    EXPECT_EQ(f1.stats, f2.stats);
+    EXPECT_NE(f1.stats.find("dfv.pagesFailed"), std::string::npos);
+
+    // The identical run without the schedule returns full coverage.
+    RunResult clean = runOne(DeepStoreConfig{}, dim, features, 11);
+    EXPECT_EQ(clean.outcome, QueryOutcome::Success);
+    EXPECT_DOUBLE_EQ(clean.coverage, 1.0);
+    EXPECT_EQ(clean.featuresScanned, features);
+
+    // A different seed yields a different (still deterministic)
+    // degradation pattern.
+    DeepStoreConfig other = fault_cfg;
+    other.flash.faults.seed = 2025;
+    RunResult f3 = runOne(other, dim, features, 11);
+    EXPECT_NE(f3.coverage, f1.coverage);
+}
+
+TEST(Degradation, PageRetriesRecoverTransientFaults)
+{
+    // Per-attempt re-rolls: with a retry budget most transiently
+    // uncorrectable pages recover, so coverage improves (strictly)
+    // over the no-retry run and retry work shows up in the stats.
+    const std::int64_t dim = 32;
+    const std::uint64_t features = 2000;
+
+    DeepStoreConfig no_retry;
+    no_retry.flash.faults.seed = 5;
+    no_retry.flash.faults.uncorrectableReadProbability = 0.4;
+    no_retry.maxPageRetries = 0;
+
+    DeepStoreConfig with_retry = no_retry;
+    with_retry.maxPageRetries = 4;
+
+    RunResult a = runOne(no_retry, dim, features, 11);
+    RunResult b = runOne(with_retry, dim, features, 11);
+    EXPECT_GT(b.coverage, a.coverage);
+    EXPECT_NE(b.stats.find("dfv.pageRetries"), std::string::npos);
+}
+
+TEST(Degradation, BlacklistedPageCostsExactlyItsFeatures)
+{
+    // Target one physical page: coverage drops by exactly that
+    // page's feature payload. The page address is learned from a
+    // probe run (the FTL mapping is deterministic).
+    const std::int64_t dim = 32; // 128 features per 16 KiB page
+    const std::uint64_t features = 2000;
+
+    std::uint64_t key = 0;
+    {
+        DeepStore probe{DeepStoreConfig{}};
+        std::uint64_t db = probe.writeDB(randomDb(dim, features, 11));
+        key = ssd::faultKey(probe.ssd().physicalAddress(
+            probe.databaseInfo(db).startLpn));
+    }
+
+    DeepStoreConfig cfg;
+    cfg.flash.faults.pageBlacklist = {key};
+    cfg.maxPageRetries = 2; // blacklisted pages fail every attempt
+    RunResult r = runOne(cfg, dim, features, 11);
+    EXPECT_EQ(r.outcome, QueryOutcome::Degraded);
+    EXPECT_DOUBLE_EQ(r.coverage,
+                     static_cast<double>(features - 128) /
+                         static_cast<double>(features));
+}
+
+// ---- the shard recovery machine ---------------------------------
+
+TEST(Recovery, UnitDeathRestripesOntoSiblingWithFullCoverage)
+{
+    // Kill channel-accelerator 0 mid-scan: its shard's remaining
+    // range re-stripes onto an alive sibling, which re-reads the
+    // remnant pages through the real flash path. The query still
+    // reaches full coverage — slower, not smaller.
+    const std::int64_t dim = 32;
+    const std::uint64_t features = 500;
+
+    RunResult clean = runOne(DeepStoreConfig{}, dim, features, 42);
+    ASSERT_EQ(clean.outcome, QueryOutcome::Success);
+
+    DeepStoreConfig cfg;
+    cfg.flash.faults.unitFailures = {
+        UnitFailure{static_cast<std::uint32_t>(Level::ChannelLevel),
+                    0, 552480000}}; // 30 us after golden submit
+    RunResult r1 = runOne(cfg, dim, features, 42);
+    EXPECT_EQ(r1.outcome, QueryOutcome::Success);
+    EXPECT_DOUBLE_EQ(r1.coverage, 1.0);
+    EXPECT_GT(r1.completeTick, clean.completeTick);
+    EXPECT_NE(r1.stats.find("sched.unitFailures"), std::string::npos);
+    EXPECT_NE(r1.stats.find("sched.shardReassignments"),
+              std::string::npos);
+
+    // Deterministic replay of the recovery itself.
+    RunResult r2 = runOne(cfg, dim, features, 42);
+    EXPECT_EQ(r1.completeTick, r2.completeTick);
+    EXPECT_EQ(r1.stats, r2.stats);
+}
+
+TEST(Recovery, ExhaustedRetryBudgetDegrades)
+{
+    // Same unit death, but no retry budget: the killed shard's
+    // remainder is abandoned and the query terminates Degraded with
+    // the surviving shards' coverage.
+    DeepStoreConfig cfg;
+    cfg.maxShardRetries = 0;
+    cfg.flash.faults.unitFailures = {
+        UnitFailure{static_cast<std::uint32_t>(Level::ChannelLevel),
+                    0, 552480000}};
+    RunResult r = runOne(cfg, 32, 500, 42);
+    EXPECT_EQ(r.outcome, QueryOutcome::Degraded);
+    EXPECT_LT(r.coverage, 1.0);
+    EXPECT_NE(r.stats.find("sched.shardsLost"), std::string::npos);
+}
+
+TEST(Recovery, WatchdogSnatchesSlowShards)
+{
+    // A watchdog shorter than the first flash delivery snatches
+    // every shard before it can make progress; after the retry
+    // budget the query degrades. Every firing is deterministic.
+    DeepStoreConfig cfg;
+    cfg.shardWatchdogSeconds = 30e-6; // < 53 us array read
+    cfg.maxShardRetries = 1;
+    RunResult r1 = runOne(cfg, 32, 500, 42);
+    EXPECT_EQ(r1.outcome, QueryOutcome::Degraded);
+    EXPECT_LT(r1.coverage, 1.0);
+    EXPECT_NE(r1.stats.find("sched.watchdogFires"),
+              std::string::npos);
+    RunResult r2 = runOne(cfg, 32, 500, 42);
+    EXPECT_EQ(r1.completeTick, r2.completeTick);
+    EXPECT_EQ(r1.stats, r2.stats);
+}
+
+// ---- deadlines & cancellation -----------------------------------
+
+TEST(Deadline, FiresBeforeCompletionAndReportsPartialCoverage)
+{
+    DeepStore ds{DeepStoreConfig{}};
+    auto src = randomDb(32, 500, 42);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(32));
+    // The golden scan takes ~76 us; a 20 us deadline fires first.
+    std::uint64_t qid = ds.query(src->featureAt(1), 4, model, db, 0,
+                                 0, std::nullopt, 20e-6);
+    ds.waitFor(qid);
+    EXPECT_EQ(ds.poll(qid), QueryState::Degraded);
+    const QueryResult &res = ds.getResults(qid);
+    EXPECT_EQ(res.outcome, QueryOutcome::DeadlineExceeded);
+    EXPECT_LT(res.coverageFraction, 1.0);
+    // Latency == the deadline, by definition of the terminal tick.
+    EXPECT_NEAR(res.latencySeconds, 20e-6, 1e-12);
+
+    // A generous deadline never fires.
+    std::uint64_t ok = ds.query(src->featureAt(2), 4, model, db, 0,
+                                0, std::nullopt, 1.0);
+    ds.waitFor(ok);
+    EXPECT_EQ(ds.getResults(ok).outcome, QueryOutcome::Success);
+    EXPECT_DOUBLE_EQ(ds.getResults(ok).coverageFraction, 1.0);
+}
+
+TEST(Cancel, AbortsInFlightAndLeavesPeerTickIdentical)
+{
+    // Baseline: query A alone.
+    Tick baseline = 0;
+    {
+        DeepStore ds{DeepStoreConfig{}};
+        auto src = randomDb(32, 500, 42);
+        std::uint64_t db = ds.writeDB(src);
+        std::uint64_t model = ds.loadModel(dotModel(32));
+        std::uint64_t a =
+            ds.querySync(src->featureAt(1), 4, model, db, 0, 0);
+        baseline = ds.scheduler().completeTick(a);
+    }
+    // A plus a cancelled B: A's completion tick must not move at
+    // all — cancellation detaches B before it touches the shared
+    // datapath state A depends on.
+    DeepStore ds{DeepStoreConfig{}};
+    auto src = randomDb(32, 500, 42);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(32));
+    std::uint64_t a = ds.query(src->featureAt(1), 4, model, db, 0, 0);
+    std::uint64_t b = ds.query(src->featureAt(3), 4, model, db, 0, 0);
+    EXPECT_TRUE(ds.cancel(b));
+    EXPECT_EQ(ds.poll(b), QueryState::Degraded);
+    ds.drain();
+    EXPECT_EQ(ds.scheduler().completeTick(a), baseline);
+    EXPECT_EQ(ds.getResults(a).outcome, QueryOutcome::Success);
+
+    const QueryResult &rb = ds.getResults(b);
+    EXPECT_EQ(rb.outcome, QueryOutcome::Aborted);
+    EXPECT_DOUBLE_EQ(rb.coverageFraction, 0.0);
+    EXPECT_EQ(rb.topK.size(), 0u);
+
+    // Cancel is single-shot and id-checked.
+    EXPECT_FALSE(ds.cancel(b));   // already terminal
+    EXPECT_FALSE(ds.cancel(a));   // already complete
+    EXPECT_FALSE(ds.cancel(777)); // unknown
+}
+
+TEST(Cancel, PeerDegradationDoesNotCorruptSurvivor)
+{
+    // B (chip level) loses its units with no retry budget and
+    // degrades; A (channel level) still completes with full
+    // coverage and correct results.
+    DeepStoreConfig cfg;
+    cfg.maxShardRetries = 0;
+    for (std::uint32_t chip = 0; chip < 128; ++chip)
+        cfg.flash.faults.unitFailures.push_back(UnitFailure{
+            static_cast<std::uint32_t>(Level::ChipLevel), chip,
+            560000000});
+    DeepStore ds(cfg);
+    auto src = randomDb(32, 500, 42);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(32));
+    std::uint64_t a = ds.query(src->featureAt(1), 4, model, db, 0, 0,
+                               Level::ChannelLevel);
+    std::uint64_t b = ds.query(src->featureAt(3), 4, model, db, 0, 0,
+                               Level::ChipLevel);
+    ds.drain();
+    EXPECT_EQ(ds.getResults(a).outcome, QueryOutcome::Success);
+    EXPECT_DOUBLE_EQ(ds.getResults(a).coverageFraction, 1.0);
+    EXPECT_EQ(ds.getResults(a).topK.size(), 4u);
+    EXPECT_EQ(ds.getResults(b).outcome, QueryOutcome::Degraded);
+    EXPECT_LT(ds.getResults(b).coverageFraction, 1.0);
+}
+
+// ---- tryGetResults & NVMe statuses ------------------------------
+
+TEST(TryGetResults, TypedRetryableOutcome)
+{
+    DeepStore ds{DeepStoreConfig{}};
+    auto src = randomDb(16, 60, 2);
+    std::uint64_t db = ds.writeDB(src);
+    std::uint64_t model = ds.loadModel(dotModel(16));
+    std::uint64_t qid =
+        ds.query(src->featureAt(0), 3, model, db, 0, 0);
+
+    FetchResult fr = ds.tryGetResults(qid);
+    EXPECT_EQ(fr.status, FetchStatus::InFlight);
+    EXPECT_EQ(fr.result, nullptr);
+    EXPECT_EQ(ds.tryGetResults(777).status, FetchStatus::Unknown);
+
+    ds.waitFor(qid);
+    fr = ds.tryGetResults(qid);
+    ASSERT_EQ(fr.status, FetchStatus::Ready);
+    ASSERT_NE(fr.result, nullptr);
+    EXPECT_EQ(fr.result->topK.size(), 3u);
+
+    // getResults stays fatal for in-flight/unknown ids (the
+    // non-retryable strict path).
+    EXPECT_THROW(ds.getResults(777), FatalError);
+}
+
+TEST(NvmeFault, DegradedStatusesSurfaceOnTheWire)
+{
+    DeepStoreConfig cfg;
+    DeepStore store(cfg);
+    NvmeFrontEnd nvme(store, 16);
+    auto src = randomDb(16, 200, 3);
+    std::uint64_t db = store.writeDB(src);
+    std::uint64_t model = store.loadModel(dotModel(16));
+
+    // Deadline in cdw5's high 32 bits (microseconds): 20 us fires
+    // before the ~76 us scan -> DeadlineExceeded on the wire.
+    NvmeCommand q;
+    q.opcode = NvmeOpcode::Query;
+    q.cid = 1;
+    q.prp = nvme.buffers().add(src->featureAt(0));
+    q.cdw[0] = 3;
+    q.cdw[1] = model;
+    q.cdw[2] = db;
+    q.cdw[5] = (20ull << 32); // level = engine default, deadline 20us
+    ASSERT_TRUE(nvme.submit(q));
+    nvme.process();
+    ASSERT_TRUE(nvme.pump());
+    auto done = nvme.pollCompletion();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->status, NvmeStatus::DeadlineExceeded);
+
+    // GetResults on the degraded query: DegradedSuccess-class
+    // status (not an error, not InProgress), partial payload.
+    NvmeCommand g;
+    g.opcode = NvmeOpcode::GetResults;
+    g.cid = 2;
+    g.prp = nvme.buffers().add({});
+    g.cdw[0] = done->result;
+    ASSERT_TRUE(nvme.submit(g));
+    nvme.process();
+    auto gdone = nvme.pollCompletion();
+    ASSERT_TRUE(gdone.has_value());
+    EXPECT_EQ(gdone->status, NvmeStatus::DeadlineExceeded);
+
+    // AbortQuery: submit, abort, completion posts Aborted.
+    NvmeCommand q2 = q;
+    q2.cid = 3;
+    q2.cdw[5] = 0; // no deadline
+    q2.prp = nvme.buffers().add(src->featureAt(1));
+    ASSERT_TRUE(nvme.submit(q2));
+    nvme.process();
+    auto qid2 = nvme.queryIdForCid(3);
+    ASSERT_TRUE(qid2.has_value());
+
+    NvmeCommand abort;
+    abort.opcode = NvmeOpcode::AbortQuery;
+    abort.cid = 4;
+    abort.cdw[0] = *qid2;
+    ASSERT_TRUE(nvme.submit(abort));
+    nvme.process();
+    // Both the abort ack and the query completion are in the queue.
+    bool saw_abort_ack = false, saw_aborted_query = false;
+    while (auto c = nvme.pollCompletion()) {
+        if (c->cid == 4) {
+            saw_abort_ack = true;
+            EXPECT_EQ(c->status, NvmeStatus::Success);
+        }
+        if (c->cid == 3) {
+            saw_aborted_query = true;
+            EXPECT_EQ(c->status, NvmeStatus::Aborted);
+        }
+    }
+    EXPECT_TRUE(saw_abort_ack);
+    EXPECT_TRUE(saw_aborted_query);
+
+    // Aborting an unknown query id is an InvalidField error.
+    NvmeCommand bad = abort;
+    bad.cid = 5;
+    bad.cdw[0] = 424242;
+    ASSERT_TRUE(nvme.submit(bad));
+    nvme.process();
+    auto bdone = nvme.pollCompletion();
+    ASSERT_TRUE(bdone.has_value());
+    EXPECT_EQ(bdone->status, NvmeStatus::InvalidField);
+}
+
+} // namespace
+} // namespace deepstore::core

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection subsystem: pure-hash
+ * decisions (no draw-order dependence), schedule replay across
+ * injector copies, blacklist/unit-failure schedules, and the
+ * "disabled schedule injects nothing" contract the tick-identity
+ * regression relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "ssd/flash_controller.h"
+
+namespace deepstore {
+namespace {
+
+using Domain = FaultInjector::Domain;
+
+TEST(FaultInjector, HashUniformIsAPureFunction)
+{
+    // Same inputs -> same output, independent of call order or any
+    // other draws in between.
+    double a = FaultInjector::hashUniform(
+        42, Domain::FlashUncorrectable, 7, 0);
+    FaultInjector::hashUniform(42, Domain::PlaneStall, 123, 5);
+    FaultInjector::hashUniform(99, Domain::FlashUncorrectable, 7, 0);
+    double b = FaultInjector::hashUniform(
+        42, Domain::FlashUncorrectable, 7, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 1.0);
+
+    // Seed, domain, key, and attempt all perturb the draw.
+    EXPECT_NE(a, FaultInjector::hashUniform(
+                     43, Domain::FlashUncorrectable, 7, 0));
+    EXPECT_NE(a, FaultInjector::hashUniform(42, Domain::PlaneStall,
+                                            7, 0));
+    EXPECT_NE(a, FaultInjector::hashUniform(
+                     42, Domain::FlashUncorrectable, 8, 0));
+    EXPECT_NE(a, FaultInjector::hashUniform(
+                     42, Domain::FlashUncorrectable, 7, 1));
+}
+
+TEST(FaultInjector, CopiesReplayTheSameSchedule)
+{
+    FaultConfig cfg;
+    cfg.seed = 1234;
+    cfg.uncorrectableReadProbability = 0.3;
+    cfg.planeStallProbability = 0.2;
+    cfg.planeStallSeconds = 5e-6;
+    cfg.channelStallProbability = 0.1;
+    cfg.channelStallSeconds = 2e-6;
+
+    FaultInjector a(cfg);
+    FaultInjector b(cfg); // independent instance, same schedule
+    int failures = 0;
+    for (std::uint64_t key = 0; key < 2000; ++key) {
+        for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+            EXPECT_EQ(a.pageUncorrectable(key, attempt),
+                      b.pageUncorrectable(key, attempt));
+            EXPECT_EQ(a.planeStallTicks(key, attempt),
+                      b.planeStallTicks(key, attempt));
+            EXPECT_EQ(a.channelStallTicks(key, attempt),
+                      b.channelStallTicks(key, attempt));
+            if (a.pageUncorrectable(key, attempt))
+                ++failures;
+        }
+    }
+    // The probability actually injects (sanity on the hash range).
+    EXPECT_GT(failures, 0);
+    EXPECT_LT(failures, 2000 * 3);
+}
+
+TEST(FaultInjector, DifferentSeedsDisagree)
+{
+    FaultConfig c1;
+    c1.seed = 1;
+    c1.uncorrectableReadProbability = 0.5;
+    FaultConfig c2 = c1;
+    c2.seed = 2;
+    FaultInjector a(c1), b(c2);
+    int diff = 0;
+    for (std::uint64_t key = 0; key < 512; ++key)
+        if (a.pageUncorrectable(key, 0) !=
+            b.pageUncorrectable(key, 0))
+            ++diff;
+    EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjector, RetriesRerollPerAttempt)
+{
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.uncorrectableReadProbability = 0.5;
+    FaultInjector inj(cfg);
+    // Some page that fails on attempt 0 must succeed on a later
+    // attempt (independent re-roll), and vice versa.
+    bool saw_recovery = false;
+    for (std::uint64_t key = 0; key < 256 && !saw_recovery; ++key) {
+        if (inj.pageUncorrectable(key, 0) &&
+            !inj.pageUncorrectable(key, 1))
+            saw_recovery = true;
+    }
+    EXPECT_TRUE(saw_recovery);
+}
+
+TEST(FaultInjector, BlacklistedPagesFailEveryAttempt)
+{
+    const std::uint64_t key =
+        ssd::faultKey(ssd::PageAddress{1, 0, 1, 3, 2});
+    FaultConfig cfg;
+    cfg.pageBlacklist = {key};
+    FaultInjector inj(cfg);
+    EXPECT_TRUE(inj.flashFaultsEnabled());
+    EXPECT_TRUE(inj.pageBlacklisted(key));
+    for (std::uint32_t attempt = 0; attempt < 8; ++attempt)
+        EXPECT_TRUE(inj.pageUncorrectable(key, attempt));
+    // Non-blacklisted neighbours are untouched (probability 0).
+    EXPECT_FALSE(inj.pageUncorrectable(key + 1, 0));
+}
+
+TEST(FaultInjector, UnitFailureSchedule)
+{
+    FaultConfig cfg;
+    cfg.unitFailures = {UnitFailure{1, 3, 12345},
+                        UnitFailure{2, 0, 999}};
+    FaultInjector inj(cfg);
+    EXPECT_TRUE(inj.enabled());
+    EXPECT_FALSE(inj.flashFaultsEnabled());
+    ASSERT_TRUE(inj.unitFailureTick(1, 3).has_value());
+    EXPECT_EQ(*inj.unitFailureTick(1, 3), 12345u);
+    ASSERT_TRUE(inj.unitFailureTick(2, 0).has_value());
+    EXPECT_EQ(*inj.unitFailureTick(2, 0), 999u);
+    EXPECT_FALSE(inj.unitFailureTick(1, 2).has_value());
+    EXPECT_FALSE(inj.unitFailureTick(0, 0).has_value());
+}
+
+TEST(FaultInjector, StallDurationsComeFromTheSchedule)
+{
+    FaultConfig cfg;
+    cfg.planeStallProbability = 1.0;
+    cfg.planeStallSeconds = 5e-6;
+    cfg.channelStallProbability = 1.0;
+    cfg.channelStallSeconds = 2e-6;
+    FaultInjector inj(cfg);
+    EXPECT_EQ(inj.planeStallTicks(11, 0), secondsToTicks(5e-6));
+    EXPECT_EQ(inj.channelStallTicks(11, 0), secondsToTicks(2e-6));
+}
+
+TEST(FaultInjector, DefaultScheduleInjectsNothing)
+{
+    FaultInjector inj{FaultConfig{}};
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_FALSE(inj.flashFaultsEnabled());
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        EXPECT_FALSE(inj.pageUncorrectable(key, 0));
+        EXPECT_EQ(inj.planeStallTicks(key, 0), 0u);
+        EXPECT_EQ(inj.channelStallTicks(key, 0), 0u);
+    }
+    // A default-constructed injector behaves identically.
+    FaultInjector none;
+    EXPECT_FALSE(none.enabled());
+}
+
+TEST(FaultInjector, RejectsInvalidProbabilities)
+{
+    FaultConfig cfg;
+    cfg.uncorrectableReadProbability = 1.5;
+    EXPECT_THROW(FaultInjector{cfg}, FatalError);
+    cfg.uncorrectableReadProbability = -0.1;
+    EXPECT_THROW(FaultInjector{cfg}, FatalError);
+    cfg.uncorrectableReadProbability = 0.0;
+    cfg.planeStallProbability = 2.0;
+    EXPECT_THROW(FaultInjector{cfg}, FatalError);
+}
+
+TEST(FaultInjector, FaultKeysAreDisjointAcrossPages)
+{
+    // Distinct addresses map to distinct keys (disjoint bit fields).
+    auto k = [](std::uint32_t ch, std::uint32_t chip,
+                std::uint32_t plane, std::uint32_t block,
+                std::uint32_t page) {
+        return ssd::faultKey(
+            ssd::PageAddress{ch, chip, plane, block, page});
+    };
+    EXPECT_NE(k(0, 0, 0, 0, 1), k(0, 0, 0, 1, 0));
+    EXPECT_NE(k(0, 0, 1, 0, 0), k(0, 1, 0, 0, 0));
+    EXPECT_NE(k(1, 0, 0, 0, 0), k(0, 0, 0, 0, 1));
+    EXPECT_EQ(k(2, 1, 1, 3, 7), k(2, 1, 1, 3, 7));
+}
+
+} // namespace
+} // namespace deepstore

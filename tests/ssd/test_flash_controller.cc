@@ -40,7 +40,7 @@ TEST(FlashController, SingleReadLatency)
     cmd.op = FlashOp::Read;
     cmd.addr = {0, 0, 0, 0, 0};
     cmd.transferBytes = 16 * 1024;
-    cmd.onComplete = [&](Tick t) { done = t; };
+    cmd.onComplete = [&](Tick t, FlashStatus) { done = t; };
     ctrl.issue(std::move(cmd));
     f.events.run();
     // 50us array read + 16KB / 800MB/s = 20.48us transfer.
@@ -57,7 +57,7 @@ TEST(FlashController, PartialTransferIsFaster)
     cmd.op = FlashOp::Read;
     cmd.addr = {0, 0, 0, 0, 0};
     cmd.transferBytes = 1024; // small feature, column read
-    cmd.onComplete = [&](Tick t) { done = t; };
+    cmd.onComplete = [&](Tick t, FlashStatus) { done = t; };
     ctrl.issue(std::move(cmd));
     f.events.run();
     EXPECT_NEAR(ticksToSeconds(done), 50e-6 + 1024.0 / 800e6, 1e-9);
@@ -73,7 +73,7 @@ TEST(FlashController, SamePlaneReadsSerialize)
         cmd.op = FlashOp::Read;
         cmd.addr = {0, 0, 0, 0, static_cast<std::uint32_t>(i)};
         cmd.transferBytes = 16 * 1024;
-        cmd.onComplete = [&](Tick t) { done.push_back(t); };
+        cmd.onComplete = [&](Tick t, FlashStatus) { done.push_back(t); };
         ctrl.issue(std::move(cmd));
     }
     f.events.run();
@@ -95,7 +95,7 @@ TEST(FlashController, DifferentPlanesOverlapReads)
         cmd.op = FlashOp::Read;
         cmd.addr = {0, 0, plane, 0, 0};
         cmd.transferBytes = 16 * 1024;
-        cmd.onComplete = [&](Tick t) { done.push_back(t); };
+        cmd.onComplete = [&](Tick t, FlashStatus) { done.push_back(t); };
         ctrl.issue(std::move(cmd));
     }
     f.events.run();
@@ -120,7 +120,7 @@ TEST(FlashController, BusBoundStreamingHitsChannelBandwidth)
         cmd.addr = {0, idx % 2, (idx / 2) % 2, (idx / 4) % 8,
                     (idx / 32) % 4};
         cmd.transferBytes = p.pageBytes;
-        cmd.onComplete = [&](Tick t) { last = std::max(last, t); };
+        cmd.onComplete = [&](Tick t, FlashStatus) { last = std::max(last, t); };
         ctrl.issue(std::move(cmd));
     }
     f.events.run();
@@ -140,7 +140,7 @@ TEST(FlashController, ProgramTakesProgramLatency)
     cmd.op = FlashOp::Program;
     cmd.addr = {0, 0, 0, 0, 0};
     cmd.transferBytes = 16 * 1024;
-    cmd.onComplete = [&](Tick t) { done = t; };
+    cmd.onComplete = [&](Tick t, FlashStatus) { done = t; };
     ctrl.issue(std::move(cmd));
     f.events.run();
     EXPECT_NEAR(ticksToSeconds(done), 20.48e-6 + 500e-6, 1e-8);
@@ -154,13 +154,13 @@ TEST(FlashController, EraseOccupiesPlane)
     FlashCommand er;
     er.op = FlashOp::Erase;
     er.addr = {0, 0, 0, 0, 0};
-    er.onComplete = [&](Tick t) { erase_done = t; };
+    er.onComplete = [&](Tick t, FlashStatus) { erase_done = t; };
     ctrl.issue(std::move(er));
     FlashCommand rd;
     rd.op = FlashOp::Read;
     rd.addr = {0, 0, 0, 1, 0}; // same plane, different block
     rd.transferBytes = 1024;
-    rd.onComplete = [&](Tick t) { read_done = t; };
+    rd.onComplete = [&](Tick t, FlashStatus) { read_done = t; };
     ctrl.issue(std::move(rd));
     f.events.run();
     EXPECT_NEAR(ticksToSeconds(erase_done), 3e-3, 1e-8);
@@ -197,7 +197,7 @@ TEST(FlashController, EstimateMatchesActualForIdleChannel)
     cmd.op = FlashOp::Read;
     cmd.addr = a;
     cmd.transferBytes = 4096;
-    cmd.onComplete = [&](Tick t) { done = t; };
+    cmd.onComplete = [&](Tick t, FlashStatus) { done = t; };
     ctrl.issue(std::move(cmd));
     f.events.run();
     EXPECT_EQ(est, done);
@@ -216,6 +216,119 @@ TEST(FlashController, CountsStats)
     f.events.run();
     EXPECT_DOUBLE_EQ(stats.find("flash.pageReads")->value(), 1.0);
     EXPECT_DOUBLE_EQ(stats.find("flash.readBytes")->value(), 2048.0);
+}
+
+TEST(FlashController, EstimateMatchesActualForRetryLadderPages)
+{
+    // Regression: estimateReadCompletion used to ignore the
+    // readRetryPenalty stretch that issue() charges for needsRetry()
+    // pages, so busy-horizon estimates drifted from reality on every
+    // retried read. Pin estimate == actual across a page population
+    // that contains both clean and retried reads.
+    FlashParams p = params();
+    p.readRetryProbability = 0.5; // deterministic hash per address
+    Fixture f;
+    FlashController ctrl(f.events, p, 0, f.stats);
+    int retried = 0;
+    for (std::uint32_t page = 0; page < 4; ++page) {
+        for (std::uint32_t block = 0; block < 8; ++block) {
+            PageAddress a{0, block % 2, (block / 2) % 2, block, page};
+            Tick est = ctrl.estimateReadCompletion(a, 4096);
+            Tick done = 0;
+            FlashCommand cmd;
+            cmd.op = FlashOp::Read;
+            cmd.addr = a;
+            cmd.transferBytes = 4096;
+            cmd.onComplete = [&](Tick t, FlashStatus st) {
+                done = t;
+                if (st == FlashStatus::RetriedOk)
+                    ++retried;
+            };
+            ctrl.issue(std::move(cmd));
+            f.events.run();
+            EXPECT_EQ(est, done)
+                << "block " << block << " page " << page;
+        }
+    }
+    // The population must actually exercise the retry ladder.
+    EXPECT_GT(retried, 0);
+}
+
+TEST(FlashController, EstimateMatchesActualUnderInjection)
+{
+    // With stalls and uncorrectable pages injected, the estimate
+    // must still equal the actual completion tick for every page:
+    // both sides share readTiming() by construction.
+    FlashParams p = params();
+    p.readRetryProbability = 0.3;
+    p.faults.seed = 99;
+    p.faults.uncorrectableReadProbability = 0.25;
+    p.faults.planeStallProbability = 0.5;
+    p.faults.planeStallSeconds = 7e-6;
+    p.faults.channelStallProbability = 0.5;
+    p.faults.channelStallSeconds = 3e-6;
+    Fixture f;
+    FlashController ctrl(f.events, p, 0, f.stats);
+    int uncorrectable = 0;
+    for (std::uint32_t page = 0; page < 4; ++page) {
+        for (std::uint32_t block = 0; block < 8; ++block) {
+            for (std::uint32_t attempt = 0; attempt < 2; ++attempt) {
+                PageAddress a{0, block % 2, (block / 2) % 2, block,
+                              page};
+                Tick est =
+                    ctrl.estimateReadCompletion(a, 4096, attempt);
+                Tick done = 0;
+                FlashCommand cmd;
+                cmd.op = FlashOp::Read;
+                cmd.addr = a;
+                cmd.transferBytes = 4096;
+                cmd.attempt = attempt;
+                cmd.onComplete = [&](Tick t, FlashStatus st) {
+                    done = t;
+                    if (st == FlashStatus::Uncorrectable)
+                        ++uncorrectable;
+                };
+                ctrl.issue(std::move(cmd));
+                f.events.run();
+                EXPECT_EQ(est, done)
+                    << "block " << block << " page " << page
+                    << " attempt " << attempt;
+            }
+        }
+    }
+    EXPECT_GT(uncorrectable, 0);
+    EXPECT_GT(f.stats.find("flash.uncorrectableReads")->value(), 0.0);
+}
+
+TEST(FlashController, UncorrectableReadSkipsTheBusTransfer)
+{
+    // A blacklisted page costs the full retry ladder on the array
+    // but never occupies the channel bus; completion lands at
+    // read_done with status Uncorrectable.
+    FlashParams p = params();
+    PageAddress bad{0, 0, 0, 2, 1};
+    p.faults.pageBlacklist = {faultKey(bad)};
+    Fixture f;
+    FlashController ctrl(f.events, p, 0, f.stats);
+    Tick done = 0;
+    FlashStatus status = FlashStatus::Ok;
+    FlashCommand cmd;
+    cmd.op = FlashOp::Read;
+    cmd.addr = bad;
+    cmd.transferBytes = 16 * 1024;
+    cmd.onComplete = [&](Tick t, FlashStatus st) {
+        done = t;
+        status = st;
+    };
+    ctrl.issue(std::move(cmd));
+    f.events.run();
+    EXPECT_EQ(status, FlashStatus::Uncorrectable);
+    // Full ladder: readLatency * (1 + penalty), no transfer term.
+    EXPECT_EQ(done, secondsToTicks(p.readLatency *
+                                   (1.0 + p.readRetryPenalty)));
+    EXPECT_DOUBLE_EQ(
+        f.stats.find("flash.uncorrectableReads")->value(), 1.0);
+    EXPECT_EQ(f.stats.find("flash.readBytes"), nullptr);
 }
 
 } // namespace

@@ -148,7 +148,7 @@ TEST_P(ThroughputXVal, ClosedFormMatchesEventModel)
         cmd.op = FlashOp::Read;
         cmd.addr = g.decode(i);
         cmd.transferBytes = xfer;
-        cmd.onComplete = [&](Tick t) { last = std::max(last, t); };
+        cmd.onComplete = [&](Tick t, FlashStatus) { last = std::max(last, t); };
         ctrl.issue(std::move(cmd));
     }
     events.run();
