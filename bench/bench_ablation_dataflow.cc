@@ -55,6 +55,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("ablation_dataflow");
+    report.table(t);
+    report.write();
+
     std::printf("\nPaper (Table 3): OS at SSD/channel level, WS at "
                 "chip level. WS only pays off when\nthe per-feature "
                 "weight traffic dominates — exactly the chip level's "

@@ -79,6 +79,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("ablation_layout");
+    report.table(t);
+    report.write();
+
     std::printf("\nPage-aligning TextQA's 0.8 KB features would waste "
                 "~19x capacity and drop the\nper-channel rate 1.7x "
                 "(plane-read amplification); 2 KB features waste 7x "

@@ -95,6 +95,10 @@ main()
               TextTable::num(exact.falseHitRate * 100, 2)});
     t.print(std::cout);
 
+    bench::JsonReport report("ablation_qc_scoring");
+    report.table(t);
+    report.write();
+
     std::printf("\nThe accuracy product trades a few points of hit "
                 "rate for confidence: the raw-score\ngate hits more "
                 "but admits more cross-topic (wrong) matches; the "

@@ -53,6 +53,8 @@ main()
                   "feature time vs queue depth\n(clean flash and 5% "
                   "read-retry injection at 4x latency)");
 
+    bench::JsonReport report("ablation_queue_depth");
+
     for (auto id : {workloads::AppId::ESTP, workloads::AppId::MIR}) {
         auto app = workloads::makeApp(id);
         bench::section(app.name);
@@ -71,10 +73,12 @@ main()
                           "%"});
         }
         t.print(std::cout);
+        report.table(t, app.name);
         double shallow = runDepth(app, 1, 0.0);
         std::printf("\ndepth 1 -> 64 improves per-feature time "
                     "%.2fx; the Table 3 design uses 32 pages.\n",
                     shallow / clean_deep);
     }
+    report.write();
     return 0;
 }

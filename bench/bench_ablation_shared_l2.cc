@@ -60,6 +60,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("ablation_shared_l2");
+    report.table(t);
+    report.write();
+
     std::printf("\nThe shared L2 is what keeps the weight-heavy apps "
                 "(ReId, ESTP) ahead of the GPU\nbaseline at channel "
                 "level; small-model apps are unaffected.\n");

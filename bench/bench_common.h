@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/table.h"
 
 namespace deepstore::bench {
 
@@ -93,6 +94,26 @@ class JsonReport
     {
         DS_ASSERT(!rows_.empty());
         rows_.back().push_back(quote(key) + ": " + quote(value));
+        return *this;
+    }
+
+    /**
+     * Re-emit a printed TextTable as JSON rows (one row per table
+     * row, keyed by the column headers; cells stay strings). A
+     * non-empty @p tag adds a "table" discriminator column so one
+     * report can carry several tables.
+     */
+    JsonReport &
+    table(const TextTable &t, const std::string &tag = "")
+    {
+        for (const auto &cells : t.data()) {
+            beginRow();
+            if (!tag.empty())
+                col("table", tag);
+            for (std::size_t j = 0;
+                 j < t.headers().size() && j < cells.size(); ++j)
+                col(t.headers()[j], cells[j]);
+        }
         return *this;
     }
 

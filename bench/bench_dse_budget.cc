@@ -34,6 +34,8 @@ main()
                   "Budget-constrained design-space exploration per "
                   "placement level");
 
+    bench::JsonReport report("dse_budget");
+
     ssd::FlashParams flash;
     for (auto level : {core::Level::SsdLevel,
                        core::Level::ChannelLevel,
@@ -66,6 +68,7 @@ main()
                   TextTable::num(result.table3.areaMm2, 1),
                   result.table3.feasible() ? "yes" : "NO"});
         t.print(std::cout);
+        report.table(t, core::toString(level));
 
         double gap = result.table3.meanPerFeatureSeconds /
                      result.best().meanPerFeatureSeconds;
@@ -73,5 +76,6 @@ main()
                     "per-feature time.\n",
                     (gap - 1.0) * 100.0);
     }
+    report.write();
     return 0;
 }

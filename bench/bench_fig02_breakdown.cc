@@ -22,6 +22,8 @@ main()
                   "GPU+SSD baseline breakdown: compute vs cudaMemcpy "
                   "vs SSD read (Pascal & Volta)");
 
+    bench::JsonReport report("fig02_breakdown");
+
     for (const auto &app : workloads::allApps()) {
         bench::section(app.name);
         TextTable t({"Batch", "GPU", "Compute(ms)", "Memcpy(ms)",
@@ -41,6 +43,7 @@ main()
             }
         }
         t.print(std::cout);
+        report.table(t, app.name);
     }
 
     bench::section("Observations (paper §3)");
@@ -68,5 +71,6 @@ main()
                     (p.computeSeconds / v.computeSeconds - 1.0) * 100,
                     (p.total() / v.total() - 1.0) * 100);
     }
+    report.write();
     return 0;
 }

@@ -76,6 +76,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("fig06_dse_pes");
+    report.table(t);
+    report.write();
+
     bench::section("Saturation points");
     auto saturation = [](const std::vector<systolic::DsePoint> &sweep) {
         for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {

@@ -84,6 +84,11 @@ main()
     }
     legs.print(std::cout);
 
+    bench::JsonReport report("fig08_speedup");
+    report.table(t, "speedups");
+    report.table(legs, "channel_legs");
+    report.write();
+
     std::printf("\nPaper conclusions reproduced: wimpy cores are "
                 "4.5-22.8x slower than GPU+SSD;\nthe channel level is "
                 "the fastest design at every application.\n");

@@ -31,6 +31,8 @@ main()
                   "Performance vs flash read latency (normalized to "
                   "the 53us baseline)");
 
+    bench::JsonReport report("fig09_flash_latency");
+
     auto apps = workloads::allApps();
 
     for (auto lvl : {core::Level::SsdLevel, core::Level::ChannelLevel,
@@ -58,6 +60,7 @@ main()
             t.addRow(row);
         }
         t.print(std::cout);
+        report.table(t, core::toString(lvl));
     }
 
     bench::section("Traditional GPU+SSD system");
@@ -87,5 +90,6 @@ main()
                     lvl == core::Level::ChannelLevel ? "89.9%"
                                                      : "96.1%");
     }
+    report.write();
     return 0;
 }

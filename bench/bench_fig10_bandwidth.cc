@@ -93,6 +93,11 @@ main()
     }
     tb.print(std::cout);
 
+    bench::JsonReport report("fig10_bandwidth");
+    report.table(ta, "channels");
+    report.table(tb, "ssds");
+    report.write();
+
     bench::section("Scaling headlines (paper §6.3)");
     {
         ssd::FlashParams f8;

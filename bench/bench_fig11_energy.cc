@@ -65,6 +65,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("fig11_energy");
+    report.table(t);
+    report.write();
+
     bench::section("Headlines (paper §6.4)");
     std::printf("Channel level is the most energy-efficient design "
                 "for every application.\n");

@@ -51,6 +51,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("fig12_power_breakdown");
+    report.table(t);
+    report.write();
+
     bench::section("Shape checks (paper §6.4)");
     int channel_mem_dominated = 0, chip_flash_dominated = 0, n = 0;
     for (const auto &app : workloads::allApps()) {

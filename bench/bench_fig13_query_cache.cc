@@ -129,6 +129,8 @@ main()
         workloads::Popularity pop;
         double alpha;
     };
+    bench::JsonReport report("fig13_query_cache");
+
     for (const Dist &d :
          {Dist{"Uniform", workloads::Popularity::Uniform, 0.0},
           Dist{"Zipf(0.7)", workloads::Popularity::Zipf, 0.7}}) {
@@ -153,6 +155,7 @@ main()
                       TextTable::num(t_trad / t_ds_qc, 2) + "x"});
         }
         t.print(std::cout);
+        report.table(t, d.name);
     }
 
     bench::section("Headlines (paper §6.5)");
@@ -162,5 +165,6 @@ main()
         "DeepStore benefits ~10x more because its miss penalty\nis "
         "far smaller. Relaxing the threshold 0%%->20%% buys up to "
         "1.7x as misses drop.\n");
+    report.write();
     return 0;
 }

@@ -86,6 +86,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("fig14_qc_size");
+    report.table(t);
+    report.write();
+
     bench::section("Headlines (paper §6.5)");
     std::printf("Uniform miss rate drop 100->1000 entries: %.1f -> "
                 "%.1f points\n",

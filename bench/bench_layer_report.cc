@@ -25,12 +25,30 @@ main()
     auto placement = core::makePlacement(core::Level::ChannelLevel,
                                          ssd::FlashParams{});
     systolic::SystolicSim sim(placement.array);
+    bench::JsonReport report("layer_report");
     for (const auto &app : workloads::allApps()) {
         bench::section(app.name);
         auto rows = systolic::layerReport(
             sim, app.scn, systolic::WeightSource::SharedL2);
         systolic::printLayerReport(std::cout, rows, placement.array);
+        for (const auto &r : rows) {
+            report.beginRow()
+                .col("app", app.name)
+                .col("layer", r.name)
+                .col("kind", r.kind)
+                .col("computeCycles",
+                     static_cast<double>(r.run.computeCycles))
+                .col("memoryStallCycles",
+                     static_cast<double>(r.run.memoryStallCycles))
+                .col("totalCycles",
+                     static_cast<double>(r.run.totalCycles))
+                .col("utilization", r.run.utilization)
+                .col("macs", static_cast<double>(r.run.macs))
+                .col("dramReadBytes",
+                     static_cast<double>(r.run.dramReadBytes));
+        }
     }
+    report.write();
 
     std::printf("\nReading the report: batch-1 GEMV folds keep FC "
                 "utilization low (one array row\nactive), which is "

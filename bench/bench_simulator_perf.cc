@@ -4,6 +4,8 @@
  * guard the wall-clock cost of the building blocks the paper-figure
  * harnesses lean on (event kernel, systolic evaluation, flash
  * streaming, top-K, cache lookups).
+ *
+ * lint:allow(D5: google-benchmark harness, JSON via --benchmark_format=json)
  */
 
 #include <benchmark/benchmark.h>

@@ -43,6 +43,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("table1_apps");
+    report.table(t);
+    report.write();
+
     std::printf("\nPaper Table 1: ReId 44KB/2/2/1/9.8M/10.7MB, "
                 "MIR 2KB/0/3/0/1.05M/2MB, ESTP 16KB/0/3/0/4.72M/9MB,\n"
                 "TIR 2KB/0/3/1/0.79M/1.5MB, "

@@ -99,5 +99,10 @@ main()
         pw.addRow(row);
     }
     pw.print(std::cout);
+
+    bench::JsonReport report("table3_configs");
+    report.table(t, "table3");
+    report.table(pw, "per_accel_power");
+    report.write();
     return 0;
 }

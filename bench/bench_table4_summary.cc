@@ -77,6 +77,10 @@ main()
     }
     t.print(std::cout);
 
+    bench::JsonReport report("table4_summary");
+    report.table(t);
+    report.write();
+
     bench::section("Abstract headline");
     double best_speedup = 0, best_eff = 0;
     for (const auto &app : apps) {

@@ -85,6 +85,8 @@ main()
         {"DeepStore + QCache", true, true},
     };
 
+    bench::JsonReport report("trace_replay");
+
     for (double rate : {0.2, 1.0, 3.0}) {
         bench::section("arrival rate " + TextTable::num(rate, 1) +
                        " queries/s");
@@ -118,6 +120,7 @@ main()
                       TextTable::num(stats.p99Seconds * 1e3, 1)});
         }
         t.print(std::cout);
+        report.table(t, TextTable::num(rate, 1) + " q/s");
     }
 
     std::printf(
@@ -126,5 +129,6 @@ main()
         "higher arrival rate at bounded latency,\nand the Query Cache "
         "extends that further — the serving-system consequence of\n"
         "Table 4's per-query speedups.\n");
+    report.write();
     return 0;
 }

@@ -27,6 +27,11 @@ statusName(core::NvmeStatus s)
       case core::NvmeStatus::InternalError: return "INTERNAL_ERROR";
       case core::NvmeStatus::CommandAborted: return "ABORTED";
       case core::NvmeStatus::InProgress: return "IN_PROGRESS";
+      case core::NvmeStatus::DegradedSuccess:
+        return "DEGRADED_SUCCESS";
+      case core::NvmeStatus::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case core::NvmeStatus::Aborted: return "QUERY_ABORTED";
     }
     return "?";
 }

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a normal RelWithDebInfo build+test run,
-# then the same suite under AddressSanitizer + UBSan (the
+# Tier-1 verification: deepstore_lint first (cheapest signal), then a
+# normal RelWithDebInfo build+test run with warnings-as-errors, then
+# the same suite under AddressSanitizer + UBSan (the
 # DEEPSTORE_SANITIZE CMake option). Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== tier-1: normal build ==="
-cmake -B build -S . >/dev/null
+echo "=== tier-1: normal build (-Werror) ==="
+cmake -B build -S . -DDEEPSTORE_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
+
+# Run the determinism linter before the test suites: a D-rule
+# violation is a faster, more precise explanation of a replay
+# divergence than a failing golden-tick pin.
+echo
+echo "=== static analysis: deepstore_lint ==="
+build/tools/lint/deepstore_lint --root .
+
+echo
+echo "=== tier-1: test suite ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo
@@ -21,4 +32,4 @@ cmake --build build-san -j "$JOBS"
 ctest --test-dir build-san --output-on-failure -j "$JOBS"
 
 echo
-echo "check.sh: both runs passed"
+echo "check.sh: lint + both test runs passed"

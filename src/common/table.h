@@ -32,6 +32,18 @@ class TextTable
     std::size_t rows() const { return rows_.size(); }
     std::size_t columns() const { return headers_.size(); }
 
+    /** Column headers (for machine-readable re-emission). */
+    const std::vector<std::string> &headers() const
+    {
+        return headers_;
+    }
+
+    /** Row cells, in insertion order. */
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

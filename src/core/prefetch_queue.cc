@@ -32,6 +32,7 @@ simulatePrefetchPipeline(std::uint64_t items, std::uint64_t queue_depth,
         double space_ready =
             i >= queue_depth ? consume_start[i - queue_depth] : 0.0;
         double start = std::max(producer_free, space_ready);
+        // lint:allow(D3: stall accounting in a result struct)
         res.producerStallSeconds += start - producer_free;
         double pt = produce_time(i);
         DS_ASSERT(pt >= 0.0);
@@ -40,6 +41,7 @@ simulatePrefetchPipeline(std::uint64_t items, std::uint64_t queue_depth,
 
         // The consumer takes items in order.
         double cstart = std::max(produced, consumer_free);
+        // lint:allow(D3: stall accounting in a result struct)
         res.consumerStallSeconds += cstart - consumer_free;
         consume_start[i] = cstart;
         double ct = consume_time(i);

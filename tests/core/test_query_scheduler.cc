@@ -82,17 +82,28 @@ TEST(AsyncQuery, SingleQueryLatencyMatchesAnalyticModel)
     // burst-refill exposure term must *emerge* from the stream's
     // refill barrier rather than being added as a formula. Full-page
     // features and 8 full bursts per channel put the run in steady
-    // state; SSD and channel levels must agree within 2%. The chip
-    // level's closed form keeps its lockstep-group approximation
-    // (1/wsGroupSize page reads per feature), which undercounts real
-    // reads when featuresPerPage < wsGroupSize — the live path
-    // charges one plane read per page, the physical floor — so chip
-    // gets a sanity band rather than a parity bound (see ROADMAP,
-    // "closed-form terms").
-    const std::int64_t dim = 4096;       // 16 KiB: 1 feature/page
-    const std::uint64_t features = 8192; // 256 pages per channel
+    // state; all three levels must agree within 2%. The chip level's
+    // closed form now charges ceil(wsGroupSize / featuresPerPage)
+    // page reads per lockstep slot — the physical floor of one plane
+    // read per page that the live path pays — instead of the old
+    // 1/wsGroupSize approximation, which undercounted reads when
+    // featuresPerPage < wsGroupSize; and the refill exposure term
+    // credits the one stagger interval the chip path's page-buffer
+    // consumption hides (bus-limited paths expose the full array
+    // read because the page's bus transfer serialises behind it).
+    // Together these tighten the chip band from the 30% sanity band
+    // to the same parity bound as SSD/channel.
+    // The closed form is steady-state, so each accelerator unit must
+    // see enough burst refills that the one refill exposure the live
+    // pipeline hides at the tail (a finite-scan effect, ~readLatency
+    // per unit) stays inside the band: 256 pages per channel for
+    // SSD/channel, and 512 pages per *chip* unit (128 units) for the
+    // chip level.
+    const std::int64_t dim = 4096; // 16 KiB: 1 feature/page
     for (Level level :
          {Level::SsdLevel, Level::ChannelLevel, Level::ChipLevel}) {
+        const std::uint64_t features =
+            level == Level::ChipLevel ? 65536 : 8192;
         DeepStore ds{DeepStoreConfig{}};
         auto src = randomDb(dim, features, 3);
         std::uint64_t db = ds.writeDB(src);
@@ -108,7 +119,7 @@ TEST(AsyncQuery, SingleQueryLatencyMatchesAnalyticModel)
         std::uint64_t qid = ds.querySync(src->featureAt(1), 5, model,
                                          db, 0, 0, level);
         double got = ds.getResults(qid).latencySeconds;
-        const double tol = level == Level::ChipLevel ? 0.30 : 0.02;
+        const double tol = 0.02;
         EXPECT_NEAR(got, expected, expected * tol)
             << "level " << toString(level);
     }

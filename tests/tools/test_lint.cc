@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Fixture tests for deepstore_lint: each determinism rule D1-D5 is
+ * pinned positive (the bad fixture fires, with the expected rule and
+ * line) and negative (the good fixture stays clean), and the
+ * suppression machinery is pinned to honour annotated findings, count
+ * them, and reject reasonless annotations.
+ *
+ * The fixtures are checked-in `.snippet` files (an extension the tree
+ * walk ignores, so the linter never lints its own test corpus) under
+ * tests/tools/fixtures/. D5 is structural/tree-level, so its cases
+ * build a miniature repo tree in the test temp dir.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using namespace deepstore::lint;
+
+namespace {
+
+std::string
+readFixture(const std::string &name)
+{
+    fs::path p = fs::path(DEEPSTORE_LINT_FIXTURE_DIR) / name;
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+Report
+lintFixture(const std::string &name,
+            const std::string &path_override = "",
+            const Options &opts = {})
+{
+    Report report;
+    std::string path =
+        path_override.empty() ? "src/fixture/" + name : path_override;
+    lintSource(path, readFixture(name), opts, {}, report);
+    return report;
+}
+
+std::vector<std::string>
+rulesOf(const Report &r)
+{
+    std::vector<std::string> rules;
+    for (const auto &f : r.findings)
+        rules.push_back(f.rule);
+    return rules;
+}
+
+// ---- D1: wall-clock APIs ----------------------------------------
+
+TEST(LintD1, BadFixtureFiresOnBothWallClockUses)
+{
+    Report r = lintFixture("d1_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D1");
+    EXPECT_EQ(r.findings[0].line, 5); // steady_clock
+    EXPECT_EQ(r.findings[1].rule, "D1");
+    EXPECT_EQ(r.findings[1].line, 6); // time(nullptr)
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintD1, GoodFixtureIsClean)
+{
+    // Declarations (`sim::Clock clock(...)`), comments and string
+    // literals must not fire.
+    Report r = lintFixture("d1_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+}
+
+TEST(LintD1, BenchDirectoryIsExempt)
+{
+    Report r = lintFixture("d1_bad.snippet", "bench/bench_wall.cc");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+}
+
+// ---- D2: unseeded randomness ------------------------------------
+
+TEST(LintD2, BadFixtureFiresOnEveryRngEscape)
+{
+    Report r = lintFixture("d2_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 3u) << formatReport(r, true);
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"D2", "D2", "D2"}));
+    EXPECT_EQ(r.findings[0].line, 5); // std::mt19937
+    EXPECT_EQ(r.findings[1].line, 6); // rand()
+    EXPECT_EQ(r.findings[2].line, 7); // std::random_device
+}
+
+TEST(LintD2, GoodFixtureIsClean)
+{
+    // Rng usage plus a *declared function* named `random` (the
+    // declaration heuristic must not treat it as a call).
+    Report r = lintFixture("d2_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+}
+
+TEST(LintD2, CommonRngItselfIsExempt)
+{
+    Report r = lintFixture("d2_bad.snippet", "src/common/rng.h");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+}
+
+// ---- D3: direct sim-time accumulation ---------------------------
+
+TEST(LintD3, BadFixtureFiresOnSecondsAndTickMembers)
+{
+    Report r = lintFixture("d3_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D3");
+    EXPECT_EQ(r.findings[0].line, 5); // simSeconds_ +=
+    EXPECT_EQ(r.findings[1].rule, "D3");
+    EXPECT_EQ(r.findings[1].line, 6); // now_ +=
+}
+
+TEST(LintD3, SuppressionsAreHonouredAndCounted)
+{
+    // Same-line and line-above annotations both suppress, both
+    // record their reasons, and nothing leaks through as a finding.
+    Report r = lintFixture("d3_suppressed.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 2u);
+    EXPECT_EQ(r.suppressions[0].rule, "D3");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "result struct, not the clock");
+    EXPECT_EQ(r.suppressions[1].rule, "D3");
+    EXPECT_EQ(r.suppressions[1].reason,
+              "analytic decomposition term");
+}
+
+TEST(LintD3, TimeLedgerAndSimKernelAreExempt)
+{
+    EXPECT_TRUE(lintFixture("d3_bad.snippet",
+                            "src/core/time_ledger.cc")
+                    .clean());
+    EXPECT_TRUE(
+        lintFixture("d3_bad.snippet", "src/sim/event_queue.cc")
+            .clean());
+}
+
+// ---- D4: unordered iteration ------------------------------------
+
+TEST(LintD4, BadFixtureFiresOnUnorderedRangeFor)
+{
+    Report r = lintFixture("d4_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D4");
+    EXPECT_EQ(r.findings[0].line, 6);
+}
+
+TEST(LintD4, OrderedOkAnnotationAndStdMapAreClean)
+{
+    Report r = lintFixture("d4_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D4");
+    EXPECT_EQ(r.suppressions[0].reason, "summing is commutative");
+}
+
+TEST(LintD4, CrossFileUnorderedNamesAreRespected)
+{
+    // A header declares the member; the .cc only sees the name. The
+    // tree pass feeds collected names in via unordered_names.
+    const std::string cc =
+        "void dump() {\n"
+        "    for (const auto &kv : members_)\n"
+        "        use(kv);\n"
+        "}\n";
+    Report with;
+    lintSource("src/x.cc", cc, {}, {"members_"}, with);
+    ASSERT_EQ(with.findings.size(), 1u);
+    EXPECT_EQ(with.findings[0].rule, "D4");
+    EXPECT_EQ(with.findings[0].line, 2);
+
+    Report without;
+    lintSource("src/x.cc", cc, {}, {}, without);
+    EXPECT_TRUE(without.clean());
+}
+
+TEST(LintD4, CollectUnorderedNamesFindsDeclarations)
+{
+    auto names = collectUnorderedNames(
+        "std::unordered_map<std::uint64_t, Entry> map_;\n"
+        "std::unordered_set<int> seen;\n"
+        "std::map<int, int> sorted_;\n");
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"map_", "seen"}));
+}
+
+// ---- Suppression hygiene ----------------------------------------
+
+TEST(LintSuppression, ReasonlessAnnotationIsItselfAFinding)
+{
+    Report r = lintFixture("noreason.snippet");
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D1");
+    EXPECT_EQ(r.findings[0].line, 5);
+    EXPECT_NE(r.findings[0].message.find("missing a reason"),
+              std::string::npos);
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintSuppression, WrongRuleAnnotationDoesNotSuppress)
+{
+    Report r;
+    lintSource("src/x.cc",
+               "// lint:allow(D2: not the right rule)\n"
+               "auto t = std::chrono::steady_clock::now();\n",
+               {}, {}, r);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "D1");
+}
+
+// ---- Rule selection ---------------------------------------------
+
+TEST(LintOptions, RuleFilterDisablesOtherRules)
+{
+    Options only_d2;
+    only_d2.rules = {"D2"};
+    EXPECT_TRUE(
+        lintFixture("d1_bad.snippet", "", only_d2).clean());
+    EXPECT_FALSE(
+        lintFixture("d2_bad.snippet", "", only_d2).clean());
+}
+
+// ---- stripSource ------------------------------------------------
+
+TEST(LintStrip, LiteralsAndCommentsAreBlanked)
+{
+    StrippedSource s = stripSource(
+        "int a = 1; // rand() in a comment\n"
+        "const char *s = \"std::mt19937 inside a string\";\n"
+        "auto r = R\"(raw rand() string)\";\n");
+    EXPECT_EQ(s.code.find("rand"), std::string::npos);
+    EXPECT_EQ(s.code.find("mt19937"), std::string::npos);
+    // A trailing newline yields a final empty line entry.
+    ASSERT_GE(s.comments.size(), 3u);
+    EXPECT_NE(s.comments[0].find("rand() in a comment"),
+              std::string::npos);
+}
+
+// ---- D5: structural tree checks ---------------------------------
+
+class LintD5 : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::path(::testing::TempDir()) /
+                ("lint_d5_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()));
+        fs::remove_all(root_);
+        fs::create_directories(root_ / "tests" / "core");
+        fs::create_directories(root_ / "bench");
+        fs::create_directories(root_ / "src");
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(root_);
+    }
+
+    void
+    write(const fs::path &rel, const std::string &text)
+    {
+        std::ofstream out(root_ / rel, std::ios::binary);
+        out << text;
+    }
+
+    Report
+    lint()
+    {
+        return lintTree(root_.string(), {});
+    }
+
+    fs::path root_;
+};
+
+TEST_F(LintD5, UnregisteredTestFileIsAFinding)
+{
+    write("tests/CMakeLists.txt",
+          "ds_add_test(test_core core/test_known.cc)\n");
+    write("tests/core/test_known.cc", "int main() {}\n");
+    write("tests/core/test_orphan.cc", "int main() {}\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D5");
+    EXPECT_NE(r.findings[0].message.find("test_orphan.cc"),
+              std::string::npos);
+}
+
+TEST_F(LintD5, RegisteredTestsAreClean)
+{
+    write("tests/CMakeLists.txt",
+          "ds_add_test(test_core core/test_known.cc)\n");
+    write("tests/core/test_known.cc", "int main() {}\n");
+    EXPECT_TRUE(lint().clean());
+}
+
+TEST_F(LintD5, BenchWithoutJsonReportIsAFinding)
+{
+    write("tests/CMakeLists.txt", "\n");
+    write("bench/bench_silent.cc",
+          "int main() { /* prints text only */ }\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D5");
+    EXPECT_EQ(r.findings[0].file, "bench/bench_silent.cc");
+}
+
+TEST_F(LintD5, BenchWithJsonReportIsClean)
+{
+    write("tests/CMakeLists.txt", "\n");
+    write("bench/bench_json.cc",
+          "int main() { bench::JsonReport r(\"x\"); r.write(); }\n");
+    EXPECT_TRUE(lint().clean());
+}
+
+TEST_F(LintD5, FileLevelSuppressionIsHonoured)
+{
+    write("tests/CMakeLists.txt", "\n");
+    write("bench/bench_extern.cc",
+          "// lint:allow(D5: external harness emits JSON itself)\n"
+          "int main() {}\n");
+    Report r = lint();
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D5");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "external harness emits JSON itself");
+}
+
+TEST_F(LintD5, ReasonlessFileLevelSuppressionIsAFinding)
+{
+    write("tests/CMakeLists.txt", "\n");
+    write("bench/bench_bad.cc",
+          "// lint:allow(D5:)\n"
+          "int main() {}\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D5");
+    EXPECT_NE(r.findings[0].message.find("missing a reason"),
+              std::string::npos);
+}
+
+// ---- The real tree stays clean ----------------------------------
+
+TEST(LintTree, RepositoryHasNoUnsuppressedFindings)
+{
+    // The same invariant the lint_tree ctest pins, but from inside
+    // the test suite: zero findings, every suppression reasoned.
+    Report r = lintTree(DEEPSTORE_LINT_REPO_ROOT, {});
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    for (const auto &s : r.suppressions)
+        EXPECT_FALSE(s.reason.empty())
+            << s.file << ":" << s.line;
+}
+
+} // namespace

@@ -1,0 +1,755 @@
+/**
+ * @file
+ * Implementation of deepstore-lint (see lint.h for the rule table).
+ *
+ * Deliberately token/line-level: a literal-stripping pass plus a tiny
+ * tokenizer is enough to enforce the determinism invariants without a
+ * libclang dependency, so the checker builds from the same CMake tree
+ * and runs everywhere the tests run.
+ */
+
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace deepstore::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------
+// Literal stripping
+// ------------------------------------------------------------------
+
+bool
+startsWith(const std::string &s, std::size_t i, const char *pat)
+{
+    for (std::size_t j = 0; pat[j]; ++j)
+        if (i + j >= s.size() || s[i + j] != pat[j])
+            return false;
+    return true;
+}
+
+} // namespace
+
+StrippedSource
+stripSource(const std::string &content)
+{
+    StrippedSource out;
+    out.code.reserve(content.size());
+    out.comments.emplace_back(); // line 1
+
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State state = State::Code;
+    std::string raw_delim; // for raw strings: )delim"
+
+    for (std::size_t i = 0; i < content.size(); ++i) {
+        char c = content[i];
+        if (c == '\n') {
+            out.code += '\n';
+            out.comments.emplace_back();
+            if (state == State::LineComment)
+                state = State::Code;
+            // Unterminated normal literals do not survive a newline.
+            if (state == State::String || state == State::Char)
+                state = State::Code;
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (startsWith(content, i, "//")) {
+                state = State::LineComment;
+                out.code += ' ';
+            } else if (startsWith(content, i, "/*")) {
+                state = State::BlockComment;
+                out.code += ' ';
+            } else if (c == '"' &&
+                       (i == 0 ||
+                        !(std::isalnum(
+                              static_cast<unsigned char>(
+                                  content[i - 1])) ||
+                          content[i - 1] == '_') ||
+                        content[i - 1] == 'R')) {
+                if (i > 0 && content[i - 1] == 'R') {
+                    // Raw string R"delim( ... )delim"
+                    std::size_t p = i + 1;
+                    std::string delim;
+                    while (p < content.size() && content[p] != '(')
+                        delim += content[p++];
+                    raw_delim = ")" + delim + "\"";
+                    state = State::RawString;
+                } else {
+                    state = State::String;
+                }
+                out.code += ' ';
+            } else if (c == '\'' && i > 0 &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            content[i - 1])) ||
+                        content[i - 1] == '_')) {
+                // Digit separator (1'000'000): keep as code.
+                out.code += c;
+            } else if (c == '\'') {
+                state = State::Char;
+                out.code += ' ';
+            } else {
+                out.code += c;
+            }
+            break;
+          case State::LineComment:
+            out.comments.back() += c;
+            out.code += ' ';
+            break;
+          case State::BlockComment:
+            if (startsWith(content, i, "*/")) {
+                state = State::Code;
+                out.code += ' ';
+                ++i;
+                out.code += ' ';
+            } else {
+                out.comments.back() += c;
+                out.code += ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\' && i + 1 < content.size() &&
+                content[i + 1] != '\n') {
+                out.code += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                out.code += ' ';
+            } else {
+                out.code += ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\' && i + 1 < content.size() &&
+                content[i + 1] != '\n') {
+                out.code += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                out.code += ' ';
+            } else {
+                out.code += ' ';
+            }
+            break;
+          case State::RawString:
+            if (startsWith(content, i, raw_delim.c_str())) {
+                for (std::size_t j = 0; j < raw_delim.size(); ++j)
+                    out.code += ' ';
+                i += raw_delim.size() - 1;
+                state = State::Code;
+            } else {
+                out.code += ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+// ------------------------------------------------------------------
+// Tokenizer
+// ------------------------------------------------------------------
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+    bool ident = false;
+};
+
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < code.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(code[j])) ||
+                    code[j] == '_'))
+                ++j;
+            toks.push_back({code.substr(i, j - i), line, true});
+            i = j - 1;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < code.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(code[j])) ||
+                    code[j] == '.' || code[j] == '\''))
+                ++j;
+            toks.push_back({code.substr(i, j - i), line, false});
+            i = j - 1;
+            continue;
+        }
+        // Multi-char operators the rules care about.
+        static const char *kOps[] = {"::", "->", "+=", "-="};
+        bool matched = false;
+        for (const char *op : kOps) {
+            if (startsWith(code, i, op)) {
+                toks.push_back({op, line, false});
+                ++i;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            toks.push_back({std::string(1, c), line, false});
+    }
+    return toks;
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+bool
+pathContains(const std::string &path, const char *needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+// ------------------------------------------------------------------
+// Suppression annotations
+// ------------------------------------------------------------------
+
+struct Annotation
+{
+    std::string rule;
+    std::string reason; // may be empty (which is itself a finding)
+};
+
+/** Parse `lint:allow(Dk: reason)` / `lint:ordered-ok(reason)`. */
+std::vector<Annotation>
+parseAnnotations(const std::string &comment)
+{
+    std::vector<Annotation> out;
+    static const std::regex kAllow(
+        R"(lint:allow\(\s*(D[0-9]+)\s*(?::\s*([^)]*))?\))");
+    static const std::regex kOrdered(
+        R"(lint:ordered-ok\(\s*([^)]*)\))");
+    for (auto it = std::sregex_iterator(comment.begin(),
+                                        comment.end(), kAllow);
+         it != std::sregex_iterator(); ++it) {
+        Annotation a;
+        a.rule = (*it)[1];
+        a.reason = (*it)[2];
+        out.push_back(std::move(a));
+    }
+    for (auto it = std::sregex_iterator(comment.begin(),
+                                        comment.end(), kOrdered);
+         it != std::sregex_iterator(); ++it) {
+        out.push_back({"D4", (*it)[1]});
+    }
+    return out;
+}
+
+/** Strip trailing whitespace from a reason string. */
+std::string
+trim(std::string s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    std::size_t b = 0;
+    while (b < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    return s.substr(b);
+}
+
+class FileLinter
+{
+  public:
+    FileLinter(const std::string &path, const StrippedSource &src,
+               const Options &opts,
+               const std::set<std::string> &unordered_names,
+               Report &report)
+        : path_(path), src_(src), opts_(opts),
+          unordered_(unordered_names), report_(report),
+          toks_(tokenize(src.code))
+    {
+    }
+
+    void
+    run()
+    {
+        if (opts_.enabled("D1") && !pathContains(path_, "bench/"))
+            ruleD1();
+        if (opts_.enabled("D2") &&
+            !pathContains(path_, "common/rng."))
+            ruleD2();
+        if (opts_.enabled("D3") &&
+            !pathContains(path_, "core/time_ledger.") &&
+            !pathContains(path_, "src/sim/"))
+            ruleD3();
+        if (opts_.enabled("D4"))
+            ruleD4();
+    }
+
+  private:
+    /** Emit a finding unless an annotation suppresses it. */
+    void
+    emit(const std::string &rule, int line, std::string message)
+    {
+        for (int l : {line, line - 1}) {
+            if (l < 1 ||
+                static_cast<std::size_t>(l) > src_.comments.size())
+                continue;
+            for (const Annotation &a :
+                 parseAnnotations(src_.comments[l - 1])) {
+                if (a.rule != rule)
+                    continue;
+                std::string reason = trim(a.reason);
+                if (reason.empty()) {
+                    report_.findings.push_back(
+                        {path_, line, rule,
+                         message +
+                             " [suppression missing a reason: "
+                             "write lint:allow(" +
+                             rule + ": <why>)]"});
+                    return;
+                }
+                report_.suppressions.push_back(
+                    {path_, line, rule, reason});
+                return;
+            }
+        }
+        report_.findings.push_back(
+            {path_, line, rule, std::move(message)});
+    }
+
+    const Token *
+    prev(std::size_t i) const
+    {
+        return i > 0 ? &toks_[i - 1] : nullptr;
+    }
+
+    const Token *
+    next(std::size_t i) const
+    {
+        return i + 1 < toks_.size() ? &toks_[i + 1] : nullptr;
+    }
+
+    /** True when toks_[i] is used as a free (or std::) call. */
+    bool
+    freeCall(std::size_t i) const
+    {
+        const Token *n = next(i);
+        if (!n || n->text != "(")
+            return false;
+        const Token *p = prev(i);
+        if (!p)
+            return true;
+        if (p->text == "." || p->text == "->")
+            return false; // member call on some object
+        if (p->text == "::") {
+            const Token *pp = i >= 2 ? &toks_[i - 2] : nullptr;
+            return pp && pp->text == "std";
+        }
+        if (p->ident || p->text == ">" || p->text == "*" ||
+            p->text == "&") {
+            // `Type name(...)` / `Type *name(...)`: a declaration of
+            // a variable or function named like the API, not a call
+            // of it — unless the preceding identifier is a keyword
+            // that can directly precede a call expression.
+            static const std::set<std::string> kExprKeywords = {
+                "return", "co_return", "co_yield", "case",
+                "throw",  "new",       "else"};
+            return p->ident && kExprKeywords.count(p->text) != 0;
+        }
+        return true;
+    }
+
+    void
+    ruleD1()
+    {
+        static const std::set<std::string> kClockIdents = {
+            "system_clock", "steady_clock", "high_resolution_clock"};
+        static const std::set<std::string> kClockCalls = {
+            "time",      "clock",     "gettimeofday",
+            "localtime", "gmtime",    "mktime",
+            "ftime",     "timespec_get", "clock_gettime"};
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const Token &t = toks_[i];
+            if (!t.ident)
+                continue;
+            if (kClockIdents.count(t.text)) {
+                emit("D1", t.line,
+                     "wall-clock API `" + t.text +
+                         "` breaks replayability; simulated time "
+                         "flows through TimeLedger/EventQueue "
+                         "(bench/ is exempt)");
+            } else if (kClockCalls.count(t.text) && freeCall(i)) {
+                emit("D1", t.line,
+                     "wall-clock call `" + t.text +
+                         "()` breaks replayability; simulated time "
+                         "flows through TimeLedger/EventQueue "
+                         "(bench/ is exempt)");
+            }
+        }
+    }
+
+    void
+    ruleD2()
+    {
+        static const std::set<std::string> kRngIdents = {
+            "random_device",        "mt19937",
+            "mt19937_64",           "minstd_rand",
+            "minstd_rand0",         "default_random_engine",
+            "knuth_b",              "ranlux24",
+            "ranlux48"};
+        static const std::set<std::string> kRngCalls = {
+            "rand", "srand", "rand_r", "drand48", "random"};
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const Token &t = toks_[i];
+            if (!t.ident)
+                continue;
+            if (kRngIdents.count(t.text)) {
+                emit("D2", t.line,
+                     "`" + t.text +
+                         "` is unseeded or non-portable; all "
+                         "randomness flows through common/rng "
+                         "(deepstore::Rng)");
+            } else if (kRngCalls.count(t.text) && freeCall(i)) {
+                emit("D2", t.line,
+                     "`" + t.text +
+                         "()` is unseeded/global randomness; all "
+                         "randomness flows through common/rng "
+                         "(deepstore::Rng)");
+            }
+        }
+    }
+
+    static bool
+    simTimeName(const std::string &name)
+    {
+        std::string l = lower(name);
+        if (l.find("seconds") != std::string::npos)
+            return true;
+        static const std::set<std::string> kTimeNames = {
+            "now_", "tick_", "ticks_", "time_", "simtime_"};
+        return kTimeNames.count(l) != 0;
+    }
+
+    void
+    ruleD3()
+    {
+        for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+            const Token &t = toks_[i];
+            if (!t.ident || !simTimeName(t.text))
+                continue;
+            const Token &op = toks_[i + 1];
+            if (op.text == "+=" || op.text == "-=") {
+                emit("D3", t.line,
+                     "direct sim-time accumulation `" + t.text + " " +
+                         op.text +
+                         " ...`; time advances only through "
+                         "core/time_ledger (TimeLedger) or the "
+                         "EventQueue");
+            }
+        }
+    }
+
+    void
+    ruleD4()
+    {
+        for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+            if (!toks_[i].ident || toks_[i].text != "for" ||
+                toks_[i + 1].text != "(")
+                continue;
+            // Find the `:` at paren depth 1 and the closing paren.
+            int depth = 0;
+            std::size_t colon = 0, close = 0;
+            for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+                const std::string &x = toks_[j].text;
+                if (x == "(")
+                    ++depth;
+                else if (x == ")") {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (x == ":" && depth == 1 && colon == 0) {
+                    colon = j;
+                } else if (x == ";" && depth == 1) {
+                    break; // classic for loop
+                }
+            }
+            if (!colon || !close)
+                continue;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (toks_[j].ident &&
+                    unordered_.count(toks_[j].text)) {
+                    emit("D4", toks_[i].line,
+                         "range-for over unordered container `" +
+                             toks_[j].text +
+                             "`: iteration order is "
+                             "implementation-defined and breaks "
+                             "replay determinism; iterate a sorted "
+                             "copy or annotate "
+                             "lint:ordered-ok(<reason>)");
+                    break;
+                }
+            }
+        }
+    }
+
+    const std::string &path_;
+    const StrippedSource &src_;
+    const Options &opts_;
+    const std::set<std::string> &unordered_;
+    Report &report_;
+    std::vector<Token> toks_;
+};
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("deepstore_lint: cannot read " +
+                                 p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Sorted list of *.cc / *.h under dir (missing dir -> empty). */
+std::vector<fs::path>
+sourceFilesUnder(const fs::path &dir)
+{
+    std::vector<fs::path> files;
+    if (!fs::exists(dir))
+        return files;
+    for (const auto &e : fs::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        auto ext = e.path().extension().string();
+        if (ext == ".cc" || ext == ".h")
+            files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+std::vector<std::string>
+collectUnorderedNames(const std::string &content)
+{
+    std::vector<std::string> names;
+    StrippedSource src = stripSource(content);
+    std::vector<Token> toks = tokenize(src.code);
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident || !kUnordered.count(toks[i].text))
+            continue;
+        std::size_t j = i + 1;
+        if (j >= toks.size() || toks[j].text != "<")
+            continue;
+        // Balance template angle brackets (tokens are single chars,
+        // so >> arrives as two > tokens).
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == ">" && --depth == 0) {
+                ++j;
+                break;
+            } else if (toks[j].text == ";") {
+                break; // malformed / not a declaration
+            }
+        }
+        // Skip declarator decorations, take the variable name.
+        while (j < toks.size() &&
+               (toks[j].text == "&" || toks[j].text == "*" ||
+                toks[j].text == "const"))
+            ++j;
+        if (j < toks.size() && toks[j].ident)
+            names.push_back(toks[j].text);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()),
+                names.end());
+    return names;
+}
+
+void
+lintSource(const std::string &path, const std::string &content,
+           const Options &opts,
+           const std::vector<std::string> &unordered_names,
+           Report &report)
+{
+    std::set<std::string> unordered(unordered_names.begin(),
+                                    unordered_names.end());
+    for (const auto &n : collectUnorderedNames(content))
+        unordered.insert(n);
+    StrippedSource src = stripSource(content);
+    FileLinter linter(path, src, opts, unordered, report);
+    linter.run();
+}
+
+Report
+lintTree(const std::string &root, const Options &opts)
+{
+    Report report;
+    fs::path rootp(root);
+
+    std::vector<fs::path> files =
+        sourceFilesUnder(rootp / "src");
+    for (const auto &p : sourceFilesUnder(rootp / "tests"))
+        files.push_back(p);
+
+    // Pass 1: global unordered-variable name set (headers declare the
+    // members, .cc files iterate them).
+    std::vector<std::string> unordered;
+    std::vector<std::pair<std::string, std::string>> contents;
+    contents.reserve(files.size());
+    for (const auto &p : files) {
+        std::string text = readFile(p);
+        for (const auto &n : collectUnorderedNames(text))
+            unordered.push_back(n);
+        contents.emplace_back(
+            fs::relative(p, rootp).generic_string(),
+            std::move(text));
+    }
+    std::sort(unordered.begin(), unordered.end());
+    unordered.erase(
+        std::unique(unordered.begin(), unordered.end()),
+        unordered.end());
+
+    // Pass 2: token rules.
+    for (const auto &[rel, text] : contents)
+        lintSource(rel, text, opts, unordered, report);
+
+    // ---- D5: structural checks ----------------------------------
+    if (opts.enabled("D5")) {
+        // Every tests/.../test_*.cc is registered in
+        // tests/CMakeLists.txt.
+        fs::path cml = rootp / "tests" / "CMakeLists.txt";
+        std::string cml_text =
+            fs::exists(cml) ? readFile(cml) : std::string();
+        for (const auto &p : sourceFilesUnder(rootp / "tests")) {
+            std::string base = p.filename().string();
+            if (base.rfind("test_", 0) != 0 ||
+                p.extension() != ".cc")
+                continue;
+            std::string rel =
+                fs::relative(p, rootp / "tests").generic_string();
+            if (cml_text.find(rel) == std::string::npos) {
+                report.findings.push_back(
+                    {"tests/CMakeLists.txt", 1, "D5",
+                     "test file tests/" + rel +
+                         " is not registered in "
+                         "tests/CMakeLists.txt (it would silently "
+                         "never run)"});
+            }
+        }
+        // Every bench/bench_*.cc emits a JsonReport.
+        for (const auto &p : sourceFilesUnder(rootp / "bench")) {
+            std::string base = p.filename().string();
+            if (base.rfind("bench_", 0) != 0 ||
+                p.extension() != ".cc")
+                continue;
+            StrippedSource src = stripSource(readFile(p));
+            bool has = false;
+            for (const Token &t : tokenize(src.code)) {
+                if (t.ident && t.text == "JsonReport") {
+                    has = true;
+                    break;
+                }
+            }
+            if (has)
+                continue;
+            // Structural rule, so the suppression is file-level: a
+            // lint:allow(D5: ...) comment anywhere in the bench.
+            bool suppressed = false;
+            for (std::size_t l = 0; l < src.comments.size(); ++l) {
+                for (const Annotation &a :
+                     parseAnnotations(src.comments[l])) {
+                    if (a.rule != "D5")
+                        continue;
+                    std::string reason = trim(a.reason);
+                    if (reason.empty()) {
+                        report.findings.push_back(
+                            {"bench/" + base,
+                             static_cast<int>(l + 1), "D5",
+                             "suppression missing a reason: write "
+                             "lint:allow(D5: <why>)"});
+                    } else {
+                        report.suppressions.push_back(
+                            {"bench/" + base,
+                             static_cast<int>(l + 1), "D5",
+                             reason});
+                    }
+                    suppressed = true;
+                }
+            }
+            if (!suppressed) {
+                report.findings.push_back(
+                    {"bench/" + base, 1, "D5",
+                     "bench binary emits no JsonReport: CI and the "
+                     "plotting scripts consume BENCH_<name>.json, "
+                     "not the text tables"});
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+formatReport(const Report &report, bool verbose)
+{
+    std::ostringstream os;
+    for (const Finding &f : report.findings)
+        os << f.file << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    if (verbose) {
+        for (const Suppression &s : report.suppressions)
+            os << "note: " << s.file << ":" << s.line << ": ["
+               << s.rule << "] suppressed: " << s.reason << "\n";
+    }
+    os << "deepstore_lint: " << report.findings.size()
+       << " finding(s), " << report.suppressions.size()
+       << " suppression(s) honoured\n";
+    return os.str();
+}
+
+} // namespace deepstore::lint

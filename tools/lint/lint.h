@@ -1,0 +1,140 @@
+/**
+ * @file
+ * deepstore-lint: determinism & sim-invariant static analysis.
+ *
+ * The simulator's correctness story rests on replayability: the
+ * tick-identical regression pins and the analytic-vs-live parity
+ * tests only mean something if every run of the simulator is a pure
+ * function of its inputs and seeds. This checker turns the unwritten
+ * rules that guarantee that into named, machine-enforced,
+ * suppressible rules (see DESIGN.md §9):
+ *
+ *   D1  no wall-clock APIs (std::chrono::system_clock/steady_clock,
+ *       time(), clock(), gettimeofday, ...) outside bench/
+ *   D2  no unseeded/non-portable randomness (rand(),
+ *       std::random_device, std::mt19937, ...) — all RNG flows
+ *       through common/rng (exempt, it *is* the RNG)
+ *   D3  no direct sim-time accumulation (`simSeconds_ +=`-style
+ *       bumps of *Seconds* members) outside core/time_ledger and
+ *       src/sim — time advances only through TimeLedger/EventQueue
+ *   D4  no range-for iteration over unordered_map/unordered_set
+ *       variables (iteration order is libstdc++-specific and
+ *       pointer-dependent) unless annotated
+ *       `// lint:ordered-ok(<reason>)`
+ *   D5  structural: every tests/.../test_*.cc is registered in
+ *       tests/CMakeLists.txt; every bench/bench_*.cc emits a
+ *       JsonReport
+ *
+ * Suppressions (same line or the line directly above the finding):
+ *
+ *   // lint:allow(D1: <reason>)      suppress any rule, with reason
+ *   // lint:ordered-ok(<reason>)     D4-specific alias
+ *
+ * A suppression without a written reason is itself a finding.
+ *
+ * Token/line-level by design: no libclang dependency, so the checker
+ * builds from the same CMake tree with zero extra packages and runs
+ * as an ordinary ctest test.
+ */
+
+#ifndef DEEPSTORE_TOOLS_LINT_H
+#define DEEPSTORE_TOOLS_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace deepstore::lint {
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file;    ///< path as given to the linter
+    int line = 0;        ///< 1-based line number
+    std::string rule;    ///< "D1".."D5"
+    std::string message; ///< human-readable explanation
+};
+
+/** One honoured suppression (finding that was annotated away). */
+struct Suppression
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string reason;
+};
+
+/** Result of a lint run. */
+struct Report
+{
+    std::vector<Finding> findings;
+    std::vector<Suppression> suppressions;
+
+    bool clean() const { return findings.empty(); }
+};
+
+/** Linter options. */
+struct Options
+{
+    /** Rules to run (e.g. {"D1","D4"}). Empty means all rules. */
+    std::vector<std::string> rules;
+
+    bool
+    enabled(const std::string &rule) const
+    {
+        if (rules.empty())
+            return true;
+        for (const auto &r : rules)
+            if (r == rule)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Source text with comments and string/char literals blanked out
+ * (replaced by spaces, newlines preserved) plus the per-line comment
+ * text (for `lint:` annotations). Exposed for the linter's own tests.
+ */
+struct StrippedSource
+{
+    std::string code;                   ///< literal-free code text
+    std::vector<std::string> comments;  ///< comments[i] = line i+1
+};
+
+/** Strip comments and string/char literals (handles raw strings). */
+StrippedSource stripSource(const std::string &content);
+
+/**
+ * Run the token-level rules (D1–D4) on one in-memory file.
+ *
+ * @param path     path used for exemption matching and reporting
+ * @param content  full file text
+ * @param unordered_names  extra variable names known to be
+ *                 unordered containers (for D4 across files); names
+ *                 declared inside @p content are found automatically
+ */
+void lintSource(const std::string &path, const std::string &content,
+                const Options &opts,
+                const std::vector<std::string> &unordered_names,
+                Report &report);
+
+/**
+ * Collect names of variables/members declared with an
+ * unordered_map/unordered_set type in @p content (for D4).
+ */
+std::vector<std::string>
+collectUnorderedNames(const std::string &content);
+
+/**
+ * Tree mode: walk <root>/src and <root>/tests (*.cc, *.h, sorted),
+ * run D1–D4 on every file, then run the structural D5 checks against
+ * <root>/tests/CMakeLists.txt and <root>/bench.
+ */
+Report lintTree(const std::string &root, const Options &opts);
+
+/** Render findings + suppression notes as "file:line: [Dk] msg". */
+std::string formatReport(const Report &report, bool verbose);
+
+} // namespace deepstore::lint
+
+#endif // DEEPSTORE_TOOLS_LINT_H
