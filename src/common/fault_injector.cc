@@ -17,6 +17,13 @@ FaultInjector::FaultInjector(FaultConfig config)
     if (config_.planeStallSeconds < 0.0 ||
         config_.channelStallSeconds < 0.0)
         fatal("fault stall durations must be non-negative");
+    for (const auto &b : config_.bursts) {
+        if (b.uncorrectableProbability < 0.0 ||
+            b.uncorrectableProbability > 1.0)
+            fatal("burst probabilities must lie in [0, 1]");
+        if (b.untilTick < b.fromTick)
+            fatal("burst window must not end before it starts");
+    }
     blacklist_.insert(config_.pageBlacklist.begin(),
                       config_.pageBlacklist.end());
     flashFaults_ = config_.anyFlashFaults();
@@ -52,6 +59,39 @@ FaultInjector::pageUncorrectable(std::uint64_t page_key,
     return hashUniform(config_.seed, Domain::FlashUncorrectable,
                        page_key, attempt) <
            config_.uncorrectableReadProbability;
+}
+
+bool
+FaultInjector::burstUncorrectable(std::uint64_t page_key,
+                                  std::uint32_t attempt,
+                                  std::uint32_t channel,
+                                  std::uint32_t chip,
+                                  std::uint32_t plane, Tick now) const
+{
+    if (config_.bursts.empty())
+        return false;
+    for (std::size_t i = 0; i < config_.bursts.size(); ++i) {
+        const BurstDomain &b = config_.bursts[i];
+        if (now < b.fromTick || now >= b.untilTick)
+            continue;
+        if (b.channel != channel)
+            continue;
+        if (b.chip >= 0 && static_cast<std::uint32_t>(b.chip) != chip)
+            continue;
+        if (b.plane >= 0 &&
+            static_cast<std::uint32_t>(b.plane) != plane)
+            continue;
+        if (b.uncorrectableProbability >= 1.0)
+            return true;
+        // Salt the key with the burst's index so overlapping bursts
+        // roll independently.
+        std::uint64_t salted =
+            page_key ^ ((i + 1) * 0x9E3779B97F4A7C15ULL);
+        if (hashUniform(config_.seed, Domain::CorrelatedBurst, salted,
+                        attempt) < b.uncorrectableProbability)
+            return true;
+    }
+    return false;
 }
 
 Tick

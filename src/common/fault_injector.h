@@ -44,6 +44,30 @@
 
 namespace deepstore {
 
+/**
+ * A correlated failure burst: every page read inside the named
+ * die/plane scope fails ECC (with the given probability) while the
+ * tick window is open. Models the spatially and temporally correlated
+ * error clusters real NAND exhibits — a marginal wordline driver, a
+ * plane-wide program disturb — as opposed to the independent per-page
+ * draws of `uncorrectableReadProbability`.
+ */
+struct BurstDomain
+{
+    /** Channel the burst lives on. */
+    std::uint32_t channel = 0;
+    /** Chip within the channel; -1 = every chip on the channel. */
+    std::int32_t chip = -1;
+    /** Plane within the chip; -1 = every plane on the chip. */
+    std::int32_t plane = -1;
+    /** Half-open tick window [fromTick, untilTick) of the burst. */
+    Tick fromTick = 0;
+    Tick untilTick = 0;
+    /** Per-attempt uncorrectable probability inside the scope
+     *  (1.0 = hard burst: every read in the window fails). */
+    double uncorrectableProbability = 1.0;
+};
+
 /** Scheduled failure of one accelerator unit. */
 struct UnitFailure
 {
@@ -83,20 +107,29 @@ struct FaultConfig
     /** Accelerator units that die at a scheduled tick. */
     std::vector<UnitFailure> unitFailures;
 
+    /** Correlated die/plane error bursts (windowed, scoped). */
+    std::vector<BurstDomain> bursts;
+
+    /** Whole-device power loss at this tick (0 disables): all
+     *  in-flight work dies, volatile state drops, and the engine
+     *  replays recovery from persisted metadata. */
+    Tick powerLossAtTick = 0;
+
     /** Any flash-domain fault possible under this schedule? */
     bool
     anyFlashFaults() const
     {
         return uncorrectableReadProbability > 0.0 ||
                !pageBlacklist.empty() || planeStallProbability > 0.0 ||
-               channelStallProbability > 0.0;
+               channelStallProbability > 0.0 || !bursts.empty();
     }
 
     /** True when the schedule injects nothing at all. */
     bool
     empty() const
     {
-        return !anyFlashFaults() && unitFailures.empty();
+        return !anyFlashFaults() && unitFailures.empty() &&
+               powerLossAtTick == 0;
     }
 };
 
@@ -116,6 +149,8 @@ class FaultInjector
         PlaneStall = 2,
         ChannelStall = 3,
         AcceleratorUnit = 4,
+        CorrelatedBurst = 5,
+        WearInduced = 6,
     };
 
     FaultInjector() = default;
@@ -137,6 +172,37 @@ class FaultInjector
      *  the retry ladder? (Blacklisted pages always do.) */
     bool pageUncorrectable(std::uint64_t page_key,
                            std::uint32_t attempt) const;
+
+    /**
+     * Is this read caught in an open correlated burst? `now` selects
+     * the active windows; (channel, chip, plane) select the scoped
+     * domains. Each matching burst rolls independently (hash salted
+     * by the burst's index), so overlapping bursts compose.
+     */
+    bool burstUncorrectable(std::uint64_t page_key,
+                            std::uint32_t attempt,
+                            std::uint32_t channel, std::uint32_t chip,
+                            std::uint32_t plane, Tick now) const;
+
+    /**
+     * Roll a wear-induced uncorrectable for this read against a
+     * caller-supplied RBER (the FTL's lifecycle model computes it;
+     * the injector only owns the deterministic draw). Salted with its
+     * own domain so wear draws are independent of the flat schedule.
+     */
+    bool
+    wearUncorrectable(std::uint64_t page_key, std::uint32_t attempt,
+                      double rber) const
+    {
+        if (rber <= 0.0)
+            return false;
+        if (rber >= 1.0)
+            return true;
+        return hashUniform(config_.seed, Domain::WearInduced,
+                           page_key, attempt) < rber;
+    }
+
+    bool anyBursts() const { return !config_.bursts.empty(); }
 
     /** Transient plane-stall delay for this read (0 when none). */
     Tick planeStallTicks(std::uint64_t page_key,

@@ -40,6 +40,12 @@ DeepStore::DeepStore(DeepStoreConfig config)
         config_.flash.channels * config_.flash.chipsPerChannel;
     scheduler_ = std::make_unique<QueryScheduler>(
         events_, scfg, *dfv_, &ssd_->stats());
+    // Scheduled whole-device power loss (fault schedule): the event
+    // fires once, killing in-flight work and replaying recovery.
+    if (config_.flash.faults.powerLossAtTick > 0) {
+        events_.schedule(config_.flash.faults.powerLossAtTick,
+                         [this] { powerLoss(); });
+    }
 }
 
 void
@@ -300,7 +306,8 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
         perf.placement, config_.flash, db, db_start, db_end,
         [this](std::uint64_t lpn) {
             return ssd_->ftl().translate(lpn);
-        });
+        },
+        ssd_->ftl().mappingEpoch());
     sub.shards = std::move(plan.units);
     // Page-retry knobs ride on each shard's DFV plan (the stream
     // layer owns the bounded reissue + backoff machinery).
@@ -597,6 +604,24 @@ DeepStore::reloadMetadata()
     }
     metadata_.clear();
     metadata_.deserialize(blob);
+}
+
+void
+DeepStore::powerLoss()
+{
+    // Order matters: the scheduler computes each killed query's
+    // remnant coverage through its still-open scan groups/streams,
+    // so it must run before any volatile SSD state is dropped.
+    scheduler_->powerLoss();
+    ssd_->powerLoss();
+    // Volatile metadata cache is gone; recover from the reserved
+    // flash block when a persist exists (replayed through the normal
+    // host-read path, charged to the Metadata ledger component).
+    if (persistedMetadataPages_ > 0) {
+        reloadMetadata();
+    } else {
+        metadata_.clear();
+    }
 }
 
 void

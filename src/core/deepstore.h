@@ -261,6 +261,27 @@ class DeepStore
      */
     void reloadMetadata();
 
+    /**
+     * Whole-device power loss at the current tick (also reachable by
+     * schedule via `FaultConfig::powerLossAtTick`). In order:
+     *
+     *  1. every in-flight query terminates with outcome PowerLoss,
+     *     its finalize running synchronously with honest partial
+     *     coverage (the host's completion was never acknowledged, so
+     *     partial results + DegradedSuccess on the wire are the
+     *     truthful story);
+     *  2. the SSD drops volatile state — background relocations
+     *     abort crash-consistently, plane/bus reservations reset;
+     *  3. the DRAM-cached metadata table is dropped and, when a
+     *     persist exists, replayed from the reserved flash block
+     *     (the first fault-path use of metadata persistence). With
+     *     no persist the table is simply gone — exactly what the
+     *     paper's reserved-block design exists to prevent.
+     *
+     * After recovery the engine accepts new work immediately.
+     */
+    void powerLoss();
+
   private:
     struct LoadedModel
     {

@@ -20,7 +20,10 @@ statusForOutcome(QueryOutcome outcome)
     case QueryOutcome::Aborted:
         return NvmeStatus::Aborted;
     case QueryOutcome::Degraded:
+    case QueryOutcome::PowerLoss:
     default:
+        // Power loss surfaces like degradation: the host gets the
+        // honest partial result and may resubmit after recovery.
         return NvmeStatus::DegradedSuccess;
     }
 }

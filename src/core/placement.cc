@@ -129,7 +129,8 @@ ScanPlan
 resolveScanPlan(const Placement &placement,
                 const ssd::FlashParams &flash, const DbMetadata &db,
                 std::uint64_t db_start, std::uint64_t db_end,
-                const LpnTranslator &translate)
+                const LpnTranslator &translate,
+                std::uint64_t mapping_epoch)
 {
     DS_ASSERT(db_start < db_end);
     DS_ASSERT(db_end <= db.numFeatures);
@@ -228,6 +229,11 @@ resolveScanPlan(const Placement &placement,
     sig = mix(sig, db_end);
     sig = mix(sig, static_cast<std::uint64_t>(level));
     sig = mix(sig, placement.dfvQueueDepthPages);
+    // Stale-mapping guard: any committed FTL remap bumps the epoch,
+    // so plans resolved across it land in different broadcast groups
+    // (mixed unconditionally — a constant while the map is stable,
+    // so fault-free schedules are unchanged).
+    sig = mix(sig, mapping_epoch);
     plan.signature = sig;
     return plan;
 }

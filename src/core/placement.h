@@ -135,12 +135,18 @@ using LpnTranslator = std::function<std::uint64_t(std::uint64_t)>;
  * Chip-level plans consume straight from the plane page buffers
  * (transferBytesPerPage 0, Fig. 3); the other levels move the useful
  * payload over the channel bus.
+ *
+ * `mapping_epoch` (the FTL's remap counter) is mixed into the plan
+ * signature: a plan resolved before a migration/relocation/trim must
+ * never share a read-once-broadcast group with one resolved after,
+ * since the physical pages behind identical logical ranges moved.
  */
 ScanPlan resolveScanPlan(const Placement &placement,
                          const ssd::FlashParams &flash,
                          const DbMetadata &db, std::uint64_t db_start,
                          std::uint64_t db_end,
-                         const LpnTranslator &translate);
+                         const LpnTranslator &translate,
+                         std::uint64_t mapping_epoch = 0);
 
 } // namespace deepstore::core
 

@@ -36,6 +36,7 @@ toString(QueryOutcome o)
       case QueryOutcome::Degraded: return "Degraded";
       case QueryOutcome::DeadlineExceeded: return "DeadlineExceeded";
       case QueryOutcome::Aborted: return "Aborted";
+      case QueryOutcome::PowerLoss: return "PowerLoss";
     }
     return "unknown";
 }
@@ -740,6 +741,26 @@ QueryScheduler::cancel(std::uint64_t query_id)
     stats_.get("sched.queriesCancelled") += 1;
     degradeQuery(it->second, QueryOutcome::Aborted);
     return true;
+}
+
+void
+QueryScheduler::powerLoss()
+{
+    // Collect first: degradeQuery mutates queries_ state and runs
+    // finalize callbacks which may inspect the scheduler. queries_
+    // is an ordered map, so the kill order is deterministic.
+    std::vector<std::uint64_t> live;
+    for (const auto &[id, q] : queries_) {
+        if (!isTerminal(q.state))
+            live.push_back(id);
+    }
+    for (std::uint64_t id : live) {
+        auto it = queries_.find(id);
+        if (it == queries_.end() || isTerminal(it->second.state))
+            continue;
+        stats_.get("sched.powerLossKills") += 1;
+        degradeQuery(it->second, QueryOutcome::PowerLoss);
+    }
 }
 
 void

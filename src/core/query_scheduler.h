@@ -99,6 +99,7 @@ enum class QueryOutcome
     Degraded,         ///< shards lost coverage (retries exhausted)
     DeadlineExceeded, ///< deadline fired before the scan finished
     Aborted,          ///< cancelled via cancel()
+    PowerLoss,        ///< the device lost power mid-query
 };
 
 const char *toString(QueryOutcome o);
@@ -223,6 +224,15 @@ class QueryScheduler
      * queries.
      */
     bool cancel(std::uint64_t query_id);
+
+    /**
+     * Whole-device power loss: every non-terminal query terminates
+     * *now* with outcome PowerLoss, crediting the features its
+     * shards actually scanned (honest partial coverage — their
+     * finalize callbacks run synchronously, before volatile device
+     * state is dropped). Queries already terminal are untouched.
+     */
+    void powerLoss();
 
     /** State of a submitted query (nullopt when unknown). */
     std::optional<QueryState> state(std::uint64_t query_id) const;

@@ -93,21 +93,45 @@ FlashController::readTiming(const PageAddress &addr,
         t.status = FlashStatus::RetriedOk;
     }
     t.arrayTicks = secondsToTicks(latency);
+
+    // Collect the uncorrectable verdict from every fault source —
+    // the flat schedule, correlated bursts, and the wear model —
+    // before charging the ladder, so overlapping sources cost one
+    // ladder walk, not several.
+    bool uncorrectable = false;
+    const std::uint64_t key = faultKey(addr);
     if (injector_.flashFaultsEnabled()) {
-        const std::uint64_t key = faultKey(addr);
-        if (injector_.pageUncorrectable(key, attempt)) {
-            // The controller walks the whole retry ladder before
-            // giving up, so a failed read still costs the stretched
-            // array latency.
-            t.status = FlashStatus::Uncorrectable;
-            t.arrayTicks = secondsToTicks(
-                params_.readLatency *
-                (1.0 + params_.readRetryPenalty));
-        }
+        uncorrectable = injector_.pageUncorrectable(key, attempt);
+        if (!uncorrectable && injector_.anyBursts())
+            uncorrectable = injector_.burstUncorrectable(
+                key, attempt, addr.channel, addr.chip, addr.plane,
+                events_.now());
+    }
+    if (!uncorrectable && wearProbe_)
+        uncorrectable = injector_.wearUncorrectable(
+            key, attempt, wearProbe_(addr));
+    if (uncorrectable) {
+        // The controller walks the whole retry ladder before
+        // giving up, so a failed read still costs the stretched
+        // array latency.
+        t.status = FlashStatus::Uncorrectable;
+        t.arrayTicks = secondsToTicks(
+            params_.readLatency * (1.0 + params_.readRetryPenalty));
+    }
+    if (injector_.flashFaultsEnabled()) {
         t.arrayTicks += injector_.planeStallTicks(key, attempt);
         t.channelStall = injector_.channelStallTicks(key, attempt);
     }
     return t;
+}
+
+void
+FlashController::powerLoss()
+{
+    const Tick now = events_.now();
+    for (Tick &p : planeBusy_)
+        p = now;
+    busBusyUntil_ = now;
 }
 
 void
@@ -135,6 +159,11 @@ FlashController::issue(FlashCommand cmd)
             stats_.get("flash.readRetries") += 1;
         if (t.channelStall > 0)
             stats_.get("flash.channelStalls") += 1;
+        // Lifecycle accounting: only *issued* reads disturb cells
+        // (estimates never reach here), and the observer runs after
+        // this read's timing is fixed, so it never counts itself.
+        if (readObserver_)
+            readObserver_(cmd.addr, t.status);
         if (t.status == FlashStatus::Uncorrectable) {
             // The controller gives up after the ladder and reports
             // the error without a data transfer.

@@ -97,6 +97,33 @@ class FlashController
 
     const FaultInjector &injector() const { return injector_; }
 
+    // ---- lifecycle hooks (wired by the Ssd when wear modeling is
+    // enabled; both default to unset, costing one branch) ----------
+
+    /** Returns the wear-model RBER of a page (the FTL computes it);
+     *  consulted identically by issue() and estimateReadCompletion()
+     *  so estimates stay exact under wear. */
+    using WearProbe = std::function<double(const PageAddress &)>;
+    /** Observes every *issued* page read's final status (read-disturb
+     *  accounting + lifecycle threshold checks). Never called from
+     *  estimateReadCompletion(). */
+    using ReadObserver =
+        std::function<void(const PageAddress &, FlashStatus)>;
+
+    void setWearProbe(WearProbe probe)
+    {
+        wearProbe_ = std::move(probe);
+    }
+    void setReadObserver(ReadObserver observer)
+    {
+        readObserver_ = std::move(observer);
+    }
+
+    /** Power loss: every in-flight plane/bus reservation dies with
+     *  the capacitors. (Their completion events still fire but the
+     *  issuing layers have dropped the callbacks' targets.) */
+    void powerLoss();
+
   private:
     /**
      * Shared timing model of one page read: array latency (with the
@@ -125,6 +152,9 @@ class FlashController
     std::uint32_t channelId_;
     StatGroup &stats_;
     FaultInjector injector_;
+
+    WearProbe wearProbe_;
+    ReadObserver readObserver_;
 
     /** busy-until per (chip, plane). */
     std::vector<Tick> planeBusy_;

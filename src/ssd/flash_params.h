@@ -18,6 +18,57 @@
 
 namespace deepstore::ssd {
 
+/**
+ * Flash wear / lifecycle model (paper §4.5: the runtime owns striping
+ * and metadata precisely so the device can survive media decay).
+ *
+ * When enabled, every physical superblock carries a raw bit error
+ * rate (RBER) that the FTL derives *deterministically* from its
+ * lifecycle counters — erase cycles (wear), accumulated reads since
+ * the last program (read disturb), data age (retention), and observed
+ * error history. The per-page uncorrectable probability handed to the
+ * flash controller is that RBER, so media decay replaces the flat
+ * `FaultConfig::uncorrectableReadProbability` as the default fault
+ * model. Crossing `relocateRberThreshold` schedules a background
+ * relocation of the superblock's valid pages (real flash commands,
+ * contending with scans); crossing `retireRberThreshold` — or
+ * exhausting `maxEraseCount` — retires the block for good, and
+ * placement routes new scan plans around it.
+ *
+ * All coefficients default to zero and `enabled` to false, so a
+ * default-constructed config leaves the datapath tick-identical to a
+ * tree without the lifecycle subsystem.
+ */
+struct WearConfig
+{
+    /** Master switch; false = no RBER, no relocation, no retirement. */
+    bool enabled = false;
+
+    // RBER = clamp01(base + perErase*erases + perRead*reads
+    //                + perSecond*dataAge + perUncorrectable*errors
+    //                + perRetriedRead*retries)
+    double baseRber = 0.0;
+    double rberPerErase = 0.0;         ///< wear-out term
+    double rberPerRead = 0.0;          ///< read-disturb term
+    double rberPerSecond = 0.0;        ///< retention term (data age)
+    double rberPerUncorrectable = 0.0; ///< grown-defect feedback
+    double rberPerRetriedRead = 0.0;   ///< marginal-cell feedback
+
+    /** RBER above which the superblock's valid pages are relocated
+     *  to a fresh superblock (background GC). 1.0 disables. */
+    double relocateRberThreshold = 1.0;
+    /** RBER above which the superblock is retired after relocation
+     *  instead of being erased and reused. 1.0 disables. */
+    double retireRberThreshold = 1.0;
+    /** Erase-cycle endurance budget: a superblock erased this many
+     *  times is retired on its next erase. 0 disables. */
+    std::uint64_t maxEraseCount = 0;
+
+    /** Pages copied per relocation burst (bounds how much a
+     *  background relocation can backlog the channel buses). */
+    std::uint32_t relocationBatchPages = 32;
+};
+
 /** Static SSD configuration. */
 struct FlashParams
 {
@@ -67,6 +118,10 @@ struct FlashParams
      * tick-identical to a fault-free build.
      */
     FaultConfig faults;
+
+    /** Flash lifecycle (wear / retention / read disturb) model; the
+     *  default config disables it entirely. */
+    WearConfig wear;
 
     // ---- derived quantities -------------------------------------
 

@@ -102,7 +102,43 @@ class Ssd
     /** End of the current accelerator-owned window (0 if none). */
     Tick acceleratorWindowEnd() const { return accelBusyUntil_; }
 
+    /**
+     * Whole-device power loss at the current tick: every in-flight
+     * background relocation is aborted (the FTL mapping never moved,
+     * so the media stays crash-consistent), all plane/bus
+     * reservations reset, and stale completion callbacks from the
+     * pre-loss epoch are suppressed via a generation counter. The
+     * caller (engine) is responsible for killing queries and
+     * replaying metadata recovery.
+     */
+    void powerLoss();
+
+    /** Background relocations currently copying. */
+    std::size_t activeRelocations() const
+    {
+        return relocations_.size();
+    }
+
   private:
+    /** One in-flight background relocation (batched page copies). */
+    struct RelocState
+    {
+        RelocationJob job;
+        bool retireOld = false;
+        /** Next index into job.validOffsets to copy. */
+        std::uint64_t next = 0;
+        /** Power generation the copy belongs to. */
+        std::uint64_t gen = 0;
+    };
+
+    /** Read observer: lifecycle accounting + threshold checks. */
+    void onFlashRead(const PageAddress &addr, FlashStatus status);
+    /** Begin a background relocation of `phys` (dedupes itself). */
+    void startRelocation(std::uint32_t phys, bool retire_old);
+    /** Copy the next batch of valid pages via real flash commands. */
+    void relocationBatch(const std::shared_ptr<RelocState> &st);
+    /** Commit (or abandon) a finished copy. */
+    void finishRelocation(const std::shared_ptr<RelocState> &st);
     sim::EventQueue &events_;
     FlashParams params_;
     Geometry geometry_;
@@ -113,6 +149,11 @@ class Ssd
         payloads_;
     Tick externalBusyUntil_ = 0;
     Tick accelBusyUntil_ = 0;
+
+    std::vector<std::shared_ptr<RelocState>> relocations_;
+    /** Bumped by powerLoss(); callbacks from older generations are
+     *  no-ops (the work they represent died with the capacitors). */
+    std::uint64_t powerGen_ = 0;
 
     /** Dispatch tick for a host command issued now. */
     Tick hostDispatchTick() const;
