@@ -73,10 +73,13 @@ main()
                     "WeightStream(us)", "Bottleneck"});
     for (const auto &app : apps) {
         auto p = ds.evaluate(core::Level::ChannelLevel, app);
+        double legs_max =
+            std::max({p.computeSeconds, p.flashSeconds,
+                      p.weightStreamSeconds});
         std::string bound =
-            p.perAccelSeconds == p.computeSeconds ? "compute"
-            : p.perAccelSeconds == p.flashSeconds ? "flash"
-                                                  : "weights";
+            legs_max == p.computeSeconds ? "compute"
+            : legs_max == p.flashSeconds ? "flash"
+                                         : "weights";
         legs.addRow({app.name, TextTable::num(p.computeSeconds * 1e6, 2),
                      TextTable::num(p.flashSeconds * 1e6, 2),
                      TextTable::num(p.weightStreamSeconds * 1e6, 2),

@@ -49,6 +49,13 @@ struct RunResult
     double meanLatency = 0.0;
     double maxLatency = 0.0;
     double ingestFeaturesPerSec = 0.0;
+    // Contention counters summed over completed queries: compute
+    // stalls (flash/weight starvation), DFV backpressure, and shared
+    // channel-bus (NoC) arbitration waits. Under ingest the NoC term
+    // is the physical signal of programs contending with scans.
+    double computeStallSum = 0.0;
+    double backpressureSum = 0.0;
+    double nocWaitSum = 0.0;
 };
 
 /**
@@ -86,6 +93,9 @@ runMixed(int depth, bool ingest)
             latency_sum += res.latencySeconds;
             r.maxLatency = std::max(r.maxLatency,
                                     res.latencySeconds);
+            r.computeStallSum += res.computeStallSeconds;
+            r.backpressureSum += res.backpressureSeconds;
+            r.nocWaitSum += res.nocWaitSeconds;
             ++completed;
             t_last = ds.simulatedSeconds();
             if (submitted < kQueries)
@@ -140,7 +150,8 @@ main()
               static_cast<double>(kIngestBatch));
 
     TextTable t({"in-flight", "ingest", "sim QPS", "mean lat (ms)",
-                 "max lat (ms)", "lat vs idle", "ingest MF/s"});
+                 "max lat (ms)", "lat vs idle", "ingest MF/s",
+                 "stall (ms)", "backpr (ms)", "NoC wait (ms)"});
     for (int depth : {1, 4, 16}) {
         RunResult idle = runMixed(depth, false);
         RunResult mixed = runMixed(depth, true);
@@ -154,7 +165,10 @@ main()
                       ingest ? TextTable::num(slowdown, 2) + "x"
                              : "1.00x",
                       TextTable::num(
-                          p->ingestFeaturesPerSec / 1e6, 2)});
+                          p->ingestFeaturesPerSec / 1e6, 2),
+                      TextTable::num(p->computeStallSum * 1e3, 3),
+                      TextTable::num(p->backpressureSum * 1e3, 3),
+                      TextTable::num(p->nocWaitSum * 1e3, 3)});
             report.beginRow()
                 .col("depth", static_cast<double>(depth))
                 .col("ingest", ingest ? 1.0 : 0.0)
@@ -163,7 +177,10 @@ main()
                 .col("maxLatencySeconds", p->maxLatency)
                 .col("latencyVsIdle", ingest ? slowdown : 1.0)
                 .col("ingestFeaturesPerSecond",
-                     p->ingestFeaturesPerSec);
+                     p->ingestFeaturesPerSec)
+                .col("computeStallSeconds", p->computeStallSum)
+                .col("backpressureSeconds", p->backpressureSum)
+                .col("nocWaitSeconds", p->nocWaitSum);
         }
     }
     t.print(std::cout);

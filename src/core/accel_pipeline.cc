@@ -44,10 +44,13 @@ runAcceleratorPipeline(sim::EventQueue &events,
 {
     if (config.features == 0 || config.featureBytes == 0)
         fatal("pipeline run needs features and a feature size");
-    if (config.computeCyclesPerFeature == 0)
+    if (config.computeCyclesPerFeature == 0 &&
+        config.layerCycles.empty())
         fatal("pipeline run needs a per-feature compute cost");
     if (config.queueDepthPages == 0)
         fatal("FLASH_DFV queue depth must be at least 1");
+    if (config.weightBytesPerSlot > 0 && config.dramBandwidth <= 0.0)
+        fatal("weight streaming needs a DRAM bandwidth");
 
     ssd::FeatureLayout layout{config.featureBytes, params.pageBytes};
     const std::uint64_t total_pages =
@@ -91,16 +94,35 @@ runAcceleratorPipeline(sim::EventQueue &events,
         1.0 / ssd::channelPageRate(params, transfer_bytes));
 
     const Tick start = events.now();
+    const Tick noc_wait_start = channel.bus().waitTicks();
     ComputeArbiter arbiter;
+    // Local stand-in for the device's shared DRAM channel: the only
+    // weight-stream consumer here is this run, so the link starts
+    // idle — exactly the state a single live query sees.
+    sim::BandwidthLink dram("pipeline.dram",
+                            config.dramBandwidth > 0.0
+                                ? config.dramBandwidth
+                                : 1.0);
     ssd::DfvStream &stream = service.open(std::move(plan));
-    GroupScan scan(events, arbiter, &stream, shape);
+    GroupScan scan(events, arbiter, &stream, shape,
+                   config.featuresPerSlot > 0 ? config.featuresPerSlot
+                                              : 1);
     sim::Clock clock(config.frequencyHz);
     ScanMember member;
     member.id = 0;
     member.features = config.features;
-    member.serviceTicksPerFeature =
-        clock.cyclesToTicks(config.computeCyclesPerFeature);
-    scan.addMember(member);
+    if (!config.layerCycles.empty()) {
+        member.layerBurstTicks.reserve(config.layerCycles.size());
+        for (Cycles c : config.layerCycles)
+            member.layerBurstTicks.push_back(clock.cyclesToTicks(c));
+    } else {
+        member.layerBurstTicks.push_back(
+            clock.cyclesToTicks(config.computeCyclesPerFeature));
+    }
+    if (config.weightBytesPerSlot > 0)
+        member.weights = std::make_shared<WeightStream>(
+            &dram, config.weightBytesPerSlot);
+    scan.addMember(std::move(member));
     bool finished = false;
     scan.onGroupDone([&finished] { finished = true; });
     scan.start();
@@ -112,12 +134,18 @@ runAcceleratorPipeline(sim::EventQueue &events,
 
     PipelineRunStats stats;
     stats.pageReads = stream.pagesDelivered();
+    stats.backpressureSeconds =
+        ticksToSeconds(stream.backpressureTicks());
     service.close(stream);
     stats.featuresProcessed = config.features;
     stats.totalSeconds = ticksToSeconds(events.now() - start);
     stats.computeBusySeconds =
         ticksToSeconds(scan.computeBusyTicks());
     stats.starvedSeconds = ticksToSeconds(scan.starvedTicks());
+    stats.weightStallSeconds =
+        ticksToSeconds(scan.weightStallTicks());
+    stats.nocWaitSeconds =
+        ticksToSeconds(channel.bus().waitTicks() - noc_wait_start);
     return stats;
 }
 

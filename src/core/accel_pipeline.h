@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "ssd/flash_controller.h"
@@ -35,10 +36,23 @@ struct PipelineRunConfig
     std::uint64_t featureBytes = 0;
     /** SCN cycles per feature on this accelerator's array. */
     Cycles computeCyclesPerFeature = 0;
+    /** Per-feature compute bursts, one per model layer (the systolic
+     *  slot schedule). When non-empty it supersedes the scalar
+     *  computeCyclesPerFeature. */
+    std::vector<Cycles> layerCycles;
     /** Array clock. */
     double frequencyHz = 800e6;
     /** FLASH_DFV queue capacity in flash pages. */
     std::uint32_t queueDepthPages = 32;
+    /** Lockstep slot width in features (wsGroupSize on
+     *  weight-stationary placements). */
+    std::uint64_t featuresPerSlot = 1;
+    /** Non-resident weight bytes re-streamed per lockstep slot
+     *  (0 = fully resident model, no weight traffic). */
+    std::uint64_t weightBytesPerSlot = 0;
+    /** DRAM bandwidth feeding the weight stream (bytes/s); required
+     *  when weightBytesPerSlot > 0. */
+    double dramBandwidth = 0.0;
 };
 
 /** Outcome of a pipeline run. */
@@ -48,6 +62,12 @@ struct PipelineRunStats
     double computeBusySeconds = 0.0;
     /** Time the array sat idle waiting for the FLASH_DFV queue. */
     double starvedSeconds = 0.0;
+    /** Time compute waited on the slot weight stream. */
+    double weightStallSeconds = 0.0;
+    /** Time the stream sat fully delivered, blocked on compute. */
+    double backpressureSeconds = 0.0;
+    /** Channel-bus arbitration wait accrued during the run. */
+    double nocWaitSeconds = 0.0;
     std::uint64_t pageReads = 0;
     std::uint64_t featuresProcessed = 0;
 

@@ -38,6 +38,10 @@ DeepStore::DeepStore(DeepStoreConfig config)
         config_.flash.channels;
     scfg.unitsAtLevel[static_cast<std::size_t>(Level::ChipLevel)] =
         config_.flash.channels * config_.flash.chipsPerChannel;
+    // Weight streams, QC probes, hit rescores, and top-K reduces all
+    // arbitrate on the SSD's one DRAM link — the same link FTL
+    // relocation copies stage through.
+    scfg.dram = &ssd_->dramLink();
     scheduler_ = std::make_unique<QueryScheduler>(
         events_, scfg, *dfv_, &ssd_->stats());
     // Scheduled whole-device power loss (fault schedule): the event
@@ -88,6 +92,7 @@ DeepStore::writePagesTimed(std::uint64_t lpn_start,
     double program_rate = planes / p.programLatency; // pages/s
     double bus_rate = p.internalBandwidth() /
                       static_cast<double>(p.pageBytes);
+    // lint:allow(D6: host bulk-ingest fast path, not the scan datapath)
     ledger_.advance(static_cast<double>(pages) /
                         std::min(program_rate, bus_rate),
                     component);
@@ -183,6 +188,7 @@ DeepStore::readDB(std::uint64_t db_id, std::uint64_t start,
         ledger_.attribute(ticksToSeconds(events_.now() - t0),
                           TimeComponent::HostRead);
     } else {
+        // lint:allow(D6: host bulk-read fast path, not the scan datapath)
         ledger_.advance(
             static_cast<double>(pages * config_.flash.pageBytes) /
                 config_.flash.externalBandwidth,
@@ -216,6 +222,7 @@ DeepStore::loadModel(nn::ModelBundle bundle)
                                                  lm.bundle.weights);
     // Model upload: weights travel over the host interface into SSD
     // DRAM (§4.2).
+    // lint:allow(D6: host-interface model upload, not the scan datapath)
     ledger_.advance(
         static_cast<double>(lm.bundle.model.totalWeightBytes()) /
             config_.flash.externalBandwidth,
@@ -298,10 +305,11 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
     sub.numAccelerators = perf.placement.numAccelerators;
     // Resolve the query range to per-unit physical page runs via the
     // FTL/striping tables: the Scanning stage's flash term comes from
-    // real FlashCommand reads, not analytic bandwidth. Compute and
-    // weight streaming stay analytic per resident; the per-feature
-    // compute ticks use the same cycle rounding as the standalone
-    // AccelPipeline so the two paths agree tick-for-tick.
+    // real FlashCommand reads, not analytic bandwidth. Compute is the
+    // systolic slot schedule (per-layer bursts per feature) and the
+    // weight leg is per-slot traffic on the shared DRAM link — the
+    // same lowering the standalone AccelPipeline consumes, so the two
+    // paths agree tick-for-tick.
     ScanPlan plan = resolveScanPlan(
         perf.placement, config_.flash, db, db_start, db_end,
         [this](std::uint64_t lpn) {
@@ -320,47 +328,72 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
     sub.featuresPerStep = plan.featuresPerStep;
     sub.planSignature = plan.signature;
     sub.deadlineSeconds = deadline_seconds;
-    Tick compute_ticks =
-        sim::Clock(perf.placement.array.frequencyHz)
-            .cyclesToTicks(perf.modelRun.totalCycles());
-    sub.serviceTicksPerFeature = std::max(
-        compute_ticks, secondsToTicks(perf.weightStreamSeconds));
+    sub.layerBurstTicksPerFeature = layerBurstTicks(perf);
+    sub.featuresPerSlot = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(perf.placement.wsGroupSize));
+    sub.weightBytesPerSlot = perf.excessWeightBytesPerSlot;
+    sub.weightBroadcast = perf.weightBroadcast;
+    // The reduce gathers each shard's partial top-K over the DRAM
+    // link before the merge on the embedded cores.
+    sub.reduceBytesPerShard =
+        std::max<std::uint64_t>(k, 1) * sizeof(ScoredResult);
     sub.dbKey = db_id;
+    // Device-wide channel-bus wait at submission; the finalize delta
+    // is the NoC contention accrued while this query was in flight.
+    const Tick noc_wait0 = ssd_->nocWaitTicks();
 
-    double probe = 0.0;
     if (queryCache_) {
         const LoadedModel &qcn = lookupModel(qcnModelId_);
         // The probe is decided functionally at submit time against
         // the cache state of *completed* queries; in-flight queries
         // insert only when they complete.
         CacheLookup hit = queryCache_->lookup(this_query);
-        // QCN lookups execute on the channel-level accelerators
-        // (§4.6); charge their aggregate throughput.
+        // QCN lookups fan out across the channel-level accelerators
+        // (§4.6): each unit pulls its share of the cached QFVs over
+        // the SSD DRAM link and scores it on its array, behind
+        // whatever scan work already holds those resources.
         LevelPerf qcn_perf = model_.evaluateModel(
             Level::ChannelLevel, qcn.bundle.model,
             static_cast<std::uint64_t>(
                 qcn.bundle.model.featureDim()) *
                 kBytesPerFloat);
-        probe = qcn_perf.computeSeconds *
-                static_cast<double>(hit.entriesScanned) /
-                static_cast<double>(
-                    qcn_perf.placement.numAccelerators);
-        sub.probeSeconds = probe;
+        const std::uint32_t qcn_units =
+            qcn_perf.placement.numAccelerators;
+        sub.probeUnits = qcn_units;
+        if (hit.entriesScanned > 0 && qcn_units > 0) {
+            const std::uint64_t per_unit =
+                (hit.entriesScanned + qcn_units - 1) / qcn_units;
+            sub.probeComputeTicksPerUnit =
+                sim::Clock(qcn_perf.placement.array.frequencyHz)
+                    .cyclesToTicks(qcn_perf.modelRun.totalCycles() *
+                                   per_unit);
+            sub.probeDramBytesPerUnit =
+                per_unit *
+                static_cast<std::uint64_t>(
+                    qcn.bundle.model.featureDim()) *
+                kBytesPerFloat;
+        }
         if (hit.hit) {
-            // Cached features already sit in SSD DRAM, so the SCN on
-            // the cached entries is compute-only on a channel-level
-            // accelerator (§4.2).
+            // Cached features already sit in SSD DRAM, so the hit
+            // path rescores them on one channel-level accelerator:
+            // a DRAM pull of the cached vectors plus the SCN burst
+            // (§4.2).
             LevelPerf compute_perf = model_.evaluateModel(
                 Level::ChannelLevel, m.bundle.model, db.featureBytes);
             sub.cacheHit = true;
-            sub.hitComputeSeconds =
-                compute_perf.computeSeconds *
-                static_cast<double>(hit.cachedResults.size());
+            sub.hitComputeTicks =
+                sim::Clock(
+                    compute_perf.placement.array.frequencyHz)
+                    .cyclesToTicks(
+                        compute_perf.modelRun.totalCycles() *
+                        hit.cachedResults.size());
+            sub.hitDramBytes =
+                hit.cachedResults.size() * db.featureBytes;
             const LoadedModel *mp = &m;
             auto cached = std::move(hit.cachedResults);
             std::vector<float> q = qfv;
             sub.finalize = [this, qid, k, mp, source, cached,
-                            q = std::move(q), probe] {
+                            q = std::move(q), noc_wait0] {
                 QueryResult res;
                 res.queryId = qid;
                 res.cacheHit = true;
@@ -383,9 +416,19 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
                 res.latencySeconds = ticksToSeconds(
                     scheduler_->completeTick(qid) -
                     scheduler_->submitTick(qid));
-                ledger_.attribute(probe, TimeComponent::QcLookup);
+                const QueryRunStats rs = scheduler_->runStats(qid);
+                const double probe_s =
+                    ticksToSeconds(rs.probeTicks);
+                res.qcProbeSeconds = probe_s;
+                res.computeStallSeconds =
+                    ticksToSeconds(rs.computeStallTicks);
+                res.backpressureSeconds =
+                    ticksToSeconds(rs.backpressureTicks);
+                res.nocWaitSeconds = ticksToSeconds(
+                    ssd_->nocWaitTicks() - noc_wait0);
+                ledger_.attribute(probe_s, TimeComponent::QcLookup);
                 ledger_.attribute(
-                    std::max(0.0, res.latencySeconds - probe),
+                    std::max(0.0, res.latencySeconds - probe_s),
                     TimeComponent::CacheHit);
                 finishQuery(qid, std::move(res));
             };
@@ -399,7 +442,7 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
     std::vector<float> q = qfv;
     sub.finalize = [this, qid, this_query, k, mp, dbmd, db_start,
                     db_end, n_accel = perf.placement.numAccelerators,
-                    source, q = std::move(q), probe] {
+                    source, q = std::move(q), noc_wait0] {
         QueryResult res;
         res.queryId = qid;
         res.cacheHit = false;
@@ -422,9 +465,19 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
         res.latencySeconds =
             ticksToSeconds(scheduler_->completeTick(qid) -
                            scheduler_->submitTick(qid));
-        ledger_.attribute(probe, TimeComponent::QcLookup);
-        ledger_.attribute(std::max(0.0, res.latencySeconds - probe),
-                          TimeComponent::Scan);
+        const QueryRunStats rs = scheduler_->runStats(qid);
+        const double probe_s = ticksToSeconds(rs.probeTicks);
+        res.qcProbeSeconds = probe_s;
+        res.computeStallSeconds =
+            ticksToSeconds(rs.computeStallTicks);
+        res.backpressureSeconds =
+            ticksToSeconds(rs.backpressureTicks);
+        res.nocWaitSeconds =
+            ticksToSeconds(ssd_->nocWaitTicks() - noc_wait0);
+        ledger_.attribute(probe_s, TimeComponent::QcLookup);
+        ledger_.attribute(
+            std::max(0.0, res.latencySeconds - probe_s),
+            TimeComponent::Scan);
         finishQuery(qid, std::move(res));
     };
     scheduler_->submit(std::move(sub));
@@ -640,6 +693,7 @@ DeepStore::dumpStats(std::ostream &os) const
         os << "engine.qc.misses = " << queryCache_->misses() << "\n";
         os << "engine.qc.entries = " << queryCache_->size() << "\n";
     }
+    ssd_->syncLinkStats();
     ssd_->stats().dump(os);
 }
 

@@ -8,9 +8,12 @@
  * loaded SCN/QCN models, the Query Cache, and the asynchronous query
  * scheduler. Queries execute functionally (real similarity scores,
  * real top-K) against the database's feature source, while latency
- * comes from the analytic steady-state model (DeepStoreModel) driven
- * through event-time by the scheduler — mirroring the paper's
- * SSD-Sim + SCALE-Sim split.
+ * comes from the event-native datapath: flash pages stream through
+ * real FlashCommand reads, compute replays the systolic slot schedule
+ * on per-unit arbiters, weights/probes/reduces arbitrate on the
+ * shared SSD DRAM link. The analytic steady-state model
+ * (DeepStoreModel) survives as the cross-validator the parity tests
+ * hold the live path to.
  *
  * The query path is **asynchronous**: query() validates, probes the
  * Query Cache, hands the scheduler a timed submission, and returns a
@@ -89,6 +92,18 @@ struct QueryResult
     double latencySeconds = 0.0;
     bool cacheHit = false;
     std::uint64_t featuresScanned = 0;
+    /** Scheduled Query Cache probe duration (0 without a cache). */
+    double qcProbeSeconds = 0.0;
+    /** Time this query's scan groups stalled compute (flash
+     *  starvation + weight-stream waits). */
+    double computeStallSeconds = 0.0;
+    /** Time this query's DFV streams sat fully delivered, blocked
+     *  on compute (bounded-queue backpressure). */
+    double backpressureSeconds = 0.0;
+    /** Channel-bus arbitration wait accrued device-wide while this
+     *  query was in flight (shared NoC contention signal; overlaps
+     *  with concurrent queries' waits). */
+    double nocWaitSeconds = 0.0;
     /** Why the query terminated (Success on the happy path). */
     QueryOutcome outcome = QueryOutcome::Success;
     /** Features actually scanned / features requested, in [0, 1];

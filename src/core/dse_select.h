@@ -39,13 +39,22 @@ struct DseCandidate
     }
 
     /** Candidates that fail a budget sort last; among those that
-     *  pass, faster is better. */
+     *  pass, faster is better. Exact performance ties happen at the
+     *  channel level, where the private scratchpad does not gate
+     *  timing (weights are resident in the shared L2): break them
+     *  toward the larger scratchpad (layer-size headroom at equal
+     *  speed — the paper's Table 3 choice), then toward lower power
+     *  so the order is total and deterministic. */
     bool
     betterThan(const DseCandidate &o) const
     {
         if (feasible() != o.feasible())
             return feasible();
-        return meanPerFeatureSeconds < o.meanPerFeatureSeconds;
+        if (meanPerFeatureSeconds != o.meanPerFeatureSeconds)
+            return meanPerFeatureSeconds < o.meanPerFeatureSeconds;
+        if (config.scratchpadBytes != o.config.scratchpadBytes)
+            return config.scratchpadBytes > o.config.scratchpadBytes;
+        return peakPowerW < o.peakPowerW;
     }
 };
 

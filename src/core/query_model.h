@@ -28,10 +28,13 @@
 #ifndef DEEPSTORE_CORE_QUERY_MODEL_H
 #define DEEPSTORE_CORE_QUERY_MODEL_H
 
+#include <vector>
+
 #include "core/placement.h"
 #include "energy/energy_model.h"
 #include "ssd/flash_params.h"
 #include "systolic/layer_run.h"
+#include "systolic/slot_schedule.h"
 #include "workloads/apps.h"
 
 namespace deepstore::core {
@@ -63,7 +66,30 @@ struct LevelPerf
 
     /** Per-feature systolic traffic of one accelerator. */
     systolic::ModelRun modelRun;
+
+    /** Per-lockstep-slot schedule of the model on this placement:
+     *  per-layer compute bursts + DRAM traffic, the form the
+     *  event-driven datapath consumes. */
+    systolic::SlotSchedule slots;
+
+    /** Non-resident weight bytes re-streamed from SSD DRAM per
+     *  lockstep slot (0 = fully resident). */
+    std::uint64_t excessWeightBytesPerSlot = 0;
+
+    /** True when one DRAM weight stream is broadcast to every
+     *  accelerator at this level (SSD single unit, channel shared
+     *  L2, chip WS lockstep); false when each accelerator pulls a
+     *  private copy. */
+    bool weightBroadcast = false;
 };
+
+/**
+ * Per-feature compute bursts (one per model layer) of `perf`'s model
+ * run lowered onto the placement's array clock. Both the live
+ * scheduler and the standalone AccelPipeline consume this exact
+ * lowering, so the two paths agree tick-for-tick by construction.
+ */
+std::vector<Tick> layerBurstTicks(const LevelPerf &perf);
 
 /** Power drawn by the existing SSD hardware (controller, DRAM, flash
  *  standby) while a scan runs: ~20 W at peak operation (§4.5). It is

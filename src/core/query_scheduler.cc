@@ -91,6 +91,8 @@ struct QueryScheduler::QueryInfo
     /** Shard seqs ever created for this query (filter against the
      *  scheduler's live shard map). */
     std::vector<std::uint64_t> shardSeqs;
+    /** Contention decomposition accumulated as shards retire. */
+    QueryRunStats run;
     sim::EventId deadlineEvent = 0;
     bool deadlineArmed = false;
 };
@@ -104,7 +106,9 @@ struct QueryScheduler::ShardRemnant
     std::uint64_t featuresDone = 0;
     std::uint64_t featuresLeft = 0;
     ssd::DfvPlan plan; ///< pages still to scan (may be empty)
-    Tick serviceTicks = 0;
+    std::vector<Tick> layerTicks;
+    std::uint64_t featuresPerSlot = 1;
+    std::shared_ptr<WeightStream> weights;
     std::uint64_t dbKey = 0;
     std::uint64_t signature = 0; ///< base (query-level) signature
     ScanStepShape shape;
@@ -133,7 +137,11 @@ class QueryScheduler::AcceleratorUnit
     {
         std::uint64_t seq = 0;
         std::uint64_t features = 0;
-        Tick serviceTicks = 0;
+        /** Per-feature compute bursts (systolic slot schedule). */
+        std::vector<Tick> layerTicks;
+        std::uint64_t featuresPerSlot = 1;
+        /** Weight feed (shared for broadcast placements). */
+        std::shared_ptr<WeightStream> weights;
         std::uint64_t dbKey = 0;
         /** Base (query-level) plan signature, reported in
          *  remnants. */
@@ -296,6 +304,27 @@ class QueryScheduler::AcceleratorUnit
         return t;
     }
 
+    /**
+     * Schedule an auxiliary work item (QC probe share, cache-hit
+     * rescore) on this unit: pull `dram_bytes` over the shared DRAM
+     * link, then run `compute_ticks` on the array behind whatever
+     * scan bursts already hold it. Returns the completion tick (now
+     * for a dead unit — the caller treats that unit's share as
+     * lost).
+     */
+    Tick
+    auxWork(Tick compute_ticks, std::uint64_t dram_bytes,
+            sim::BandwidthLink *dram)
+    {
+        const Tick now = events_.now();
+        if (dead_)
+            return now;
+        const Tick ready = dram && dram_bytes > 0
+                               ? dram->acquire(now, dram_bytes)
+                               : now;
+        return arbiter_.acquire(ready, compute_ticks);
+    }
+
   private:
     struct Group
     {
@@ -303,6 +332,7 @@ class QueryScheduler::AcceleratorUnit
         std::uint64_t signature = 0;
         std::uint64_t baseSignature = 0;
         ScanStepShape shape;
+        std::uint64_t featuresPerSlot = 1;
         ssd::DfvStream *stream = nullptr;
         std::unique_ptr<GroupScan> scan;
         bool finished = false;
@@ -316,7 +346,9 @@ class QueryScheduler::AcceleratorUnit
         r.featuresDone = 0;
         r.featuresLeft = req.features;
         r.plan = req.plan;
-        r.serviceTicks = req.serviceTicks;
+        r.layerTicks = req.layerTicks;
+        r.featuresPerSlot = req.featuresPerSlot;
+        r.weights = req.weights;
         r.dbKey = req.dbKey;
         r.signature = req.baseSignature;
         r.shape = req.shape;
@@ -345,7 +377,9 @@ class QueryScheduler::AcceleratorUnit
             if (to > from)
                 r.plan = g.stream->subplan(from, to);
         }
-        r.serviceTicks = m.serviceTicksPerFeature;
+        r.layerTicks = m.layerBurstTicks;
+        r.featuresPerSlot = g.featuresPerSlot;
+        r.weights = m.weights;
         r.dbKey = g.dbKey;
         r.signature = g.baseSignature;
         r.shape = g.shape;
@@ -382,7 +416,11 @@ class QueryScheduler::AcceleratorUnit
     admit(ShardReq &&req)
     {
         ++residents_;
-        ScanMember member{req.seq, req.features, req.serviceTicks};
+        ScanMember member;
+        member.id = req.seq;
+        member.features = req.features;
+        member.layerBurstTicks = req.layerTicks;
+        member.weights = req.weights;
         // Read-once-broadcast: join an in-flight group with the same
         // database and plan, provided its stream has not advanced
         // (a later joiner would have missed broadcast pages).
@@ -391,7 +429,7 @@ class QueryScheduler::AcceleratorUnit
                 g->signature != req.signature ||
                 !g->scan->canAdmit())
                 continue;
-            g->scan->addMember(member);
+            g->scan->addMember(std::move(member));
             return;
         }
         auto g = std::make_unique<Group>();
@@ -400,13 +438,17 @@ class QueryScheduler::AcceleratorUnit
         gp->signature = req.signature;
         gp->baseSignature = req.baseSignature;
         gp->shape = req.shape;
+        gp->featuresPerSlot =
+            req.featuresPerSlot > 0 ? req.featuresPerSlot : 1;
         if (!req.plan.pages.empty())
             gp->stream = &dfv_.open(std::move(req.plan));
         gp->scan = std::make_unique<GroupScan>(
-            events_, arbiter_, gp->stream, req.shape);
+            events_, arbiter_, gp->stream, req.shape,
+            gp->featuresPerSlot);
         gp->scan->onMemberDone(
-            [this](std::uint64_t seq, std::uint64_t features_ok) {
-                memberDone(seq, features_ok);
+            [this](std::uint64_t seq, std::uint64_t features_ok,
+                   const ScanGroupSnapshot &snap) {
+                memberDone(seq, features_ok, snap);
             });
         gp->scan->onGroupDone([this, gp] {
             gp->finished = true;
@@ -417,17 +459,18 @@ class QueryScheduler::AcceleratorUnit
             scheduleCleanup();
         });
         groups_.push_back(std::move(g));
-        gp->scan->addMember(member);
+        gp->scan->addMember(std::move(member));
         gp->scan->start();
     }
 
     void
-    memberDone(std::uint64_t seq, std::uint64_t features_ok)
+    memberDone(std::uint64_t seq, std::uint64_t features_ok,
+               const ScanGroupSnapshot &snap)
     {
         DS_ASSERT(residents_ > 0);
         --residents_;
         disarmWatchdog(seq);
-        sched_.shardDone(seq, features_ok);
+        sched_.shardDone(seq, features_ok, snap);
         scheduleCleanup();
     }
 
@@ -528,6 +571,8 @@ QueryScheduler::submit(QuerySubmission submission)
         DS_ASSERT(!submission.shards.empty());
         DS_ASSERT(submission.pageReadsPerStep > 0);
         DS_ASSERT(submission.featuresPerStep > 0);
+        DS_ASSERT(!submission.layerBurstTicksPerFeature.empty());
+        DS_ASSERT(submission.featuresPerSlot > 0);
     }
     auto [it, inserted] =
         queries_.emplace(submission.queryId, QueryInfo{});
@@ -555,40 +600,71 @@ QueryScheduler::submit(QuerySubmission submission)
                              QueryOutcome::DeadlineExceeded);
             });
     }
-    Tick probe_ticks = secondsToTicks(q.sub.probeSeconds);
+    // QC probe: each channel-level accelerator pulls its share of
+    // the cached entries over the shared DRAM link and scores it on
+    // its array, behind whatever scan bursts already hold those
+    // resources; the probe completes when the slowest unit finishes.
+    Tick probe_done = events_.now();
+    if (q.sub.probeUnits > 0) {
+        auto &probe_pool =
+            pool(Level::ChannelLevel, q.sub.probeUnits);
+        for (auto &unit : probe_pool)
+            probe_done = std::max(
+                probe_done,
+                unit->auxWork(q.sub.probeComputeTicksPerUnit,
+                              q.sub.probeDramBytesPerUnit,
+                              config_.dram));
+    }
+    q.run.probeTicks = probe_done - events_.now();
     q.state = QueryState::CacheProbe;
     if (q.sub.cacheHit) {
         // CacheProbe -> Reduce (rescore cached top-K on a channel
         // accelerator) -> Complete. Every stage re-checks that the
         // query is still live (deadlines/cancel may have fired).
-        Tick rescore_ticks =
-            secondsToTicks(q.sub.hitComputeSeconds);
-        events_.scheduleChain({
-            {probe_ticks,
-             [this, id] {
-                 auto qit = queries_.find(id);
-                 if (qit == queries_.end() ||
-                     isTerminal(qit->second.state))
-                     return;
-                 qit->second.state = QueryState::Reduce;
-             }},
-            {rescore_ticks,
-             [this, id] {
-                 auto qit = queries_.find(id);
-                 if (qit == queries_.end() ||
-                     isTerminal(qit->second.state))
-                     return;
-                 completeQuery(qit->second, QueryOutcome::Success);
-             }},
+        events_.schedule(probe_done, [this, id] {
+            auto qit = queries_.find(id);
+            if (qit == queries_.end() ||
+                isTerminal(qit->second.state))
+                return;
+            QueryInfo &qq = qit->second;
+            qq.state = QueryState::Reduce;
+            // Rescore the cached top-K on one channel accelerator:
+            // pull the cached feature vectors over the DRAM link,
+            // then run the SCN burst on that unit's array.
+            Tick done;
+            auto pit = pools_.find(Level::ChannelLevel);
+            if (pit != pools_.end() && !pit->second.empty()) {
+                auto &units = pit->second;
+                done = units[id % units.size()]->auxWork(
+                    qq.sub.hitComputeTicks, qq.sub.hitDramBytes,
+                    config_.dram);
+            } else {
+                // Cache configured without probe units: rescore on
+                // the DRAM link alone.
+                const Tick now = events_.now();
+                const Tick ready =
+                    config_.dram && qq.sub.hitDramBytes > 0
+                        ? config_.dram->acquire(
+                              now, qq.sub.hitDramBytes)
+                        : now;
+                done = ready + qq.sub.hitComputeTicks;
+            }
+            events_.schedule(done, [this, id] {
+                auto qit2 = queries_.find(id);
+                if (qit2 == queries_.end() ||
+                    isTerminal(qit2->second.state))
+                    return;
+                completeQuery(qit2->second, QueryOutcome::Success);
+            });
         });
     } else {
-        events_.scheduleChain({{probe_ticks, [this, id] {
-                                    auto qit = queries_.find(id);
-                                    if (qit == queries_.end() ||
-                                        isTerminal(qit->second.state))
-                                        return;
-                                    enterStriped(qit->second);
-                                }}});
+        events_.schedule(probe_done, [this, id] {
+            auto qit = queries_.find(id);
+            if (qit == queries_.end() ||
+                isTerminal(qit->second.state))
+                return;
+            enterStriped(qit->second);
+        });
     }
 }
 
@@ -599,6 +675,13 @@ QueryScheduler::enterStriped(QueryInfo &q)
     auto &units = pool(q.sub.level, q.sub.numAccelerators);
     q.outstandingShards =
         static_cast<std::uint32_t>(q.sub.shards.size());
+    // Broadcast placements stream each slot's weight tiles over the
+    // DRAM link once for the whole stripe (shared L2 / WS lockstep);
+    // otherwise every shard pulls a private copy.
+    std::shared_ptr<WeightStream> broadcast_weights;
+    if (q.sub.weightBytesPerSlot > 0 && q.sub.weightBroadcast)
+        broadcast_weights = std::make_shared<WeightStream>(
+            config_.dram, q.sub.weightBytesPerSlot);
     for (auto &shard : q.sub.shards) {
         DS_ASSERT(shard.unitIndex < units.size());
         const std::uint64_t seq = nextShardSeq_++;
@@ -614,7 +697,14 @@ QueryScheduler::enterStriped(QueryInfo &q)
         AcceleratorUnit::ShardReq req;
         req.seq = seq;
         req.features = shard.features;
-        req.serviceTicks = q.sub.serviceTicksPerFeature;
+        req.layerTicks = q.sub.layerBurstTicksPerFeature;
+        req.featuresPerSlot = q.sub.featuresPerSlot;
+        if (q.sub.weightBytesPerSlot > 0)
+            req.weights =
+                broadcast_weights
+                    ? broadcast_weights
+                    : std::make_shared<WeightStream>(
+                          config_.dram, q.sub.weightBytesPerSlot);
         req.dbKey = q.sub.dbKey;
         req.baseSignature = q.sub.planSignature;
         req.signature = q.sub.planSignature;
@@ -629,7 +719,8 @@ QueryScheduler::enterStriped(QueryInfo &q)
 
 void
 QueryScheduler::shardDone(std::uint64_t seq,
-                          std::uint64_t features_ok)
+                          std::uint64_t features_ok,
+                          const ScanGroupSnapshot &snap)
 {
     auto it = shards_.find(seq);
     if (it == shards_.end())
@@ -640,6 +731,14 @@ QueryScheduler::shardDone(std::uint64_t seq,
         return;
     }
     q.coveredFeatures += features_ok;
+    // Group counters at the retirement point: flash starvation and
+    // weight stalls both held the array idle; backpressure is the
+    // stream blocked on compute. A shared group's counters are
+    // attributed to each retiring member (they all experienced the
+    // contention).
+    q.run.computeStallTicks +=
+        snap.starvedTicks + snap.weightStallTicks;
+    q.run.backpressureTicks += snap.backpressureTicks;
     finishShard(q, seq);
 }
 
@@ -697,7 +796,9 @@ QueryScheduler::shardFailed(ShardRemnant r)
             AcceleratorUnit::ShardReq req;
             req.seq = seq;
             req.features = st.features;
-            req.serviceTicks = r.serviceTicks;
+            req.layerTicks = std::move(r.layerTicks);
+            req.featuresPerSlot = r.featuresPerSlot;
+            req.weights = std::move(r.weights);
             req.dbKey = r.dbKey;
             req.baseSignature = r.signature;
             req.signature =
@@ -715,12 +816,21 @@ QueryScheduler::finishShard(QueryInfo &q, std::uint64_t seq)
     DS_ASSERT(q.outstandingShards > 0);
     if (--q.outstandingShards > 0)
         return;
-    // All shards merged map-reduce style on the embedded cores; the
-    // reduce itself is modeled as instantaneous (the K·accelerators
-    // merge is negligible next to the scan) but is a distinct state.
+    // All shards merged map-reduce style on the embedded cores: the
+    // reduce gathers every shard's partial top-K over the shared
+    // DRAM link (contending with weight streams and relocation
+    // copies) before the query completes.
     q.state = QueryState::Reduce;
+    const Tick now = events_.now();
+    const std::uint64_t gather_bytes =
+        q.sub.reduceBytesPerShard *
+        static_cast<std::uint64_t>(q.shardSeqs.size());
+    const Tick done = config_.dram && gather_bytes > 0
+                          ? config_.dram->acquire(now, gather_bytes)
+                          : now;
+    q.run.reduceTicks += done - now;
     const std::uint64_t id = q.sub.queryId;
-    events_.scheduleAfter(0, [this, id] {
+    events_.schedule(done, [this, id] {
         auto it = queries_.find(id);
         if (it == queries_.end() || isTerminal(it->second.state))
             return;
@@ -915,6 +1025,16 @@ QueryScheduler::completeTick(std::uint64_t query_id) const
         fatal("query %llu has not completed",
               static_cast<unsigned long long>(query_id));
     return it->second.completeTick;
+}
+
+QueryRunStats
+QueryScheduler::runStats(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    return it->second.run;
 }
 
 std::size_t

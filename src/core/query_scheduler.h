@@ -29,14 +29,24 @@
  * concurrent queries genuinely queue for, share, and interleave on
  * the hardware.
  *
- * The Scanning stage's **flash term is physical**: every shard's
+ * The Scanning stage is **entirely event-native**: every shard's
  * feature pages stream through a DfvStream issuing real FlashCommand
  * reads against the same per-channel FlashControllers that serve
  * hostRead/hostWrite — scans and host I/O observably contend for
  * planes and channel buses. Co-resident same-database shards with
  * identical plans share one stream (read-once-broadcast, NCAM-style
  * flash grouping): the controller reads each page once and
- * broadcasts it into every subscriber's FLASH_DFV queue.
+ * broadcasts it into every subscriber's FLASH_DFV queue. Compute is
+ * not a closed-form quotient either: each shard carries the systolic
+ * slot schedule (per-layer compute bursts per feature) replayed on
+ * its unit's ComputeArbiter, non-resident weights re-stream over the
+ * shared SSD DRAM link once per lockstep slot (WeightStream), the QC
+ * probe fans out as compute bursts + DRAM reads across the channel
+ * accelerators, and the final top-K reduce is a DRAM transfer of the
+ * per-shard partials. All DRAM traffic — weights, probe reads, hit
+ * rescores, reduce gathers, FTL relocation copies — arbitrates on
+ * the one BandwidthLink the engine wires in via
+ * QuerySchedulerConfig::dram.
  *
  * Fault tolerance (the shard-level recovery state machine): the
  * FaultConfig schedule can kill whole accelerator units at a tick;
@@ -53,7 +63,8 @@
  * schedule the datapath is tick-identical to a fault-free build.
  *
  * Per-query latency is defined as completion tick - submit tick
- * (queueing included); the TimeLedger owns all time accounting.
+ * (queueing included); runStats() exposes the per-query contention
+ * decomposition (probe, compute stall, backpressure, reduce).
  */
 
 #ifndef DEEPSTORE_CORE_QUERY_SCHEDULER_H
@@ -70,10 +81,13 @@
 #include "common/fault_injector.h"
 #include "common/stats.h"
 #include "core/placement.h"
+#include "sim/bandwidth.h"
 #include "sim/event_queue.h"
 #include "ssd/dfv_stream.h"
 
 namespace deepstore::core {
+
+struct ScanGroupSnapshot;
 
 /** Lifecycle states of an in-flight query (§4.7.1). */
 enum class QueryState
@@ -136,6 +150,13 @@ struct QuerySchedulerConfig
      *  has to fall back a level. 0 = unknown (no fallback possible
      *  unless that pool already exists). */
     std::uint32_t unitsAtLevel[3] = {0, 0, 0};
+
+    /** Shared SSD DRAM channel that weight streams, probe reads,
+     *  hit rescores, and reduce gathers arbitrate on (the engine
+     *  passes the Ssd's link so scans contend with FTL relocation
+     *  copies). nullptr = infinite DRAM bandwidth. Must outlive the
+     *  scheduler. */
+    sim::BandwidthLink *dram = nullptr;
 };
 
 /** Everything the scheduler needs to time one query. The functional
@@ -157,10 +178,24 @@ struct QuerySubmission
     std::uint64_t pageReadsPerStep = 1;
     std::uint64_t featuresPerStep = 1;
 
-    /** Analytic per-feature service time on the array:
-     *  max(compute leg, weight-streaming leg). The flash leg is
-     *  physical — it comes from the DFV stream. */
-    Tick serviceTicksPerFeature = 0;
+    /** Per-feature compute bursts on the array, one per model layer
+     *  (the systolic slot schedule lowered onto the unit's clock via
+     *  layerBurstTicks()). The flash leg comes from the DFV stream;
+     *  the weight leg from the shared DRAM link. */
+    std::vector<Tick> layerBurstTicksPerFeature;
+
+    /** Lockstep slot width in features (wsGroupSize on
+     *  weight-stationary placements, 1 otherwise). */
+    std::uint64_t featuresPerSlot = 1;
+
+    /** Non-resident weight bytes re-streamed over the DRAM link per
+     *  lockstep slot (0 = fully resident model). */
+    std::uint64_t weightBytesPerSlot = 0;
+
+    /** True when one DRAM weight transfer per slot is broadcast to
+     *  every shard (shared L2 / WS lockstep); false when each shard
+     *  pulls a private copy. */
+    bool weightBroadcast = false;
 
     /** Flash-stream sharing group (database id): co-resident shards
      *  with equal keys *and* plan signatures share one DFV stream. */
@@ -171,15 +206,32 @@ struct QuerySubmission
      *  plans. */
     std::uint64_t planSignature = 0;
 
-    /** Query Cache probe latency charged before striping (0 without
-     *  a cache). */
-    double probeSeconds = 0.0;
+    /** Channel-level accelerators the Query Cache probe fans out
+     *  over (0 = no cache, probe is free). */
+    std::uint32_t probeUnits = 0;
+
+    /** QCN compute burst per probe unit (its share of the cached
+     *  entries, lowered onto the probe array's clock). */
+    Tick probeComputeTicksPerUnit = 0;
+
+    /** Cached-entry bytes each probe unit pulls over the DRAM link
+     *  before scoring. */
+    std::uint64_t probeDramBytesPerUnit = 0;
 
     /** Probe outcome decided at submit time. */
     bool cacheHit = false;
 
-    /** SCN rescore latency over the cached top-K (hit path only). */
-    double hitComputeSeconds = 0.0;
+    /** SCN rescore burst over the cached top-K on one channel
+     *  accelerator (hit path only). */
+    Tick hitComputeTicks = 0;
+
+    /** Cached-result feature bytes the hit rescore pulls over the
+     *  DRAM link. */
+    std::uint64_t hitDramBytes = 0;
+
+    /** Bytes of per-shard partial top-K the reduce stage gathers
+     *  over the DRAM link per shard (0 = free reduce). */
+    std::uint64_t reduceBytesPerShard = 0;
 
     /** Optional deadline relative to submission; a query still in
      *  flight when it fires terminates Degraded with outcome
@@ -189,6 +241,23 @@ struct QuerySubmission
     /** Runs at completion (state already terminal, clock at the
      *  completion tick). */
     std::function<void()> finalize;
+};
+
+/** Per-query timing decomposition accumulated by the event-native
+ *  datapath (ticks; convert with ticksToSeconds). */
+struct QueryRunStats
+{
+    /** Ticks the query's scan groups stalled compute: flash
+     *  starvation plus weight-stream waits. */
+    Tick computeStallTicks = 0;
+    /** Ticks the query's streams sat fully delivered, blocked on
+     *  compute (bounded FLASH_DFV backpressure). */
+    Tick backpressureTicks = 0;
+    /** Scheduled Query Cache probe duration (0 without a cache). */
+    Tick probeTicks = 0;
+    /** Scheduled top-K reduce duration (DRAM gather of the
+     *  per-shard partials). */
+    Tick reduceTicks = 0;
 };
 
 /** The asynchronous scheduler (see file comment). */
@@ -254,6 +323,10 @@ class QueryScheduler
     Tick submitTick(std::uint64_t query_id) const;
     Tick completeTick(std::uint64_t query_id) const;
 
+    /** Contention decomposition of a submitted query (fatal for
+     *  unknown ids; partial until the query is terminal). */
+    QueryRunStats runStats(std::uint64_t query_id) const;
+
     /**
      * Hook invoked whenever the estimated busy-until horizon of the
      * accelerator complex changes. The estimate is fed by
@@ -291,7 +364,8 @@ class QueryScheduler
     };
 
     void enterStriped(QueryInfo &q);
-    void shardDone(std::uint64_t seq, std::uint64_t features_ok);
+    void shardDone(std::uint64_t seq, std::uint64_t features_ok,
+                   const ScanGroupSnapshot &snap);
     void shardFailed(ShardRemnant remnant);
     void finishShard(QueryInfo &q, std::uint64_t seq);
     void degradeQuery(QueryInfo &q, QueryOutcome outcome);

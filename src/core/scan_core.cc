@@ -6,13 +6,29 @@
 
 namespace deepstore::core {
 
+Tick
+WeightStream::fetch(std::uint64_t slot, Tick ready)
+{
+    if (!dram_ || bytesPerSlot_ == 0)
+        return ready;
+    auto it = done_.find(slot);
+    if (it != done_.end())
+        return it->second;
+    const Tick done = dram_->acquire(ready, bytesPerSlot_);
+    done_.emplace(slot, done);
+    return done;
+}
+
 GroupScan::GroupScan(sim::EventQueue &events, ComputeArbiter &arbiter,
-                     ssd::DfvStream *stream, ScanStepShape shape)
+                     ssd::DfvStream *stream, ScanStepShape shape,
+                     std::uint64_t features_per_slot)
     : events_(events), arbiter_(arbiter), stream_(stream),
-      shape_(shape)
+      shape_(shape), featuresPerSlot_(features_per_slot)
 {
     if (shape_.pageReadsPerStep == 0 || shape_.featuresPerStep == 0)
         fatal("scan step shape needs non-zero steps");
+    if (featuresPerSlot_ == 0)
+        fatal("a lockstep slot needs at least one feature");
 }
 
 void
@@ -25,7 +41,7 @@ GroupScan::addMember(ScanMember member)
               "(position %llu)",
               static_cast<unsigned long long>(position_));
     maxFeatures_ = std::max(maxFeatures_, member.features);
-    members_.push_back(member);
+    members_.push_back(std::move(member));
     ++membersLeft_;
     if (started_)
         pump();
@@ -123,18 +139,41 @@ GroupScan::abort()
     if (aborted_)
         return;
     aborted_ = true;
-    if (batchActive_) {
-        events_.cancel(batchEvent_);
-        batchActive_ = false;
-    }
+    for (sim::EventId ev : runEvents_)
+        events_.cancel(ev);
+    runEvents_.clear();
+    runActive_ = false;
     onMemberDone_ = nullptr;
     onGroupDone_ = nullptr;
+}
+
+std::uint64_t
+GroupScan::stationSlots() const
+{
+    if (!stream_)
+        return 1;
+    const std::uint64_t capacity_features =
+        static_cast<std::uint64_t>(stream_->queueDepthPages()) /
+        shape_.pageReadsPerStep * shape_.featuresPerStep;
+    return std::max<std::uint64_t>(1,
+                                   capacity_features /
+                                       featuresPerSlot_);
+}
+
+ScanGroupSnapshot
+GroupScan::snapshot() const
+{
+    ScanGroupSnapshot s;
+    s.starvedTicks = starvedTicks_;
+    s.weightStallTicks = weightStallTicks_;
+    s.backpressureTicks = stream_ ? stream_->backpressureTicks() : 0;
+    return s;
 }
 
 void
 GroupScan::pump()
 {
-    if (!started_ || aborted_ || batchActive_ ||
+    if (!started_ || aborted_ || runActive_ ||
         position_ >= maxFeatures_)
         return;
     const std::uint64_t ready = readyFeatures();
@@ -143,40 +182,94 @@ GroupScan::pump()
     const Tick now = events_.now();
     starvedTicks_ += now - idleSince_;
 
-    // Batch bounds: constant membership inside a batch, so member
-    // retirements land on exact batch-completion ticks.
+    // Run bounds: constant membership inside a run, so member
+    // retirements land on exact run-completion ticks.
     std::uint64_t limit = maxFeatures_;
-    Tick service_sum = 0;
     for (const auto &m : members_) {
         if (m.features <= position_)
             continue;
-        service_sum += m.serviceTicksPerFeature;
         limit = std::min(limit, m.features);
     }
     DS_ASSERT(limit > position_);
-    const std::uint64_t n = std::min(ready, limit) - position_;
-    const std::uint64_t new_position = position_ + n;
+    const std::uint64_t end = std::min(ready, limit);
 
-    // Consumption at batch start: the batch's features are latched
-    // into the array, so their FLASH_DFV slots free up and the next
-    // burst can overlap this batch's compute.
-    if (stream_)
-        stream_->consumedThrough(pagesForPosition(new_position));
+    runActive_ = true;
+    runEvents_.clear();
 
-    const Tick cost = static_cast<Tick>(n) * service_sum;
-    computeBusyTicks_ += cost;
-    batchActive_ = true;
-    const Tick completion = arbiter_.acquire(now, cost);
-    batchEvent_ = events_.schedule(completion, [this, new_position] {
-        batchComplete(new_position);
-    });
+    // Slot-by-slot execution: weight tiles stream in (shared DRAM
+    // link), then each member replays its per-layer compute bursts on
+    // the array. A slot's FLASH_DFV entries free when the slot
+    // *latches* into the station's bounded feature FIFO: immediately
+    // on delivery while the FIFO has room, or — once one DFV queue's
+    // worth of features is staged ahead of the array — only when the
+    // oldest staged slot finishes computing. Flash-bound scans thus
+    // keep the analytic burst cadence (entries free at delivery),
+    // while compute- or weight-bound scans throttle the latch to
+    // compute speed, hold the burst barrier, and exert real
+    // backpressure on flash delivery.
+    Tick cursor = now;
+    std::uint64_t pos = position_;
+    std::uint64_t marked_pages = pagesForPosition(position_);
+    const std::uint64_t station_slots = stationSlots();
+    while (pos < end) {
+        const std::uint64_t slot = pos / featuresPerSlot_;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(end,
+                                    (slot + 1) * featuresPerSlot_) -
+            pos;
+        Tick admit = now;
+        while (stationDone_.size() >= station_slots) {
+            admit = std::max(admit, stationDone_.front());
+            stationDone_.pop_front();
+        }
+        Tick ready_at = cursor;
+        for (auto &m : members_) {
+            if (m.features <= pos || !m.weights)
+                continue;
+            ready_at = std::max(ready_at,
+                                m.weights->fetch(slot, cursor));
+            // Double-buffer: start streaming the next slot's tiles
+            // while this slot computes.
+            if ((slot + 1) * featuresPerSlot_ < m.features)
+                m.weights->fetch(slot + 1, cursor);
+        }
+        weightStallTicks_ += ready_at - cursor;
+        Tick slot_done = ready_at;
+        for (const auto &m : members_) {
+            if (m.features <= pos)
+                continue;
+            Tick burst_done = ready_at;
+            for (Tick lt : m.layerBurstTicks) {
+                const Tick cost = lt * static_cast<Tick>(take);
+                burst_done = arbiter_.acquire(burst_done, cost);
+                computeBusyTicks_ += cost;
+            }
+            slot_done = std::max(slot_done, burst_done);
+        }
+        stationDone_.push_back(slot_done);
+        pos += take;
+        const std::uint64_t pages = pagesForPosition(pos);
+        if (stream_ && pages > marked_pages) {
+            marked_pages = pages;
+            runEvents_.push_back(
+                events_.schedule(admit, [this, pages] {
+                    if (stream_)
+                        stream_->consumedThrough(pages);
+                }));
+        }
+        cursor = slot_done;
+    }
+    runEvents_.push_back(events_.schedule(cursor, [this, end] {
+        runComplete(end);
+    }));
 }
 
 void
-GroupScan::batchComplete(std::uint64_t new_position)
+GroupScan::runComplete(std::uint64_t new_position)
 {
-    DS_ASSERT(batchActive_);
-    batchActive_ = false;
+    DS_ASSERT(runActive_);
+    runActive_ = false;
+    runEvents_.clear();
     const std::uint64_t old_position = position_;
     position_ = new_position;
     idleSince_ = events_.now();
@@ -189,7 +282,8 @@ GroupScan::batchComplete(std::uint64_t new_position)
             --membersLeft_;
             if (onMemberDone_)
                 onMemberDone_(m.id,
-                              m.features - lostFeatures(m.features));
+                              m.features - lostFeatures(m.features),
+                              snapshot());
         }
     }
     if (membersLeft_ == 0) {

@@ -8,17 +8,34 @@
  * to the same DfvStream; the accelerator computes the SCN over each
  * delivered feature once per member (compute and weight streaming are
  * paid per member, the flash stream once per group). The group's
- * stream position advances in *batches* bounded by what the stream
- * has delivered and by the nearest member retirement point, so member
+ * stream position advances in *runs* bounded by what the stream has
+ * delivered and by the nearest member retirement point, so member
  * completions land on exact ticks without floating-point progress
  * accounting.
  *
- * Consumption is reported at batch *start*: once a batch's features
- * are latched into the array, their FLASH_DFV slots are free and the
- * stream may refill (the next burst overlaps the compute tail). This
- * is what keeps a flash-bound scan's burst period equal to the
- * analytic `readLatency + depth / page_rate`, i.e. within tolerance
- * of the closed-form DeepStoreModel.
+ * Inside a run the group executes slot by slot (a lockstep slot is
+ * the weight-stationary group of features sharing one weight
+ * residency window): each slot first waits for its weight tiles to
+ * stream over the shared DRAM link (WeightStream — the first
+ * requester pays the transfer, broadcast co-subscribers ride it),
+ * then replays each member's per-layer compute bursts on the
+ * ComputeArbiter. Nothing is a closed-form quotient: compute is the
+ * systolic slot schedule, weights are DRAM-link reservations, and the
+ * flash leg is the physical DfvStream.
+ *
+ * The compute station drains the FLASH_DFV through a *bounded
+ * feature FIFO* sized to one queue's worth of features: a delivered
+ * feature latches into the FIFO (freeing its FLASH_DFV page slots)
+ * as soon as the FIFO has room, and the latch of feature i waits for
+ * the compute completion of feature i - depth otherwise. When flash
+ * is the bottleneck the FIFO never fills, entries free at delivery,
+ * and the burst cadence stays equal to the analytic
+ * `readLatency + depth / page_rate` — which keeps the live path
+ * inside the parity tolerance of the closed-form DeepStoreModel.
+ * When compute (or the weight stream) is the bottleneck the FIFO
+ * fills, the latch — and with it consumedThrough() — trails compute,
+ * the burst barrier holds, and the DfvStream records real
+ * backpressure on flash delivery.
  *
  * Both the live query scheduler (one GroupScan per co-resident
  * same-database scan group per accelerator unit) and the standalone
@@ -31,9 +48,13 @@
 #define DEEPSTORE_CORE_SCAN_CORE_H
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "sim/bandwidth.h"
 #include "sim/event_queue.h"
 #include "ssd/dfv_stream.h"
 
@@ -41,10 +62,10 @@ namespace deepstore::core {
 
 /**
  * The accelerator's systolic array as a serially reusable resource:
- * batches from every scan group resident on one accelerator acquire
- * it in arrival order. Distinct groups' *flash* streams proceed in
- * parallel (separate DfvStreams on the shared controllers); only the
- * compute serializes.
+ * compute bursts from every scan group resident on one accelerator
+ * acquire it in arrival order. Distinct groups' *flash* streams
+ * proceed in parallel (separate DfvStreams on the shared
+ * controllers); only the compute serializes.
  */
 class ComputeArbiter
 {
@@ -68,6 +89,42 @@ class ComputeArbiter
     Tick freeAt_ = 0;
 };
 
+/**
+ * The per-slot weight feed of one scan member: non-resident weight
+ * tiles re-stream over the shared DRAM link once per lockstep slot.
+ * The first member to request a slot's tiles reserves the link and
+ * pays the transfer; co-subscribers sharing the stream (broadcast via
+ * the channel level's shared L2, or WS-lockstep chips) get the
+ * memoized completion tick for free. A null link or zero bytes means
+ * the model is fully resident and every fetch completes instantly.
+ *
+ * Completion ticks are memoized per slot for the stream's lifetime
+ * (the tile stays cached for drifted co-subscribers); a scan of F
+ * features holds F/groupSize entries, which is fine at simulation
+ * scale.
+ */
+class WeightStream
+{
+  public:
+    WeightStream(sim::BandwidthLink *dram, std::uint64_t bytes_per_slot)
+        : dram_(dram), bytesPerSlot_(bytes_per_slot)
+    {
+    }
+
+    /**
+     * Tick at which slot `slot`'s tiles are fully resident,
+     * requesting the DRAM transfer at `ready` if nobody has yet.
+     */
+    Tick fetch(std::uint64_t slot, Tick ready);
+
+    std::uint64_t bytesPerSlot() const { return bytesPerSlot_; }
+
+  private:
+    sim::BandwidthLink *dram_;
+    std::uint64_t bytesPerSlot_;
+    std::map<std::uint64_t, Tick> done_;
+};
+
 /** How delivered pages map to computable features for one scan plan
  *  (uniform steps; range-boundary partial pages round optimistically
  *  by at most one step). */
@@ -86,10 +143,25 @@ struct ScanMember
     std::uint64_t id = 0;
     /** Stream positions (features) this member consumes. */
     std::uint64_t features = 0;
-    /** Analytic per-feature service time of this member on the
-     *  array: max(compute leg, weight-streaming leg). The flash leg
-     *  is *not* analytic here — it is the physical stream. */
-    Tick serviceTicksPerFeature = 0;
+    /** Per-feature compute bursts on the array, one per model layer
+     *  (the systolic slot schedule lowered onto the unit's clock).
+     *  The flash and weight legs are *not* analytic here — they are
+     *  the physical stream and the WeightStream. */
+    std::vector<Tick> layerBurstTicks;
+    /** Weight feed for non-resident models (nullptr = resident). */
+    std::shared_ptr<WeightStream> weights;
+};
+
+/** Contention counters of a group at a member retirement point. */
+struct ScanGroupSnapshot
+{
+    /** Ticks the group waited on flash with the array willing. */
+    Tick starvedTicks = 0;
+    /** Ticks compute waited on the slot weight feed. */
+    Tick weightStallTicks = 0;
+    /** Ticks the group's stream sat blocked on compute (see
+     *  DfvStream::backpressureTicks). */
+    Tick backpressureTicks = 0;
 };
 
 /** One read-once-broadcast scan group (see file comment). */
@@ -100,19 +172,25 @@ class GroupScan
      * @param stream the group's DFV page stream, or nullptr for a
      *   degenerate plan with no pages (everything immediately ready).
      *   The caller owns the stream and closes it after onGroupDone.
+     * @param features_per_slot lockstep slot width in features
+     *   (wsGroupSize on weight-stationary placements, 1 otherwise).
      */
     GroupScan(sim::EventQueue &events, ComputeArbiter &arbiter,
-              ssd::DfvStream *stream, ScanStepShape shape);
+              ssd::DfvStream *stream, ScanStepShape shape,
+              std::uint64_t features_per_slot = 1);
 
     GroupScan(const GroupScan &) = delete;
     GroupScan &operator=(const GroupScan &) = delete;
 
-    /** Fired (from a batch-completion event) when a member's last
-     *  feature completes, carrying the member id and the features
+    /** Fired (from a run-completion event) when a member's last
+     *  feature completes, carrying the member id, the features
      *  actually computed from good pages (== the member's feature
-     *  count minus features lost to uncorrectable pages). */
+     *  count minus features lost to uncorrectable pages), and a
+     *  snapshot of the group's contention counters. */
     void onMemberDone(
-        std::function<void(std::uint64_t, std::uint64_t)> cb)
+        std::function<void(std::uint64_t, std::uint64_t,
+                           const ScanGroupSnapshot &)>
+            cb)
     {
         onMemberDone_ = std::move(cb);
     }
@@ -128,16 +206,16 @@ class GroupScan
 
     /**
      * Add a subscriber. Only legal while the group is still at
-     * stream position 0 with no batch latched (canAdmit()): a later
+     * stream position 0 with no run latched (canAdmit()): a later
      * joiner would have missed broadcast pages.
      */
     void addMember(ScanMember member);
 
     /** Begin consuming: hooks the stream's delivery callback and
-     *  latches the first batch once data is ready. */
+     *  latches the first run once data is ready. */
     void start();
 
-    bool canAdmit() const { return position_ == 0 && !batchActive_; }
+    bool canAdmit() const { return position_ == 0 && !runActive_; }
 
     /** Features fully computed (group stream position). */
     std::uint64_t position() const { return position_; }
@@ -169,14 +247,14 @@ class GroupScan
      * Remove a live member without retiring it (cancellation /
      * watchdog snatch / unit death). Returns the member's completed
      * good features. When the last member is removed the pending
-     * batch event (if any) is cancelled and no further callbacks
+     * run events (if any) are cancelled and no further callbacks
      * fire — the caller then treats the group as finished and closes
      * its stream.
      */
     std::uint64_t removeMember(std::uint64_t id);
 
     /**
-     * Hard-stop the group: cancel the pending batch event and drop
+     * Hard-stop the group: cancel the pending run events and drop
      * both callbacks. Safe to call at any time; idempotent. The
      * caller still owns/closes the stream.
      */
@@ -187,12 +265,22 @@ class GroupScan
     /** Ticks the group waited on flash with the array willing. */
     Tick starvedTicks() const { return starvedTicks_; }
 
-    /** Ticks of array time this group's batches reserved. */
+    /** Ticks compute waited on the slot weight feed. */
+    Tick weightStallTicks() const { return weightStallTicks_; }
+
+    /** Ticks of array time this group's runs reserved. */
     Tick computeBusyTicks() const { return computeBusyTicks_; }
 
+    /** Current contention counters (also handed to onMemberDone). */
+    ScanGroupSnapshot snapshot() const;
+
   private:
-    /** Latch the next batch if data is ready and no batch is out. */
+    /** Latch the next run if data is ready and no run is out. */
     void pump();
+
+    /** Station feature-FIFO capacity in lockstep slots (one DFV
+     *  queue's worth of features). */
+    std::uint64_t stationSlots() const;
 
     /** Features currently computable from the stream. */
     std::uint64_t readyFeatures() const;
@@ -201,27 +289,36 @@ class GroupScan
      *  of the plan (approximate step rounding, capped at f). */
     std::uint64_t lostFeatures(std::uint64_t f) const;
 
-    void batchComplete(std::uint64_t new_position);
+    void runComplete(std::uint64_t new_position);
 
     sim::EventQueue &events_;
     ComputeArbiter &arbiter_;
     ssd::DfvStream *stream_;
     ScanStepShape shape_;
+    std::uint64_t featuresPerSlot_;
 
     std::vector<ScanMember> members_;
-    std::function<void(std::uint64_t, std::uint64_t)> onMemberDone_;
+    std::function<void(std::uint64_t, std::uint64_t,
+                       const ScanGroupSnapshot &)>
+        onMemberDone_;
     std::function<void()> onGroupDone_;
 
     std::uint64_t maxFeatures_ = 0;
     std::uint64_t position_ = 0;
     std::size_t membersLeft_ = 0;
-    bool batchActive_ = false;
+    bool runActive_ = false;
     bool started_ = false;
     bool aborted_ = false;
-    sim::EventId batchEvent_ = 0;
+    /** Consume-marks + completion of the latched run. */
+    std::vector<sim::EventId> runEvents_;
+    /** Compute-completion ticks of the slots currently staged in the
+     *  bounded feature FIFO (see file comment): the latch of a new
+     *  slot waits for front() once the FIFO is full. */
+    std::deque<Tick> stationDone_;
 
     Tick idleSince_ = 0;
     Tick starvedTicks_ = 0;
+    Tick weightStallTicks_ = 0;
     Tick computeBusyTicks_ = 0;
 };
 

@@ -8,8 +8,8 @@
 namespace deepstore::core {
 
 ReplayStats
-replayTrace(const workloads::QueryTrace &trace,
-            const ReplayService &service, QueryCache *cache)
+replayTraceClosedForm(const workloads::QueryTrace &trace,
+                      const ReplayService &service, QueryCache *cache)
 {
     if (service.scanSeconds <= 0.0)
         fatal("replay needs a positive scan time");
@@ -72,9 +72,8 @@ replayTrace(const workloads::QueryTrace &trace,
 }
 
 ReplayStats
-replayTraceOnEngine(DeepStore &store,
-                    const workloads::QueryTrace &trace,
-                    const EngineReplayConfig &config)
+replayTrace(DeepStore &store, const workloads::QueryTrace &trace,
+            const EngineReplayConfig &config)
 {
     if (!config.universe)
         fatal("engine replay needs a query universe");

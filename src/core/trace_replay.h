@@ -4,16 +4,21 @@
  * query system and report throughput and the response-time
  * distribution. Two backends:
  *
- * - replayTrace: a closed-form single-server FIFO queueing model (the
- *   GPU+SSD baseline or a DeepStore level, with or without the Query
- *   Cache). One scan owns the accelerators at a time, so a query's
- *   response time is its queueing delay plus its own service time.
- *
- * - replayTraceOnEngine: drive a live DeepStore through its
+ * - replayTrace (the default): drive a live DeepStore through its
  *   asynchronous submit path. Arrivals become event-queue events at
  *   their trace timestamps, queries overlap on the accelerator
  *   complex under the scheduler's sharing model, and per-query
  *   response times come from real completion ticks.
+ *
+ * - replayTraceClosedForm (validator-only): a closed-form
+ *   single-server FIFO queueing model (the GPU+SSD baseline or a
+ *   DeepStore level, with or without the Query Cache). One scan owns
+ *   the accelerators at a time, so a query's response time is its
+ *   queueing delay plus its own service time. It exists to sanity-
+ *   check the live backend's light-load behavior and to model
+ *   systems (the GPU baseline) that have no event-driven engine —
+ *   it is NOT a timing source for DeepStore results; reach for it
+ *   only behind an explicit flag.
  */
 
 #ifndef DEEPSTORE_CORE_TRACE_REPLAY_H
@@ -56,15 +61,18 @@ struct ReplayStats
 };
 
 /**
- * Replay a trace against the service model. When `cache` is non-null
- * it is consulted (and updated) per query using Algorithm 1; pass
- * nullptr for a cache-less system.
+ * **Validator-only** closed-form replay: a single-server FIFO
+ * queueing model over the analytic service times. When `cache` is
+ * non-null it is consulted (and updated) per query using Algorithm 1;
+ * pass nullptr for a cache-less system. Use replayTrace (the live
+ * engine backend) for DeepStore timing; this model exists to
+ * cross-check it and to cover systems with no event-driven engine.
  */
-ReplayStats replayTrace(const workloads::QueryTrace &trace,
-                        const ReplayService &service,
-                        QueryCache *cache);
+ReplayStats replayTraceClosedForm(const workloads::QueryTrace &trace,
+                                  const ReplayService &service,
+                                  QueryCache *cache);
 
-/** How replayTraceOnEngine turns trace records into queries. */
+/** How replayTrace turns trace records into queries. */
 struct EngineReplayConfig
 {
     std::size_t k = 5;
@@ -80,16 +88,17 @@ struct EngineReplayConfig
 };
 
 /**
- * Replay the trace on a live engine: each record's query is submitted
- * asynchronously at its arrival tick, queries interleave on the
- * accelerator complex, and response times are completion - arrival in
- * simulated time. The engine's own Query Cache (setQC) decides
- * hits/misses. Note `utilization` here reports accelerator-time
- * occupancy over the span — it can exceed 1 when scans overlap.
+ * Replay the trace on a live engine (the default backend): each
+ * record's query is submitted asynchronously at its arrival tick,
+ * queries interleave on the accelerator complex, and response times
+ * are completion - arrival in simulated time. The engine's own Query
+ * Cache (setQC) decides hits/misses. Note `utilization` here reports
+ * accelerator-time occupancy over the span — it can exceed 1 when
+ * scans overlap.
  */
-ReplayStats replayTraceOnEngine(DeepStore &store,
-                                const workloads::QueryTrace &trace,
-                                const EngineReplayConfig &config);
+ReplayStats replayTrace(DeepStore &store,
+                        const workloads::QueryTrace &trace,
+                        const EngineReplayConfig &config);
 
 } // namespace deepstore::core
 

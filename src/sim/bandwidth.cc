@@ -1,0 +1,35 @@
+#include "sim/bandwidth.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepstore::sim {
+
+BandwidthLink::BandwidthLink(std::string name, double bytes_per_second)
+    : name_(std::move(name)), bytesPerSecond_(bytes_per_second)
+{
+    DS_ASSERT(bytesPerSecond_ >= 0.0);
+}
+
+Tick
+BandwidthLink::acquire(Tick ready, std::uint64_t bytes)
+{
+    DS_ASSERT(bytesPerSecond_ > 0.0);
+    bytes_ += bytes;
+    return acquireTicks(
+        ready, secondsToTicks(static_cast<double>(bytes) / bytesPerSecond_));
+}
+
+Tick
+BandwidthLink::acquireTicks(Tick ready, Tick duration)
+{
+    const Tick start = freeAt_ > ready ? freeAt_ : ready;
+    wait_ += start - ready;
+    busy_ += duration;
+    ++grants_;
+    freeAt_ = start + duration;
+    return freeAt_;
+}
+
+} // namespace deepstore::sim

@@ -120,6 +120,15 @@ DfvStream::pageDelivered(std::uint64_t index, bool ok)
         ++deliveredPrefix_;
     if (deliveredPrefix_ != before && onDelivered_)
         onDelivered_();
+    // The whole outstanding burst is delivered, the consumer has not
+    // drained it, and more pages are waiting behind the barrier: the
+    // stream is now blocked on compute, not flash. (The final burst
+    // is exempt — after it there is nothing left to hold back.)
+    if (!blocked_ && deliveredPrefix_ == issued_ &&
+        consumed_ < issued_ && issued_ < pagesTotal()) {
+        blocked_ = true;
+        blockedSince_ = events_.now();
+    }
 }
 
 void
@@ -131,6 +140,13 @@ DfvStream::consumedThrough(std::uint64_t pages)
         return;
     DS_ASSERT(pages <= issued_);
     consumed_ = pages;
+    if (blocked_ && consumed_ >= issued_) {
+        const Tick stalled = events_.now() - blockedSince_;
+        backpressureTicks_ += stalled;
+        stats_.get("dfv.backpressureTicks") +=
+            static_cast<double>(stalled);
+        blocked_ = false;
+    }
     maybeIssueBurst();
 }
 

@@ -137,6 +137,22 @@ class DfvStream
 
     std::uint64_t burstsIssued() const { return bursts_; }
 
+    /** FLASH_DFV queue capacity in page slots (burst size). The
+     *  consumer sizes its staging FIFO to match. */
+    std::uint32_t queueDepthPages() const
+    {
+        return plan_.queueDepthPages;
+    }
+
+    /**
+     * Ticks the stream has spent fully delivered but blocked on
+     * consumption: the whole outstanding burst sat in the FLASH_DFV
+     * queue waiting for compute to drain it while more pages were
+     * pending. This is the backpressure the bounded queue exerts on
+     * flash delivery when compute (not flash) is the bottleneck.
+     */
+    Tick backpressureTicks() const { return backpressureTicks_; }
+
   private:
     friend class DfvStreamService;
 
@@ -166,6 +182,11 @@ class DfvStream
     std::map<std::uint64_t, std::uint32_t> attempts_;
     std::function<void()> onDelivered_;
     bool closed_ = false;
+
+    /** Backpressure bookkeeping (see backpressureTicks()). */
+    bool blocked_ = false;
+    Tick blockedSince_ = 0;
+    Tick backpressureTicks_ = 0;
 };
 
 /**

@@ -55,7 +55,9 @@ FlashController::FlashController(sim::EventQueue &events,
       stats_(stats), injector_(params.faults),
       planeBusy_(static_cast<std::size_t>(params.chipsPerChannel) *
                      params.planesPerChip,
-                 0)
+                 0),
+      bus_("flash.bus." + std::to_string(channel_id),
+           params.channelBandwidth)
 {
     params_.validate();
     if (channel_id >= params_.channels)
@@ -131,7 +133,7 @@ FlashController::powerLoss()
     const Tick now = events_.now();
     for (Tick &p : planeBusy_)
         p = now;
-    busBusyUntil_ = now;
+    bus_.reset(now);
 }
 
 void
@@ -177,14 +179,13 @@ FlashController::issue(FlashCommand cmd)
             }
             break;
         }
-        // Bus transfer after the page lands in the page buffer.
-        Tick xfer_start =
-            std::max(read_done, busBusyUntil_) + t.channelStall;
-        Tick xfer_done =
-            xfer_start +
-            secondsToTicks(params_.channelTransferTime(
-                cmd.transferBytes));
-        busBusyUntil_ = xfer_done;
+        // Bus transfer after the page lands in the page buffer: a
+        // FIFO reservation on the shared channel-bus link.
+        Tick xfer_done = bus_.acquireTicks(
+            read_done,
+            t.channelStall +
+                secondsToTicks(params_.channelTransferTime(
+                    cmd.transferBytes)));
         stats_.get("flash.readBytes") +=
             static_cast<double>(cmd.transferBytes);
         if (cmd.onComplete) {
@@ -198,15 +199,12 @@ FlashController::issue(FlashCommand cmd)
       }
       case FlashOp::Program: {
         // Bus transfer into the page buffer, then the program pulse.
-        Tick xfer_start = std::max(now, busBusyUntil_);
-        Tick xfer_done =
-            xfer_start +
-            secondsToTicks(params_.channelTransferTime(
-                cmd.transferBytes));
+        Tick xfer_done = bus_.acquireTicks(
+            now, secondsToTicks(params_.channelTransferTime(
+                     cmd.transferBytes)));
         Tick prog_start = std::max(xfer_done, plane);
         Tick prog_done =
             prog_start + secondsToTicks(params_.programLatency);
-        busBusyUntil_ = xfer_done;
         plane = prog_done;
         stats_.get("flash.pagePrograms") += 1;
         stats_.get("flash.writeBytes") +=
@@ -263,7 +261,7 @@ FlashController::estimateReadCompletion(const PageAddress &addr,
         std::max(now, planeBusyUntilConst(addr)) + t.arrayTicks;
     if (t.status == FlashStatus::Uncorrectable)
         return read_done;
-    Tick xfer_done = std::max(read_done, busBusyUntil_) +
+    Tick xfer_done = std::max(read_done, bus_.freeAt()) +
                      t.channelStall +
                      secondsToTicks(params_.channelTransferTime(bytes));
     return xfer_done;

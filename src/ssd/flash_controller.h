@@ -20,6 +20,7 @@
 
 #include "common/fault_injector.h"
 #include "common/stats.h"
+#include "sim/bandwidth.h"
 #include "sim/event_queue.h"
 #include "ssd/geometry.h"
 
@@ -67,8 +68,9 @@ struct FlashCommand
 
 /**
  * Controller for one flash channel. Uses time-stamped resource
- * reservation: per-plane busy-until and bus busy-until timestamps,
- * with completions delivered through the event queue.
+ * reservation: per-plane busy-until timestamps plus a shared
+ * BandwidthLink for the channel bus, with completions delivered
+ * through the event queue.
  */
 class FlashController
 {
@@ -93,7 +95,12 @@ class FlashController
     std::uint32_t channelId() const { return channelId_; }
 
     /** Tick at which the channel bus frees up. */
-    Tick busBusyUntil() const { return busBusyUntil_; }
+    Tick busBusyUntil() const { return bus_.freeAt(); }
+
+    /** The channel bus as a shared-bandwidth link (NoC leg of the
+     *  accelerator complex); waitTicks() is the channel's NoC
+     *  contention counter. */
+    const sim::BandwidthLink &bus() const { return bus_; }
 
     const FaultInjector &injector() const { return injector_; }
 
@@ -158,7 +165,8 @@ class FlashController
 
     /** busy-until per (chip, plane). */
     std::vector<Tick> planeBusy_;
-    Tick busBusyUntil_ = 0;
+    /** The shared channel bus; only it serializes transfers. */
+    sim::BandwidthLink bus_;
 };
 
 } // namespace deepstore::ssd

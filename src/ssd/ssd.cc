@@ -8,7 +8,8 @@ namespace deepstore::ssd {
 
 Ssd::Ssd(sim::EventQueue &events, FlashParams params)
     : events_(events), params_(params), geometry_(params_),
-      stats_("ssd"), ftl_(params_, stats_)
+      stats_("ssd"), ftl_(params_, stats_),
+      dram_("ssd.dram", params_.dramBandwidth)
 {
     params_.validate();
     controllers_.reserve(params_.channels);
@@ -40,6 +41,26 @@ Ssd::controller(std::uint32_t channel)
     if (channel >= controllers_.size())
         panic("channel %u out of range", channel);
     return *controllers_[channel];
+}
+
+Tick
+Ssd::nocWaitTicks() const
+{
+    Tick total = 0;
+    for (const auto &c : controllers_)
+        total += c->bus().waitTicks();
+    return total;
+}
+
+void
+Ssd::syncLinkStats()
+{
+    stats_.get("noc.waitTicks")
+        .set(static_cast<double>(nocWaitTicks()));
+    stats_.get("dram.waitTicks")
+        .set(static_cast<double>(dram_.waitTicks()));
+    stats_.get("dram.busyTicks")
+        .set(static_cast<double>(dram_.busyTicks()));
 }
 
 Tick
@@ -296,21 +317,29 @@ Ssd::relocationBatch(const std::shared_ptr<RelocState> &st)
         rd.addr = src;
         rd.transferBytes = params_.pageBytes;
         rd.onComplete = [this, st, remaining, dst,
-                         gen](Tick, FlashStatus) {
+                         gen](Tick t, FlashStatus) {
             if (gen != powerGen_)
                 return;
-            FlashCommand wr;
-            wr.op = FlashOp::Program;
-            wr.addr = dst;
-            wr.transferBytes = params_.pageBytes;
-            wr.onComplete = [this, st, remaining,
-                             gen](Tick, FlashStatus) {
+            // The valid page stages through SSD DRAM on its way to
+            // the new block, drawing on the same DRAM channel as
+            // accelerator weight streams and QC traffic.
+            const Tick staged = dram_.acquire(t, params_.pageBytes);
+            events_.schedule(staged, [this, st, remaining, dst, gen] {
                 if (gen != powerGen_)
                     return;
-                if (--*remaining == 0)
-                    relocationBatch(st); // next batch (or finish)
-            };
-            controller(wr.addr.channel).issue(std::move(wr));
+                FlashCommand wr;
+                wr.op = FlashOp::Program;
+                wr.addr = dst;
+                wr.transferBytes = params_.pageBytes;
+                wr.onComplete = [this, st, remaining,
+                                 gen](Tick, FlashStatus) {
+                    if (gen != powerGen_)
+                        return;
+                    if (--*remaining == 0)
+                        relocationBatch(st); // next batch (or finish)
+                };
+                controller(wr.addr.channel).issue(std::move(wr));
+            });
         };
         controller(src.channel).issue(std::move(rd));
     }
@@ -355,6 +384,7 @@ Ssd::powerLoss()
     relocations_.clear();
     for (auto &c : controllers_)
         c->powerLoss();
+    dram_.reset(events_.now());
     externalBusyUntil_ = events_.now();
     accelBusyUntil_ = 0;
 }

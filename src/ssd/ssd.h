@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "sim/bandwidth.h"
 #include "sim/event_queue.h"
 #include "ssd/flash_controller.h"
 #include "ssd/ftl.h"
@@ -89,6 +90,19 @@ class Ssd
     FlashController &controller(std::uint32_t channel);
 
     /**
+     * The device's shared DRAM channel. Accelerator weight streams,
+     * QC-probe reads, top-K reduce traffic, and GC relocation staging
+     * all reserve time on it, so any two of them physically contend.
+     */
+    sim::BandwidthLink &dramLink() { return dram_; }
+
+    /** Total channel-bus (NoC) arbitration wait across all channels. */
+    Tick nocWaitTicks() const;
+
+    /** Refresh the link-derived stats (noc / dram) before a dump. */
+    void syncLinkStats();
+
+    /**
      * Mark the flash read path as owned by the in-storage
      * accelerators until the given tick (§4.5 "Accelerator
      * Placement": the read path is multiplexed between regular reads
@@ -149,6 +163,8 @@ class Ssd
         payloads_;
     Tick externalBusyUntil_ = 0;
     Tick accelBusyUntil_ = 0;
+    /** Shared SSD DRAM channel (see dramLink()). */
+    sim::BandwidthLink dram_;
 
     std::vector<std::shared_ptr<RelocState>> relocations_;
     /** Bumped by powerLoss(); callbacks from older generations are

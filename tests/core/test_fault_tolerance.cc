@@ -85,9 +85,10 @@ runOne(const DeepStoreConfig &cfg, std::int64_t dim,
 
 TEST(FaultFree, TickIdenticalToGoldenPrePRRun)
 {
-    // Golden completion ticks captured on the pre-fault-subsystem
-    // tree. An empty fault schedule must reproduce them bit-exactly:
-    // the injection hooks cost a branch, never a tick.
+    // Golden completion ticks re-pinned on the event-native
+    // datapath (scheduled QC probe + top-K reduce). An empty fault
+    // schedule must reproduce them bit-exactly: the injection hooks
+    // cost a branch, never a tick.
     {
         DeepStore ds{DeepStoreConfig{}};
         auto src = randomDb(32, 500, 42);
@@ -96,7 +97,7 @@ TEST(FaultFree, TickIdenticalToGoldenPrePRRun)
         auto q = randomDb(32, 1, 99)->featureAt(0);
         std::uint64_t qid = ds.querySync(q, 4, model, db, 0, 0);
         EXPECT_EQ(ds.scheduler().submitTick(qid), 522480000u);
-        EXPECT_EQ(ds.scheduler().completeTick(qid), 598840000u);
+        EXPECT_EQ(ds.scheduler().completeTick(qid), 598859200u);
         EXPECT_EQ(ds.getResults(qid).outcome, QueryOutcome::Success);
         EXPECT_DOUBLE_EQ(ds.getResults(qid).coverageFraction, 1.0);
     }
@@ -115,10 +116,10 @@ TEST(FaultFree, TickIdenticalToGoldenPrePRRun)
             ds.query(randomDb(64, 1, 103)->featureAt(0), 4, model,
                      db, 0, 0, Level::SsdLevel);
         ds.drain();
-        EXPECT_EQ(ds.scheduler().completeTick(a), 597560000u);
-        EXPECT_EQ(ds.scheduler().completeTick(b), 631680000u);
-        EXPECT_EQ(ds.scheduler().completeTick(c), 740210000u);
-        EXPECT_EQ(ds.events().now(), 740210000u);
+        EXPECT_EQ(ds.scheduler().completeTick(a), 597632000u);
+        EXPECT_EQ(ds.scheduler().completeTick(b), 631752000u);
+        EXPECT_EQ(ds.scheduler().completeTick(c), 740214800u);
+        EXPECT_EQ(ds.events().now(), 740214800u);
     }
 }
 
@@ -579,11 +580,11 @@ TEST(FaultFree, GcActiveGoldenReplay)
     EXPECT_EQ(counter(stats, "ftl.superblockErases"), 66.0);
     EXPECT_EQ(counter(stats, "flash.blockErases"), 16.0);
 
-    // Golden ticks (captured pre-lifecycle-subsystem).
-    EXPECT_EQ(ds.scheduler().completeTick(q1), 2382720000u);
-    EXPECT_EQ(ds.scheduler().completeTick(q2), 2363200000u);
-    EXPECT_EQ(ds.scheduler().completeTick(q3), 11298485000u);
-    EXPECT_EQ(ds.events().now(), 11298485000u);
+    // Golden ticks (re-pinned on the event-native datapath).
+    EXPECT_EQ(ds.scheduler().completeTick(q1), 2382739200u);
+    EXPECT_EQ(ds.scheduler().completeTick(q2), 2363238400u);
+    EXPECT_EQ(ds.scheduler().completeTick(q3), 11298489800u);
+    EXPECT_EQ(ds.events().now(), 11298489800u);
 }
 
 // ---- power-loss recovery matrix ---------------------------------
@@ -743,6 +744,7 @@ TEST(PowerLoss, ScheduledTickSweepKillsMidScanDeterministically)
                           complete - 1};
     double prev_coverage = -1.0;
     bool coverage_moved = false;
+    int partial_cells = 0;
     for (Tick loss_tick : cells) {
         DeepStoreConfig cfg;
         cfg.flash.faults.powerLossAtTick = loss_tick;
@@ -750,8 +752,14 @@ TEST(PowerLoss, ScheduledTickSweepKillsMidScanDeterministically)
         rig.ds->drain(); // the scheduled event cuts the power
         assertRecovered(rig, "tick sweep");
         const QueryResult &res = rig.ds->getResults(rig.qid);
-        // Power died strictly before completion: never full success.
-        EXPECT_LT(res.coverageFraction, 1.0);
+        // Power died strictly before completion, so the outcome is
+        // PowerLoss — but the *coverage* may legitimately be 1.0
+        // when the loss lands in the scheduled reduce/probe tail,
+        // after the last feature was scanned. Honest accounting is
+        // scanned/requested, not success/failure.
+        EXPECT_LE(res.coverageFraction, 1.0);
+        if (res.coverageFraction < 1.0)
+            ++partial_cells;
         // The loss instant is the terminal tick.
         EXPECT_EQ(rig.ds->scheduler().completeTick(rig.qid),
                   loss_tick);
@@ -764,8 +772,10 @@ TEST(PowerLoss, ScheduledTickSweepKillsMidScanDeterministically)
     }
     // Later losses credit more scanned features: the sweep is not
     // degenerate (all-zero coverage would hide a broken remnant
-    // accounting).
+    // accounting), and at least one cell must land mid-scan with
+    // genuinely partial coverage.
     EXPECT_TRUE(coverage_moved);
+    EXPECT_GE(partial_cells, 1);
 }
 
 } // namespace

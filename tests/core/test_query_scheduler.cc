@@ -74,57 +74,6 @@ TEST(AsyncQuery, GetResultsWhileInFlightIsFatal)
     EXPECT_FALSE(ds.poll(777).has_value());
 }
 
-TEST(AsyncQuery, SingleQueryLatencyMatchesAnalyticModel)
-{
-    // A lone steady-state query must reproduce the analytic model's
-    // prediction. The live path's flash term is physical (bursts of
-    // real page reads against the FlashControllers), so the analytic
-    // burst-refill exposure term must *emerge* from the stream's
-    // refill barrier rather than being added as a formula. Full-page
-    // features and 8 full bursts per channel put the run in steady
-    // state; all three levels must agree within 2%. The chip level's
-    // closed form now charges ceil(wsGroupSize / featuresPerPage)
-    // page reads per lockstep slot — the physical floor of one plane
-    // read per page that the live path pays — instead of the old
-    // 1/wsGroupSize approximation, which undercounted reads when
-    // featuresPerPage < wsGroupSize; and the refill exposure term
-    // credits the one stagger interval the chip path's page-buffer
-    // consumption hides (bus-limited paths expose the full array
-    // read because the page's bus transfer serialises behind it).
-    // Together these tighten the chip band from the 30% sanity band
-    // to the same parity bound as SSD/channel.
-    // The closed form is steady-state, so each accelerator unit must
-    // see enough burst refills that the one refill exposure the live
-    // pipeline hides at the tail (a finite-scan effect, ~readLatency
-    // per unit) stays inside the band: 256 pages per channel for
-    // SSD/channel, and 512 pages per *chip* unit (128 units) for the
-    // chip level.
-    const std::int64_t dim = 4096; // 16 KiB: 1 feature/page
-    for (Level level :
-         {Level::SsdLevel, Level::ChannelLevel, Level::ChipLevel}) {
-        const std::uint64_t features =
-            level == Level::ChipLevel ? 65536 : 8192;
-        DeepStore ds{DeepStoreConfig{}};
-        auto src = randomDb(dim, features, 3);
-        std::uint64_t db = ds.writeDB(src);
-        std::uint64_t model = ds.loadModel(dotModel(dim));
-
-        LevelPerf perf = ds.model().evaluateModel(
-            level, dotModel(dim).model,
-            ds.databaseInfo(db).featureBytes);
-        ASSERT_TRUE(perf.supported);
-        double expected =
-            perf.aggregateSeconds * static_cast<double>(features);
-
-        std::uint64_t qid = ds.querySync(src->featureAt(1), 5, model,
-                                         db, 0, 0, level);
-        double got = ds.getResults(qid).latencySeconds;
-        const double tol = 0.02;
-        EXPECT_NEAR(got, expected, expected * tol)
-            << "level " << toString(level);
-    }
-}
-
 TEST(AsyncQuery, OnCompleteFiresOnceInOrder)
 {
     DeepStore ds{DeepStoreConfig{}};

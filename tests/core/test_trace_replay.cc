@@ -23,7 +23,7 @@ TEST(TraceReplay, RejectsZeroScanTime)
     auto trace = workloads::QueryTrace::generate(
         u, 10, 5.0, workloads::Popularity::Uniform, 0.0, 1);
     ReplayService s;
-    EXPECT_THROW(replayTrace(trace, s, nullptr), FatalError);
+    EXPECT_THROW(replayTraceClosedForm(trace, s, nullptr), FatalError);
 }
 
 TEST(TraceReplay, EmptyTraceYieldsZeroStats)
@@ -31,7 +31,7 @@ TEST(TraceReplay, EmptyTraceYieldsZeroStats)
     ReplayService s;
     s.scanSeconds = 1e-3;
     auto stats =
-        replayTrace(workloads::QueryTrace{}, s, nullptr);
+        replayTraceClosedForm(workloads::QueryTrace{}, s, nullptr);
     EXPECT_EQ(stats.queries, 0u);
 }
 
@@ -43,7 +43,7 @@ TEST(TraceReplay, LightLoadResponseEqualsServiceTime)
         u, 100, 1.0, workloads::Popularity::Uniform, 0.0, 2);
     ReplayService s;
     s.scanSeconds = 1e-3; // 1 ms scan vs 1 s inter-arrival
-    auto stats = replayTrace(trace, s, nullptr);
+    auto stats = replayTraceClosedForm(trace, s, nullptr);
     EXPECT_NEAR(stats.p50Seconds, 1e-3, 1e-9);
     // Rare arrival coincidences add a little queueing at the tail.
     EXPECT_NEAR(stats.p99Seconds, 1e-3, 1e-4);
@@ -60,7 +60,7 @@ TEST(TraceReplay, OverloadGrowsQueueingDelay)
         u, 500, 100.0, workloads::Popularity::Uniform, 0.0, 3);
     ReplayService s;
     s.scanSeconds = 50e-3; // capacity 20/s << offered 100/s
-    auto stats = replayTrace(trace, s, nullptr);
+    auto stats = replayTraceClosedForm(trace, s, nullptr);
     EXPECT_GT(stats.p99Seconds, 20 * s.scanSeconds);
     EXPECT_GT(stats.utilization, 0.95);
     EXPECT_GT(stats.p99Seconds, stats.p50Seconds);
@@ -76,7 +76,7 @@ TEST(TraceReplay, CacheReducesLatencyUnderLocality)
     s.lookupSeconds = 50e-6;
     s.hitExtraSeconds = 20e-6;
 
-    auto uncached = replayTrace(trace, s, nullptr);
+    auto uncached = replayTraceClosedForm(trace, s, nullptr);
 
     QueryCacheConfig cfg;
     cfg.capacity = 100;
@@ -85,7 +85,7 @@ TEST(TraceReplay, CacheReducesLatencyUnderLocality)
     QueryCache cache(cfg, [&u](std::uint64_t a, std::uint64_t b) {
         return u.qcnScore(a, b);
     });
-    auto cached = replayTrace(trace, s, &cache);
+    auto cached = replayTraceClosedForm(trace, s, &cache);
 
     EXPECT_LT(cached.missRate, 0.9);
     EXPECT_LT(cached.meanSeconds, uncached.meanSeconds);
@@ -142,7 +142,7 @@ TEST(TraceReplay, EngineReplayCompletesEveryQuery)
     auto trace = workloads::QueryTrace::generate(
         u, 30, 200.0, workloads::Popularity::Uniform, 0.0, 6);
     auto stats =
-        replayTraceOnEngine(rig.ds, trace, rig.config(u));
+        replayTrace(rig.ds, trace, rig.config(u));
     EXPECT_EQ(stats.queries, 30u);
     EXPECT_DOUBLE_EQ(stats.missRate, 1.0); // no QC configured
     EXPECT_LE(stats.p50Seconds, stats.p95Seconds);
@@ -174,7 +174,7 @@ TEST(TraceReplay, EngineReplayOverlapBeatsSerialService)
             0.0, static_cast<std::uint64_t>(i + 1)});
     workloads::QueryTrace burst(std::move(recs));
     auto stats =
-        replayTraceOnEngine(rig.ds, burst, rig.config(u));
+        replayTrace(rig.ds, burst, rig.config(u));
     EXPECT_EQ(stats.queries, 16u);
     EXPECT_GT(stats.throughput, 2.0 / single);
     // Interleaving is visible as >1 accelerator-time occupancy.
@@ -198,7 +198,7 @@ TEST(TraceReplay, EngineReplayUsesTheEngineQueryCache)
             static_cast<std::uint64_t>(i % 10)});
     workloads::QueryTrace trace(std::move(recs));
     auto stats =
-        replayTraceOnEngine(rig.ds, trace, rig.config(u));
+        replayTrace(rig.ds, trace, rig.config(u));
     EXPECT_EQ(stats.queries, 20u);
     EXPECT_LT(stats.missRate, 1.0);
     EXPECT_GT(rig.ds.queryCache()->hits(), 0u);
@@ -213,11 +213,11 @@ TEST(TraceReplay, EngineReplayValidatesConfig)
         workloads::TraceRecord{0.0, 1}});
     EngineReplayConfig bad = rig.config(u);
     bad.universe = nullptr;
-    EXPECT_THROW(replayTraceOnEngine(rig.ds, trace, bad),
+    EXPECT_THROW(replayTrace(rig.ds, trace, bad),
                  FatalError);
     bad = rig.config(u);
     bad.featureDim = 0;
-    EXPECT_THROW(replayTraceOnEngine(rig.ds, trace, bad),
+    EXPECT_THROW(replayTrace(rig.ds, trace, bad),
                  FatalError);
 }
 
@@ -228,7 +228,7 @@ TEST(TraceReplay, PercentilesAreOrdered)
         u, 1000, 30.0, workloads::Popularity::Zipf, 0.7, 5);
     ReplayService s;
     s.scanSeconds = 20e-3;
-    auto stats = replayTrace(trace, s, nullptr);
+    auto stats = replayTraceClosedForm(trace, s, nullptr);
     EXPECT_LE(stats.p50Seconds, stats.p95Seconds);
     EXPECT_LE(stats.p95Seconds, stats.p99Seconds);
     EXPECT_LE(stats.p99Seconds, stats.maxSeconds);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Fixture tests for deepstore_lint: each determinism rule D1-D5 is
+ * Fixture tests for deepstore_lint: each determinism rule D1-D6 is
  * pinned positive (the bad fixture fires, with the expected rule and
  * line) and negative (the good fixture stays clean), and the
  * suppression machinery is pinned to honour annotated findings, count
@@ -196,6 +196,48 @@ TEST(LintD4, CollectUnorderedNamesFindsDeclarations)
         "std::map<int, int> sorted_;\n");
     EXPECT_EQ(names,
               (std::vector<std::string>{"map_", "seen"}));
+}
+
+// ---- D6: closed-form ledger advances in the scan path -----------
+
+TEST(LintD6, BadFixtureFiresOnMemberAndPointerAdvances)
+{
+    Report r =
+        lintFixture("d6_bad.snippet", "src/core/engine.cc");
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D6");
+    EXPECT_EQ(r.findings[0].line, 6); // ledger_.advance
+    EXPECT_EQ(r.findings[1].rule, "D6");
+    EXPECT_EQ(r.findings[1].line, 7); // hostLedger->advance
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintD6, GoodFixtureAllowlistAndNonLedgerAreClean)
+{
+    // A reasoned lint:allow(D6: ...) allowlists the host fast path;
+    // advance() on a non-ledger receiver and event scheduling never
+    // fire.
+    Report r =
+        lintFixture("d6_good.snippet", "src/core/engine.cc");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D6");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "host bulk-ingest fast path, not the scan datapath");
+}
+
+TEST(LintD6, OnlyTheLiveScanPathIsInScope)
+{
+    // The rule polices src/core/ only: the analytic model helpers
+    // elsewhere, the tests, and TimeLedger's own implementation may
+    // call advance() freely.
+    EXPECT_TRUE(lintFixture("d6_bad.snippet").clean());
+    EXPECT_TRUE(
+        lintFixture("d6_bad.snippet", "tests/core/test_x.cc")
+            .clean());
+    EXPECT_TRUE(lintFixture("d6_bad.snippet",
+                            "src/core/time_ledger.cc")
+                    .clean());
 }
 
 // ---- Suppression hygiene ----------------------------------------

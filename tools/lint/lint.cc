@@ -319,6 +319,10 @@ class FileLinter
             ruleD3();
         if (opts_.enabled("D4"))
             ruleD4();
+        if (opts_.enabled("D6") &&
+            pathContains(path_, "src/core/") &&
+            !pathContains(path_, "core/time_ledger."))
+            ruleD6();
     }
 
   private:
@@ -526,6 +530,34 @@ class FileLinter
                     break;
                 }
             }
+        }
+    }
+
+    void
+    ruleD6()
+    {
+        for (std::size_t i = 0; i + 3 < toks_.size(); ++i) {
+            const Token &recv = toks_[i];
+            if (!recv.ident ||
+                lower(recv.text).find("ledger") ==
+                    std::string::npos)
+                continue;
+            const Token &acc = toks_[i + 1];
+            if (acc.text != "." && acc.text != "->")
+                continue;
+            if (toks_[i + 2].text != "advance" ||
+                toks_[i + 3].text != "(")
+                continue;
+            emit("D6", recv.line,
+                 "closed-form TimeLedger advance `" + recv.text +
+                     acc.text +
+                     "advance(...)` in the live scan path: "
+                     "scan/compute/weight/probe/top-K durations "
+                     "come from scheduled events on the shared "
+                     "resources (EventQueue, ComputeArbiter, "
+                     "BandwidthLink); host-side fast paths outside "
+                     "the scan datapath annotate "
+                     "lint:allow(D6: <why>)");
         }
     }
 

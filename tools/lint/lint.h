@@ -24,6 +24,15 @@
  *   D5  structural: every tests/.../test_*.cc is registered in
  *       tests/CMakeLists.txt; every bench/bench_*.cc emits a
  *       JsonReport
+ *   D6  no closed-form TimeLedger duration advances in the live
+ *       scan path: `<...ledger...>.advance(` / `->advance(` calls
+ *       under src/core/ (time_ledger itself exempt) are findings —
+ *       scan/compute/weight/probe/top-K timing must come from
+ *       scheduled events on the shared resources (EventQueue,
+ *       ComputeArbiter, BandwidthLink), not analytic quotients
+ *       pushed into the ledger. Host-interface fast paths that are
+ *       genuinely not part of the scan datapath carry a reasoned
+ *       `// lint:allow(D6: ...)` allowlist annotation.
  *
  * Suppressions (same line or the line directly above the finding):
  *
@@ -50,7 +59,7 @@ struct Finding
 {
     std::string file;    ///< path as given to the linter
     int line = 0;        ///< 1-based line number
-    std::string rule;    ///< "D1".."D5"
+    std::string rule;    ///< "D1".."D6"
     std::string message; ///< human-readable explanation
 };
 
@@ -105,7 +114,7 @@ struct StrippedSource
 StrippedSource stripSource(const std::string &content);
 
 /**
- * Run the token-level rules (D1–D4) on one in-memory file.
+ * Run the token-level rules (D1–D4, D6) on one in-memory file.
  *
  * @param path     path used for exemption matching and reporting
  * @param content  full file text
@@ -127,8 +136,8 @@ collectUnorderedNames(const std::string &content);
 
 /**
  * Tree mode: walk <root>/src and <root>/tests (*.cc, *.h, sorted),
- * run D1–D4 on every file, then run the structural D5 checks against
- * <root>/tests/CMakeLists.txt and <root>/bench.
+ * run D1–D4 and D6 on every file, then run the structural D5 checks
+ * against <root>/tests/CMakeLists.txt and <root>/bench.
  */
 Report lintTree(const std::string &root, const Options &opts);
 

@@ -7,7 +7,7 @@
  *
  * Tree mode (no positional files) walks <root>/src and <root>/tests
  * with all rules including the structural D5 checks; file mode runs
- * the token rules (D1–D4) on the given files only (used by the
+ * the token rules (D1–D4, D6) on the given files only (used by the
  * fixture tests). Exit status is 0 iff there are no findings.
  */
 
@@ -42,9 +42,9 @@ usage()
         "usage: deepstore_lint [--root DIR] [--rules D1,D2,...] "
         "[-q] [files...]\n"
         "  tree mode (no files): lint DIR/src and DIR/tests with "
-        "all rules (D1-D5)\n"
+        "all rules (D1-D6)\n"
         "  file mode: lint the given files with the token rules "
-        "(D1-D4)\n"
+        "(D1-D4, D6)\n"
         "  -q suppresses the per-suppression notes\n");
     return 2;
 }
