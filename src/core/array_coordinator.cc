@@ -1,0 +1,878 @@
+#include "core/array_coordinator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "ssd/throughput.h"
+
+namespace deepstore::core {
+
+namespace {
+
+/** Aggregate-outcome precedence: the worst sub-query outcome wins,
+ *  and a Success with missing coverage degrades. */
+int
+outcomeRank(QueryOutcome o)
+{
+    switch (o) {
+      case QueryOutcome::Success: return 0;
+      case QueryOutcome::Degraded: return 1;
+      case QueryOutcome::DeadlineExceeded: return 2;
+      case QueryOutcome::Aborted: return 3;
+      case QueryOutcome::PowerLoss: return 4;
+    }
+    return 0;
+}
+
+QueryOutcome
+outcomeOfRank(int rank)
+{
+    switch (rank) {
+      case 0: return QueryOutcome::Success;
+      case 1: return QueryOutcome::Degraded;
+      case 2: return QueryOutcome::DeadlineExceeded;
+      case 3: return QueryOutcome::Aborted;
+      default: return QueryOutcome::PowerLoss;
+    }
+}
+
+} // namespace
+
+ArrayCoordinator::ArrayCoordinator(sim::EventQueue &events,
+                                   ArrayConfig array,
+                                   SsdNodeConfig base)
+    : events_(events), config_(std::move(array)),
+      fabric_("array.fabric", config_.hostFabricBandwidth),
+      arrayStats_("array")
+{
+    if (config_.nodes.empty())
+        config_.nodes.push_back(base.flash);
+    if (config_.replication == 0)
+        config_.replication = 1;
+    nodes_.reserve(config_.nodes.size());
+    for (std::uint32_t i = 0; i < config_.nodes.size(); ++i) {
+        SsdNodeConfig ncfg = base;
+        ncfg.flash = config_.nodes[i];
+        nodes_.push_back(
+            std::make_unique<SsdNode>(events_, std::move(ncfg), i));
+    }
+    for (const auto &death : config_.nodeDeaths) {
+        if (death.node >= nodes_.size())
+            fatal("scheduled death of unknown node %u", death.node);
+        if (death.atTick == 0)
+            continue;
+        events_.schedule(death.atTick, [this, idx = death.node] {
+            killNode(idx);
+        });
+    }
+}
+
+std::uint32_t
+ArrayCoordinator::aliveCount() const
+{
+    std::uint32_t n = 0;
+    for (const auto &node : nodes_)
+        if (node->alive())
+            ++n;
+    return n;
+}
+
+// ---- ingest ------------------------------------------------------
+
+std::vector<IngestPart>
+ArrayCoordinator::stripeDb(std::uint64_t feature_bytes,
+                           std::uint64_t count)
+{
+    DS_ASSERT(count > 0);
+    std::vector<std::uint32_t> alive;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i]->alive())
+            alive.push_back(i);
+    if (alive.empty())
+        fatal("writeDB: every array node is dead");
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(alive.size());
+    const std::uint32_t copies =
+        std::min<std::uint32_t>(std::max(config_.replication, 1u), n);
+
+    // Contiguous feature chunks, one per alive node; shard i's
+    // primary is alive[i], replicas on the next copies-1 alive
+    // nodes. Every placement gets its own page run (each shard lays
+    // its features out from a fresh page boundary, so heterogeneous
+    // page sizes never split a feature across nodes).
+    std::vector<IngestPart> parts;
+    const std::uint64_t base = count / n;
+    const std::uint64_t rem = count % n;
+    std::uint64_t offset = 0;
+    for (std::uint32_t i = 0; i < n && offset < count; ++i) {
+        const std::uint64_t chunk = base + (i < rem ? 1 : 0);
+        if (chunk == 0)
+            continue;
+        for (std::uint32_t c = 0; c < copies; ++c) {
+            const std::uint32_t node_i = alive[(i + c) % n];
+            DbMetadata shape;
+            shape.featureBytes = feature_bytes;
+            shape.numFeatures = chunk;
+            const std::uint64_t pages = shape.pageCount(
+                nodes_[node_i]->flash().pageBytes);
+            IngestPart part;
+            part.shard = i;
+            part.node = node_i;
+            part.lpnStart = nodes_[node_i]->allocatePages(pages);
+            part.pages = pages;
+            part.primary = c == 0;
+            parts.push_back(part);
+        }
+        offset += chunk;
+    }
+    return parts;
+}
+
+void
+ArrayCoordinator::bindDb(std::uint64_t db_id,
+                         std::uint64_t feature_bytes,
+                         std::uint64_t count,
+                         const std::vector<IngestPart> &parts)
+{
+    DbInfo info;
+    info.featureBytes = feature_bytes;
+    std::uint64_t offset = 0;
+    for (const IngestPart &part : parts) {
+        if (part.primary) {
+            DbShard shard;
+            shard.startFeature = offset;
+            info.shards.push_back(shard);
+        }
+        DbShard &shard = info.shards.back();
+        ShardPlacement pl;
+        pl.node = part.node;
+        pl.lpnStart = part.lpnStart;
+        // Write-time physical start, exactly like the single-SSD
+        // engine recorded md.startPpn right after the ingest.
+        pl.startPpn = nodes_[part.node]->translate(part.lpnStart);
+        shard.placements.push_back(pl);
+        if (part.primary) {
+            // Shard size back-derived from the primary's page run is
+            // ambiguous; recompute from the stripe math instead.
+            shard.numFeatures = 0;
+        }
+    }
+    // Re-derive chunk sizes with the same math stripeDb used.
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(info.shards.size());
+    DS_ASSERT(n > 0);
+    const std::uint64_t base = count / n;
+    const std::uint64_t rem = count % n;
+    offset = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        info.shards[i].startFeature = offset;
+        info.shards[i].numFeatures = base + (i < rem ? 1 : 0);
+        offset += info.shards[i].numFeatures;
+    }
+    DS_ASSERT(offset == count);
+    auto [it, inserted] = dbs_.emplace(db_id, std::move(info));
+    if (!inserted)
+        fatal("db %llu already bound to the array",
+              static_cast<unsigned long long>(db_id));
+}
+
+std::vector<IngestPart>
+ArrayCoordinator::growDb(std::uint64_t db_id, std::uint64_t extra)
+{
+    DS_ASSERT(extra > 0);
+    auto it = dbs_.find(db_id);
+    if (it == dbs_.end())
+        fatal("unknown db %llu",
+              static_cast<unsigned long long>(db_id));
+    DbInfo &info = it->second;
+    DbShard &last = info.shards.back();
+    std::vector<IngestPart> parts;
+    for (const ShardPlacement &pl : last.placements) {
+        SsdNode &nd = *nodes_[pl.node];
+        DbMetadata shape;
+        shape.featureBytes = info.featureBytes;
+        shape.numFeatures = last.numFeatures;
+        const std::uint64_t old_pages =
+            shape.pageCount(nd.flash().pageBytes);
+        shape.numFeatures = last.numFeatures + extra;
+        const std::uint64_t new_pages =
+            shape.pageCount(nd.flash().pageBytes);
+        if (new_pages == old_pages)
+            continue;
+        // The append must land directly after the shard; DeepStore
+        // reserves the LPN range when that is possible.
+        if (pl.lpnStart + old_pages != nd.nextFreeLpn())
+            fatal("appendDB: database %llu is not the most recently "
+                  "written database; append would break striping",
+                  static_cast<unsigned long long>(db_id));
+        IngestPart part;
+        part.shard =
+            static_cast<std::uint32_t>(info.shards.size() - 1);
+        part.node = pl.node;
+        part.lpnStart = nd.allocatePages(new_pages - old_pages);
+        part.pages = new_pages - old_pages;
+        part.primary = &pl == &last.placements.front();
+        DS_ASSERT(part.lpnStart == pl.lpnStart + old_pages);
+        parts.push_back(part);
+    }
+    last.numFeatures += extra;
+    return parts;
+}
+
+std::vector<ReadSegment>
+ArrayCoordinator::readSegments(std::uint64_t db_id,
+                               std::uint64_t start,
+                               std::uint64_t num) const
+{
+    const DbInfo &info = dbInfo(db_id);
+    std::vector<ReadSegment> segs;
+    for (const DbShard &shard : info.shards) {
+        const std::uint64_t s_end =
+            shard.startFeature + shard.numFeatures;
+        const std::uint64_t lo = std::max(start, shard.startFeature);
+        const std::uint64_t hi = std::min(start + num, s_end);
+        if (lo >= hi)
+            continue;
+        const int pi = alivePlacement(shard, {});
+        if (pi < 0)
+            continue; // shard lost; functional contents still served
+        const ShardPlacement &pl =
+            shard.placements[static_cast<std::size_t>(pi)];
+        const SsdNode &nd = *nodes_[pl.node];
+        const std::uint64_t ls = lo - shard.startFeature;
+        const std::uint64_t le = hi - shard.startFeature;
+        ssd::FeatureLayout layout{info.featureBytes,
+                                  nd.flash().pageBytes};
+        std::uint64_t first_page, last_page;
+        if (info.featureBytes <= nd.flash().pageBytes) {
+            first_page = ls / layout.featuresPerPage();
+            last_page = (le - 1) / layout.featuresPerPage();
+        } else {
+            first_page = ls * layout.pagesPerFeature();
+            last_page = le * layout.pagesPerFeature() - 1;
+        }
+        segs.push_back(ReadSegment{pl.node,
+                                   pl.lpnStart + first_page,
+                                   last_page - first_page + 1});
+    }
+    return segs;
+}
+
+std::uint32_t
+ArrayCoordinator::shardCount(std::uint64_t db_id) const
+{
+    return static_cast<std::uint32_t>(dbInfo(db_id).shards.size());
+}
+
+std::uint32_t
+ArrayCoordinator::homeNodeFor(std::uint64_t db_id,
+                              std::uint64_t db_start) const
+{
+    const DbInfo &info = dbInfo(db_id);
+    for (const DbShard &shard : info.shards) {
+        if (db_start >= shard.startFeature + shard.numFeatures)
+            continue;
+        const int pi = alivePlacement(shard, {});
+        if (pi >= 0)
+            return shard.placements[static_cast<std::size_t>(pi)]
+                .node;
+        break;
+    }
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i]->alive())
+            return i;
+    return 0;
+}
+
+std::optional<SubTarget>
+ArrayCoordinator::homeTarget(std::uint64_t db_id,
+                             std::uint64_t db_start,
+                             std::uint64_t db_end) const
+{
+    const DbInfo &info = dbInfo(db_id);
+    for (std::uint32_t si = 0; si < info.shards.size(); ++si) {
+        const DbShard &shard = info.shards[si];
+        const std::uint64_t s_end =
+            shard.startFeature + shard.numFeatures;
+        const std::uint64_t lo = std::max(db_start,
+                                          shard.startFeature);
+        const std::uint64_t hi = std::min(db_end, s_end);
+        if (lo >= hi)
+            continue;
+        const int pi = alivePlacement(shard, {});
+        if (pi < 0)
+            continue;
+        const ShardPlacement &pl =
+            shard.placements[static_cast<std::size_t>(pi)];
+        SubTarget t;
+        t.shard = si;
+        t.node = pl.node;
+        t.localMd = localMetadata(db_id, info, shard, pl);
+        t.localStart = lo - shard.startFeature;
+        t.localEnd = hi - shard.startFeature;
+        t.home = true;
+        return t;
+    }
+    return std::nullopt;
+}
+
+const ArrayCoordinator::DbInfo &
+ArrayCoordinator::dbInfo(std::uint64_t db_id) const
+{
+    auto it = dbs_.find(db_id);
+    if (it == dbs_.end())
+        fatal("unknown db %llu",
+              static_cast<unsigned long long>(db_id));
+    return it->second;
+}
+
+int
+ArrayCoordinator::alivePlacement(
+    const DbShard &shard,
+    const std::vector<std::uint32_t> &tried) const
+{
+    for (std::size_t i = 0; i < shard.placements.size(); ++i) {
+        const std::uint32_t node_i = shard.placements[i].node;
+        if (!nodes_[node_i]->alive())
+            continue;
+        if (std::find(tried.begin(), tried.end(), node_i) !=
+            tried.end())
+            continue;
+        return static_cast<int>(i);
+    }
+    return -1;
+}
+
+DbMetadata
+ArrayCoordinator::localMetadata(std::uint64_t db_id,
+                                const DbInfo &info,
+                                const DbShard &shard,
+                                const ShardPlacement &pl) const
+{
+    DbMetadata md;
+    md.dbId = db_id;
+    md.featureBytes = info.featureBytes;
+    md.numFeatures = shard.numFeatures;
+    md.startLpn = pl.lpnStart;
+    md.startPpn = pl.startPpn;
+    return md;
+}
+
+// ---- query plane -------------------------------------------------
+
+std::uint64_t
+ArrayCoordinator::composeSubId(std::uint64_t query_id,
+                               std::uint64_t seq) const
+{
+    // seq 0 (the home sub-query) keeps the engine's query id, so a
+    // single-node array is id-identical to the pre-array scheduler.
+    // Later sub-queries tag the high bits; each node's scheduler has
+    // its own id space, so cross-node reuse of the base id is fine.
+    if (seq == 0)
+        return query_id;
+    DS_ASSERT(query_id < (1ULL << 44));
+    return query_id | (seq << 44);
+}
+
+void
+ArrayCoordinator::trackNode(AggQuery &agg, std::uint32_t node_i)
+{
+    for (const auto &[n, base] : agg.nocBase)
+        if (n == node_i)
+            return;
+    agg.nocBase.emplace_back(node_i,
+                             nodes_[node_i]->nocWaitTicks());
+}
+
+void
+ArrayCoordinator::scatter(std::uint64_t query_id,
+                          std::uint64_t db_id,
+                          std::uint64_t db_start,
+                          std::uint64_t db_end,
+                          std::uint64_t scatter_bytes,
+                          std::uint64_t merge_bytes,
+                          const SubBuilder &builder, DoneFn done)
+{
+    const DbInfo &info = dbInfo(db_id);
+    auto [it, inserted] = aggs_.emplace(query_id, AggQuery{});
+    if (!inserted)
+        fatal("duplicate array query id %llu",
+              static_cast<unsigned long long>(query_id));
+    AggQuery &agg = it->second;
+    agg.queryId = query_id;
+    agg.dbId = db_id;
+    agg.submitTick = events_.now();
+    agg.totalFeatures = db_end - db_start;
+    agg.scatterBytes = scatter_bytes;
+    agg.mergeBytes = merge_bytes;
+    agg.builder = builder;
+    agg.done = std::move(done);
+    ++inFlight_;
+    arrayStats_.get("array.queriesScattered") += 1;
+
+    // One sub-target per shard overlapping the range, from each
+    // shard's first alive placement; shards with no survivor are
+    // lost up front (deterministic Degraded coverage).
+    struct Pending
+    {
+        SubTarget target;
+        std::uint64_t subId = 0;
+        std::size_t idx = 0;
+    };
+    std::vector<Pending> pending;
+    for (std::uint32_t si = 0; si < info.shards.size(); ++si) {
+        const DbShard &shard = info.shards[si];
+        const std::uint64_t s_end =
+            shard.startFeature + shard.numFeatures;
+        const std::uint64_t lo = std::max(db_start,
+                                          shard.startFeature);
+        const std::uint64_t hi = std::min(db_end, s_end);
+        if (lo >= hi)
+            continue;
+        const int pi = alivePlacement(shard, {});
+        if (pi < 0) {
+            agg.lostFeatures += hi - lo;
+            arrayStats_.get("array.shardsLostNoReplica") += 1;
+            continue;
+        }
+        const ShardPlacement &pl =
+            shard.placements[static_cast<std::size_t>(pi)];
+        Pending p;
+        p.target.shard = si;
+        p.target.node = pl.node;
+        p.target.localMd = localMetadata(db_id, info, shard, pl);
+        p.target.localStart = lo - shard.startFeature;
+        p.target.localEnd = hi - shard.startFeature;
+        p.target.home = pending.empty();
+        p.subId = composeSubId(query_id,
+                               pending.empty() ? 0
+                                               : agg.nextSubSeq++);
+        p.idx = agg.subs.size();
+        SubState ss;
+        ss.shard = si;
+        ss.node = pl.node;
+        ss.subId = p.subId;
+        ss.localStart = p.target.localStart;
+        ss.localEnd = p.target.localEnd;
+        ss.triedNodes.push_back(pl.node);
+        agg.subs.push_back(ss);
+        ++agg.outstanding;
+        pending.push_back(std::move(p));
+    }
+
+    if (pending.empty()) {
+        // Every shard in range is gone: terminal immediately, zero
+        // coverage, no fabric traffic.
+        agg.worstRank = outcomeRank(QueryOutcome::Degraded);
+        finalizeAgg(agg);
+        return;
+    }
+    agg.homeNode = pending.front().target.node;
+    const Tick now = events_.now();
+    for (auto &p : pending) {
+        trackNode(agg, p.target.node);
+        QuerySubmission sub = agg.builder(p.target, p.subId);
+        DS_ASSERT(sub.queryId == p.subId);
+        if (p.target.home) {
+            // The home sub-query submits synchronously — a
+            // single-node array runs zero coordinator events.
+            submitSub(agg, p.idx, std::move(sub));
+            continue;
+        }
+        // Remote dispatch: the sub-query descriptor + qfv travel
+        // over the host fabric before the node can start.
+        const Tick grant = scatter_bytes > 0
+                               ? fabric_.acquire(now, scatter_bytes)
+                               : now;
+        agg.interNodeBytes += scatter_bytes;
+        arrayStats_.get("array.subQueriesRemote") += 1;
+        const std::uint64_t gen = agg.gen;
+        events_.schedule(
+            grant, [this, query_id, idx = p.idx, gen,
+                    sub = std::move(sub)]() mutable {
+                auto ait = aggs_.find(query_id);
+                if (ait == aggs_.end())
+                    return;
+                AggQuery &a = ait->second;
+                if (a.finished || a.gen != gen ||
+                    a.subs[idx].terminal)
+                    return;
+                if (!nodes_[a.subs[idx].node]->alive()) {
+                    // Node died while the dispatch was in flight:
+                    // fail over immediately (zero coverage).
+                    if (!tryRedispatch(a, idx, 0)) {
+                        a.subs[idx].terminal = true;
+                        arrayStats_.get("array.subQueriesLost") += 1;
+                        subArrived(a);
+                    }
+                    return;
+                }
+                submitSub(a, idx, std::move(sub));
+            });
+    }
+}
+
+void
+ArrayCoordinator::submitSingle(std::uint64_t query_id,
+                               std::uint32_t node_i,
+                               QuerySubmission sub, DoneFn done)
+{
+    auto [it, inserted] = aggs_.emplace(query_id, AggQuery{});
+    if (!inserted)
+        fatal("duplicate array query id %llu",
+              static_cast<unsigned long long>(query_id));
+    AggQuery &agg = it->second;
+    agg.queryId = query_id;
+    agg.submitTick = events_.now();
+    agg.homeNode = node_i;
+    agg.done = std::move(done);
+    ++inFlight_;
+    SubState ss;
+    ss.node = node_i;
+    ss.subId = sub.queryId;
+    DS_ASSERT(sub.queryId == query_id);
+    agg.subs.push_back(ss);
+    ++agg.outstanding;
+    trackNode(agg, node_i);
+    submitSub(agg, 0, std::move(sub));
+}
+
+void
+ArrayCoordinator::submitSub(AggQuery &agg, std::size_t idx,
+                            QuerySubmission sub)
+{
+    SubState &ss = agg.subs[idx];
+    const std::uint64_t qid = agg.queryId;
+    sub.finalize = [this, qid, idx] { onSubTerminal(qid, idx); };
+    ss.submitted = true;
+    nodes_[ss.node]->scheduler().submit(std::move(sub));
+}
+
+void
+ArrayCoordinator::onSubTerminal(std::uint64_t query_id,
+                                std::size_t idx)
+{
+    AggQuery &agg = aggs_.at(query_id);
+    SubState &ss = agg.subs[idx];
+    DS_ASSERT(!ss.terminal);
+    SsdNode &nd = *nodes_[ss.node];
+    QueryScheduler &sched = nd.scheduler();
+    const QueryOutcome oc = sched.outcome(ss.subId);
+    const std::uint64_t covered = sched.coveredFeatures(ss.subId);
+    ss.terminal = true;
+    const QueryRunStats rs = sched.runStats(ss.subId);
+    agg.run.computeStallTicks += rs.computeStallTicks;
+    agg.run.backpressureTicks += rs.backpressureTicks;
+    agg.run.probeTicks += rs.probeTicks;
+    agg.run.reduceTicks += rs.reduceTicks;
+
+    // Whole-drive failure: the node died under this sub-query.
+    // Credit what it scanned and re-stripe the remainder onto a
+    // replica; only when no replica survives (or the retry budget is
+    // gone) does the loss reach the aggregate outcome.
+    if (!nd.alive() && oc != QueryOutcome::Success) {
+        agg.coveredFeatures += covered;
+        if (tryRedispatch(agg, idx, covered))
+            return;
+        agg.lostFeatures += (ss.localEnd - ss.localStart) - covered;
+        arrayStats_.get("array.subQueriesLost") += 1;
+        subArrived(agg);
+        return;
+    }
+
+    agg.coveredFeatures += covered;
+    agg.worstRank = std::max(agg.worstRank, outcomeRank(oc));
+    // Merge leg: a remote node ships its candidate set (partial
+    // top-K) back to the home node over the fabric. Aborted
+    // sub-queries ship nothing; power loss kills the fabric.
+    const bool ships = ss.node != agg.homeNode &&
+                       agg.mergeBytes > 0 && !inPowerLoss_ &&
+                       oc != QueryOutcome::Aborted;
+    if (!ships) {
+        subArrived(agg);
+        return;
+    }
+    const Tick now = events_.now();
+    const Tick grant = fabric_.acquire(now, agg.mergeBytes);
+    agg.interNodeBytes += agg.mergeBytes;
+    agg.mergeTicks += grant - now;
+    const std::uint64_t gen = agg.gen;
+    events_.schedule(grant, [this, query_id, gen] {
+        auto it = aggs_.find(query_id);
+        if (it == aggs_.end())
+            return;
+        AggQuery &a = it->second;
+        if (a.finished || a.gen != gen)
+            return;
+        subArrived(a);
+    });
+}
+
+bool
+ArrayCoordinator::tryRedispatch(AggQuery &agg, std::size_t idx,
+                                std::uint64_t covered)
+{
+    // Copy what we need before push_back invalidates references.
+    const SubState failed = agg.subs[idx];
+    if (failed.retries >= config_.maxNodeRetries)
+        return false;
+    const std::uint64_t rest_start = failed.localStart + covered;
+    if (rest_start >= failed.localEnd) {
+        // Everything was scanned before the drive died; the shard
+        // needs no failover, just the normal arrival accounting.
+        agg.worstRank = std::max(
+            agg.worstRank, outcomeRank(QueryOutcome::Success));
+        subArrived(agg);
+        return true;
+    }
+    const DbInfo &info = dbInfo(agg.dbId);
+    const DbShard &shard = info.shards[failed.shard];
+    const int pi = alivePlacement(shard, failed.triedNodes);
+    if (pi < 0)
+        return false;
+    const ShardPlacement &pl =
+        shard.placements[static_cast<std::size_t>(pi)];
+
+    SubState repl;
+    repl.shard = failed.shard;
+    repl.node = pl.node;
+    repl.subId = composeSubId(agg.queryId, agg.nextSubSeq++);
+    repl.localStart = rest_start;
+    repl.localEnd = failed.localEnd;
+    repl.retries = failed.retries + 1;
+    repl.triedNodes = failed.triedNodes;
+    repl.triedNodes.push_back(pl.node);
+    const std::size_t new_idx = agg.subs.size();
+    agg.subs.push_back(repl);
+    ++agg.redispatches;
+    arrayStats_.get("array.redispatches") += 1;
+    trackNode(agg, pl.node);
+
+    SubTarget target;
+    target.shard = failed.shard;
+    target.node = pl.node;
+    target.localMd = localMetadata(agg.dbId, info, shard, pl);
+    target.localStart = repl.localStart;
+    target.localEnd = repl.localEnd;
+    target.home = false;
+    QuerySubmission sub = agg.builder(target, repl.subId);
+    DS_ASSERT(sub.queryId == repl.subId);
+
+    // The replacement descriptor re-crosses the fabric.
+    const Tick now = events_.now();
+    const Tick grant =
+        agg.scatterBytes > 0
+            ? fabric_.acquire(now, agg.scatterBytes)
+            : now;
+    agg.interNodeBytes += agg.scatterBytes;
+    const std::uint64_t gen = agg.gen;
+    const std::uint64_t qid = agg.queryId;
+    events_.schedule(grant, [this, qid, new_idx, gen,
+                             sub = std::move(sub)]() mutable {
+        auto it = aggs_.find(qid);
+        if (it == aggs_.end())
+            return;
+        AggQuery &a = it->second;
+        if (a.finished || a.gen != gen ||
+            a.subs[new_idx].terminal)
+            return;
+        if (!nodes_[a.subs[new_idx].node]->alive()) {
+            if (!tryRedispatch(a, new_idx, 0)) {
+                a.subs[new_idx].terminal = true;
+                arrayStats_.get("array.subQueriesLost") += 1;
+                subArrived(a);
+            }
+            return;
+        }
+        submitSub(a, new_idx, std::move(sub));
+    });
+    return true;
+}
+
+void
+ArrayCoordinator::subArrived(AggQuery &agg)
+{
+    DS_ASSERT(agg.outstanding > 0);
+    if (--agg.outstanding == 0)
+        finalizeAgg(agg);
+}
+
+void
+ArrayCoordinator::finalizeAgg(AggQuery &agg)
+{
+    DS_ASSERT(!agg.finished);
+    agg.finished = true;
+    agg.completeTick = events_.now();
+    DS_ASSERT(inFlight_ > 0);
+    --inFlight_;
+
+    ArrayQueryStats st;
+    st.submitTick = agg.submitTick;
+    st.completeTick = agg.completeTick;
+    st.run = agg.run;
+    st.mergeTicks = agg.mergeTicks;
+    st.interNodeBytes = agg.interNodeBytes;
+    st.redispatches = agg.redispatches;
+    st.nodesParticipating =
+        static_cast<std::uint32_t>(agg.nocBase.size());
+    for (const auto &[node_i, base] : agg.nocBase)
+        st.nocWaitTicks += nodes_[node_i]->nocWaitTicks() - base;
+
+    // Single-sub aggregates (every 1-node array query, and every
+    // cache hit) pass the node scheduler's outcome and coverage
+    // through bit-identically — the determinism pin depends on the
+    // float division happening exactly once.
+    const bool passthrough = agg.subs.size() == 1 &&
+                             agg.subs[0].submitted &&
+                             agg.lostFeatures == 0 &&
+                             agg.redispatches == 0;
+    if (passthrough) {
+        const SubState &ss = agg.subs[0];
+        QueryScheduler &sched = nodes_[ss.node]->scheduler();
+        st.outcome = sched.outcome(ss.subId);
+        st.coverageFraction = sched.coverageFraction(ss.subId);
+    } else {
+        const std::uint64_t total = agg.totalFeatures;
+        const std::uint64_t covered =
+            std::min(agg.coveredFeatures, total);
+        QueryOutcome oc = outcomeOfRank(agg.worstRank);
+        if (oc == QueryOutcome::Success && covered < total)
+            oc = QueryOutcome::Degraded;
+        st.outcome = oc;
+        if (total == 0)
+            st.coverageFraction =
+                oc == QueryOutcome::Success ? 1.0 : 0.0;
+        else
+            st.coverageFraction = static_cast<double>(covered) /
+                                  static_cast<double>(total);
+    }
+    agg.terminalOutcome = st.outcome;
+    if (agg.done)
+        agg.done(st);
+}
+
+bool
+ArrayCoordinator::cancel(std::uint64_t query_id)
+{
+    auto it = aggs_.find(query_id);
+    if (it == aggs_.end() || it->second.finished)
+        return false;
+    AggQuery &agg = it->second;
+    // Snapshot: the cascade below finalizes subs (and possibly the
+    // aggregate) synchronously.
+    const std::size_t n_subs = agg.subs.size();
+    for (std::size_t i = 0; i < n_subs && !agg.finished; ++i) {
+        SubState &ss = agg.subs[i];
+        if (ss.terminal)
+            continue;
+        if (ss.submitted) {
+            nodes_[ss.node]->scheduler().cancel(ss.subId);
+        } else {
+            // Still in fabric transit: never reaches a scheduler.
+            ss.terminal = true;
+            agg.worstRank = std::max(
+                agg.worstRank, outcomeRank(QueryOutcome::Aborted));
+            subArrived(agg);
+        }
+    }
+    return true;
+}
+
+std::optional<QueryState>
+ArrayCoordinator::state(std::uint64_t query_id) const
+{
+    auto it = aggs_.find(query_id);
+    if (it == aggs_.end())
+        return std::nullopt;
+    const AggQuery &agg = it->second;
+    if (agg.finished)
+        return agg.terminalOutcome == QueryOutcome::Success
+                   ? QueryState::Complete
+                   : QueryState::Degraded;
+    if (!agg.subs.empty()) {
+        const SubState &home = agg.subs.front();
+        if (home.submitted) {
+            auto st = nodes_[home.node]->scheduler().state(
+                home.subId);
+            if (st && !isTerminal(*st))
+                return *st;
+        }
+    }
+    // Sub-queries done or in transit; merges pending on the fabric.
+    return QueryState::Reduce;
+}
+
+void
+ArrayCoordinator::killNode(std::uint32_t node_i)
+{
+    SsdNode &nd = *nodes_.at(node_i);
+    if (!nd.alive())
+        return;
+    arrayStats_.get("array.nodeDeaths") += 1;
+    // kill() marks the drive dead first, then fails its in-flight
+    // sub-queries; their finalizes land in onSubTerminal, which sees
+    // the dead node and re-stripes onto replicas.
+    nd.kill();
+}
+
+void
+ArrayCoordinator::powerLoss()
+{
+    arrayStats_.get("array.powerLosses") += 1;
+    // Kill every node's in-flight sub-queries at the loss tick;
+    // merge legs are suppressed (inPowerLoss_) so arrivals are
+    // synchronous and aggregates finalize *now*, before volatile
+    // device state drops.
+    inPowerLoss_ = true;
+    for (auto &nd : nodes_)
+        nd->scheduler().powerLoss();
+    // Aggregates still pending (merges or dispatches that were on
+    // the fabric when the lights went out) finalize with outcome
+    // PowerLoss; their scheduled fabric events are invalidated.
+    for (auto &[qid, agg] : aggs_) {
+        if (agg.finished)
+            continue;
+        ++agg.gen;
+        for (SubState &ss : agg.subs)
+            ss.terminal = true;
+        agg.worstRank = outcomeRank(QueryOutcome::PowerLoss);
+        finalizeAgg(agg);
+    }
+    fabric_.reset(events_.now());
+    for (auto &nd : nodes_)
+        nd->devicePowerLoss();
+    inPowerLoss_ = false;
+}
+
+void
+ArrayCoordinator::dumpStats(std::ostream &os)
+{
+    os << "array.nodes = " << nodes_.size() << "\n";
+    os << "array.aliveNodes = " << aliveCount() << "\n";
+    os << "array.replication = " << config_.replication << "\n";
+    arrayStats_.get("array.fabric.grants")
+        .set(static_cast<double>(fabric_.grants()));
+    arrayStats_.get("array.fabric.bytes")
+        .set(static_cast<double>(fabric_.bytesCarried()));
+    arrayStats_.get("array.fabric.waitTicks")
+        .set(static_cast<double>(fabric_.waitTicks()));
+    arrayStats_.get("array.fabric.busyTicks")
+        .set(static_cast<double>(fabric_.busyTicks()));
+    arrayStats_.dump(os);
+    // Node 0 dumps unprefixed for continuity with the single-SSD
+    // stats surface; other nodes prefix every line.
+    nodes_[0]->syncLinkStats();
+    nodes_[0]->stats().dump(os);
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        nodes_[i]->syncLinkStats();
+        std::ostringstream ss;
+        nodes_[i]->stats().dump(ss);
+        std::string line;
+        std::istringstream in(ss.str());
+        while (std::getline(in, line))
+            os << "node" << i << "." << line << "\n";
+    }
+}
+
+} // namespace deepstore::core

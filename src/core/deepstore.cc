@@ -9,47 +9,38 @@
 namespace deepstore::core {
 
 DeepStore::DeepStore(DeepStoreConfig config)
-    : config_(config), ledger_(events_),
-      ssd_(std::make_unique<ssd::Ssd>(events_, config.flash)),
-      model_(config.flash)
+    : config_(std::move(config)), ledger_(events_),
+      model_(config_.flash)
 {
-    // Scan streams issue real flash reads through the *same*
-    // per-channel controllers that serve hostRead/hostWrite and
-    // metadata persistence, so query and host traffic observably
-    // contend for planes and channel buses. (The pre-refactor global
-    // accelerator window — deferring all host I/O past the scan
-    // horizon — is gone; contention is physical now.)
-    dfv_ = std::make_unique<ssd::DfvStreamService>(
-        events_,
-        [this](std::uint32_t channel) -> ssd::FlashController & {
-            return ssd_->controller(channel);
-        },
-        ssd_->stats());
-    QuerySchedulerConfig scfg;
-    scfg.maxResidentScans = config_.maxResidentScansPerAccelerator;
-    // The scheduler's accelerator-unit fault domain shares the flash
-    // fault schedule's seed and unit-failure list.
-    scfg.faults = config_.flash.faults;
-    scfg.shardWatchdogSeconds = config_.shardWatchdogSeconds;
-    scfg.maxShardRetries = config_.maxShardRetries;
-    scfg.shardRetryBackoffSeconds = config_.shardRetryBackoffSeconds;
-    scfg.unitsAtLevel[static_cast<std::size_t>(Level::SsdLevel)] = 1;
-    scfg.unitsAtLevel[static_cast<std::size_t>(Level::ChannelLevel)] =
-        config_.flash.channels;
-    scfg.unitsAtLevel[static_cast<std::size_t>(Level::ChipLevel)] =
-        config_.flash.channels * config_.flash.chipsPerChannel;
-    // Weight streams, QC probes, hit rescores, and top-K reduces all
-    // arbitrate on the SSD's one DRAM link — the same link FTL
-    // relocation copies stage through.
-    scfg.dram = &ssd_->dramLink();
-    scheduler_ = std::make_unique<QueryScheduler>(
-        events_, scfg, *dfv_, &ssd_->stats());
-    // Scheduled whole-device power loss (fault schedule): the event
-    // fires once, killing in-flight work and replaying recovery.
-    if (config_.flash.faults.powerLossAtTick > 0) {
-        events_.schedule(config_.flash.faults.powerLossAtTick,
-                         [this] { powerLoss(); });
-    }
+    // The array owns the member drives; each SsdNode bundles its SSD,
+    // FTL, fault domain, DfvStreamService, and QueryScheduler exactly
+    // the way the pre-array engine wired its single device (scan
+    // streams share the controllers that serve host I/O, so query and
+    // host traffic observably contend for planes and channel buses).
+    SsdNodeConfig base;
+    base.flash = config_.flash;
+    base.maxResidentScans = config_.maxResidentScansPerAccelerator;
+    base.shardWatchdogSeconds = config_.shardWatchdogSeconds;
+    base.maxShardRetries = config_.maxShardRetries;
+    base.shardRetryBackoffSeconds = config_.shardRetryBackoffSeconds;
+    array_ = std::make_unique<ArrayCoordinator>(events_, config_.array,
+                                                std::move(base));
+    // Scheduled whole-array power loss (fault schedule): collect the
+    // distinct ticks from the base flash config and every explicit
+    // node geometry; each fires once, killing in-flight work on every
+    // node and replaying recovery.
+    std::vector<Tick> loss_ticks;
+    if (config_.flash.faults.powerLossAtTick > 0)
+        loss_ticks.push_back(config_.flash.faults.powerLossAtTick);
+    for (const auto &nf : config_.array.nodes)
+        if (nf.faults.powerLossAtTick > 0)
+            loss_ticks.push_back(nf.faults.powerLossAtTick);
+    std::sort(loss_ticks.begin(), loss_ticks.end());
+    loss_ticks.erase(
+        std::unique(loss_ticks.begin(), loss_ticks.end()),
+        loss_ticks.end());
+    for (Tick t : loss_ticks)
+        events_.schedule(t, [this] { powerLoss(); });
 }
 
 void
@@ -63,16 +54,16 @@ DeepStore::stepUntil(const bool &done)
 }
 
 void
-DeepStore::writePagesTimed(std::uint64_t lpn_start,
-                           std::uint64_t pages,
-                           TimeComponent component)
+DeepStore::writePagesTimedOn(SsdNode &node, std::uint64_t lpn_start,
+                             std::uint64_t pages,
+                             TimeComponent component)
 {
     DS_ASSERT(pages > 0);
     if (pages <= config_.eventSimPageLimit) {
         Tick start = events_.now();
         bool done = false;
-        ssd_->hostWrite(lpn_start, pages,
-                        [&done](Tick) { done = true; });
+        node.hostWrite(lpn_start, pages,
+                       [&done](Tick) { done = true; });
         // Step (not run): in-flight queries keep making progress
         // inside the window, and the clock stops exactly at the
         // write's completion tick.
@@ -84,8 +75,8 @@ DeepStore::writePagesTimed(std::uint64_t lpn_start,
     // Closed form: programs overlap across every plane; the channel
     // buses carry one full page each. Still register the mapping.
     for (std::uint64_t i = 0; i < pages; ++i)
-        ssd_->ftl().write(lpn_start + i);
-    const auto &p = config_.flash;
+        node.registerWrite(lpn_start + i);
+    const auto &p = node.flash();
     double planes =
         static_cast<double>(p.channels) * p.chipsPerChannel *
         p.planesPerChip;
@@ -105,17 +96,26 @@ DeepStore::writeDB(std::shared_ptr<FeatureSource> source)
         fatal("writeDB needs a non-empty feature source");
     std::uint64_t feature_bytes =
         static_cast<std::uint64_t>(source->dim()) * kBytesPerFloat;
+    // Stripe across the array: one contiguous feature chunk per
+    // alive node (plus replicas), each chunk programmed through its
+    // own node's channels. A single-node array degenerates to one
+    // part at the node's next free LPN — the pre-array layout.
+    auto parts = array_->stripeDb(feature_bytes, source->count());
+    for (const auto &part : parts)
+        writePagesTimedOn(array_->node(part.node), part.lpnStart,
+                          part.pages, TimeComponent::HostWrite);
+
     DbMetadata md;
     md.featureBytes = feature_bytes;
     md.numFeatures = source->count();
-    md.startLpn = nextFreeLpn_;
-    std::uint64_t pages = md.pageCount(config_.flash.pageBytes);
-    nextFreeLpn_ += pages;
-
-    writePagesTimed(md.startLpn, pages, TimeComponent::HostWrite);
-    md.startPpn = ssd_->ftl().translate(md.startLpn);
+    // The global record keys on shard 0's primary placement; the
+    // coordinator's shard map is authoritative for scan planning.
+    md.startLpn = parts.front().lpnStart;
+    md.startPpn = array_->node(parts.front().node)
+                      .translate(parts.front().lpnStart);
 
     std::uint64_t db_id = metadata_.add(md);
+    array_->bindDb(db_id, feature_bytes, source->count(), parts);
     sources_[db_id] = std::move(source);
     return db_id;
 }
@@ -133,22 +133,14 @@ DeepStore::appendDB(std::uint64_t db_id,
               static_cast<long long>(source->dim()),
               static_cast<long long>(existing->dim()));
 
-    std::uint64_t old_pages = md.pageCount(config_.flash.pageBytes);
+    // Buffered append (§4.7.2): the coordinator grows the last shard
+    // on every placement, returning only the whole new pages each
+    // node must program.
+    auto parts = array_->growDb(db_id, source->count());
+    for (const auto &part : parts)
+        writePagesTimedOn(array_->node(part.node), part.lpnStart,
+                          part.pages, TimeComponent::HostWrite);
     md.numFeatures += source->count();
-    std::uint64_t new_pages = md.pageCount(config_.flash.pageBytes);
-    // Buffered append (§4.7.2): only whole new pages are programmed.
-    if (new_pages > old_pages) {
-        std::uint64_t grow = new_pages - old_pages;
-        // The append must land directly after the database; DeepStore
-        // reserves the LPN range when that is possible.
-        if (md.startLpn + old_pages != nextFreeLpn_)
-            fatal("appendDB: database %llu is not the most recently "
-                  "written database; append would break striping",
-                  static_cast<unsigned long long>(db_id));
-        writePagesTimed(md.startLpn + old_pages, grow,
-                        TimeComponent::HostWrite);
-        nextFreeLpn_ += grow;
-    }
     metadata_.update(md);
     existing = std::make_shared<CompositeFeatureSource>(
         existing, std::move(source));
@@ -167,32 +159,35 @@ DeepStore::readDB(std::uint64_t db_id, std::uint64_t start,
               static_cast<unsigned long long>(start),
               static_cast<unsigned long long>(start + num),
               static_cast<unsigned long long>(md.numFeatures));
-    // Timing: read the covering pages over the host interface.
-    ssd::FeatureLayout layout{md.featureBytes, config_.flash.pageBytes};
-    std::uint64_t first_page, last_page;
-    if (md.featureBytes <= config_.flash.pageBytes) {
-        first_page = start / layout.featuresPerPage();
-        last_page = (start + num - 1) / layout.featuresPerPage();
-    } else {
-        first_page = start * layout.pagesPerFeature();
-        last_page =
-            (start + num) * layout.pagesPerFeature() - 1;
-    }
-    std::uint64_t pages = last_page - first_page + 1;
-    if (pages <= config_.eventSimPageLimit) {
+    // Timing: read the covering pages of every overlapped shard over
+    // the host interface (nodes serve their segments concurrently).
+    auto segs = array_->readSegments(db_id, start, num);
+    std::uint64_t pages = 0;
+    for (const auto &seg : segs)
+        pages += seg.pages;
+    if (pages > 0 && pages <= config_.eventSimPageLimit) {
         Tick t0 = events_.now();
         bool done = false;
-        ssd_->hostRead(md.startLpn + first_page, pages,
-                       [&done](Tick) { done = true; });
+        std::size_t remaining = segs.size();
+        for (const auto &seg : segs)
+            array_->node(seg.node).hostRead(
+                seg.lpnStart, seg.pages,
+                [&done, &remaining](Tick) {
+                    if (--remaining == 0)
+                        done = true;
+                });
         stepUntil(done);
         ledger_.attribute(ticksToSeconds(events_.now() - t0),
                           TimeComponent::HostRead);
-    } else {
+    } else if (pages > 0) {
+        std::uint64_t bytes = 0;
+        for (const auto &seg : segs)
+            bytes += seg.pages *
+                     array_->node(seg.node).flash().pageBytes;
         // lint:allow(D6: host bulk-read fast path, not the scan datapath)
-        ledger_.advance(
-            static_cast<double>(pages * config_.flash.pageBytes) /
-                config_.flash.externalBandwidth,
-            TimeComponent::HostRead);
+        ledger_.advance(static_cast<double>(bytes) /
+                            config_.flash.externalBandwidth,
+                        TimeComponent::HostRead);
     }
 
     const auto &src = sources_.at(db_id);
@@ -299,155 +294,192 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
     seenQueries_.push_back(qfv);
     std::uint64_t qid = nextQueryId_++;
 
-    QuerySubmission sub;
-    sub.queryId = qid;
-    sub.level = level;
-    sub.numAccelerators = perf.placement.numAccelerators;
-    // Resolve the query range to per-unit physical page runs via the
-    // FTL/striping tables: the Scanning stage's flash term comes from
-    // real FlashCommand reads, not analytic bandwidth. Compute is the
-    // systolic slot schedule (per-layer bursts per feature) and the
-    // weight leg is per-slot traffic on the shared DRAM link — the
-    // same lowering the standalone AccelPipeline consumes, so the two
-    // paths agree tick-for-tick.
-    ScanPlan plan = resolveScanPlan(
-        perf.placement, config_.flash, db, db_start, db_end,
-        [this](std::uint64_t lpn) {
-            return ssd_->ftl().translate(lpn);
-        },
-        ssd_->ftl().mappingEpoch());
-    sub.shards = std::move(plan.units);
-    // Page-retry knobs ride on each shard's DFV plan (the stream
-    // layer owns the bounded reissue + backoff machinery).
-    for (auto &shard : sub.shards) {
-        shard.plan.maxPageRetries = config_.maxPageRetries;
-        shard.plan.pageRetryBackoffSeconds =
-            config_.pageRetryBackoffSeconds;
-    }
-    sub.pageReadsPerStep = plan.pageReadsPerStep;
-    sub.featuresPerStep = plan.featuresPerStep;
-    sub.planSignature = plan.signature;
-    sub.deadlineSeconds = deadline_seconds;
-    sub.layerBurstTicksPerFeature = layerBurstTicks(perf);
-    sub.featuresPerSlot = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(perf.placement.wsGroupSize));
-    sub.weightBytesPerSlot = perf.excessWeightBytesPerSlot;
-    sub.weightBroadcast = perf.weightBroadcast;
-    // The reduce gathers each shard's partial top-K over the DRAM
-    // link before the merge on the embedded cores.
-    sub.reduceBytesPerShard =
-        std::max<std::uint64_t>(k, 1) * sizeof(ScoredResult);
-    sub.dbKey = db_id;
-    // Device-wide channel-bus wait at submission; the finalize delta
-    // is the NoC contention accrued while this query was in flight.
-    const Tick noc_wait0 = ssd_->nocWaitTicks();
-
+    // Probe sizing is shared by the hit and miss paths; the probe
+    // itself runs once, on the home sub-query. QCN lookups fan out
+    // across the channel-level accelerators (§4.6): each unit pulls
+    // its share of the cached QFVs over the node's DRAM link and
+    // scores it on its array, behind whatever scan work already holds
+    // those resources.
+    std::uint32_t probe_units = 0;
+    Tick probe_ticks = 0;
+    std::uint64_t probe_bytes = 0;
+    CacheLookup hit;
     if (queryCache_) {
         const LoadedModel &qcn = lookupModel(qcnModelId_);
         // The probe is decided functionally at submit time against
         // the cache state of *completed* queries; in-flight queries
         // insert only when they complete.
-        CacheLookup hit = queryCache_->lookup(this_query);
-        // QCN lookups fan out across the channel-level accelerators
-        // (§4.6): each unit pulls its share of the cached QFVs over
-        // the SSD DRAM link and scores it on its array, behind
-        // whatever scan work already holds those resources.
+        hit = queryCache_->lookup(this_query);
         LevelPerf qcn_perf = model_.evaluateModel(
             Level::ChannelLevel, qcn.bundle.model,
             static_cast<std::uint64_t>(
                 qcn.bundle.model.featureDim()) *
                 kBytesPerFloat);
-        const std::uint32_t qcn_units =
-            qcn_perf.placement.numAccelerators;
-        sub.probeUnits = qcn_units;
-        if (hit.entriesScanned > 0 && qcn_units > 0) {
+        probe_units = qcn_perf.placement.numAccelerators;
+        if (hit.entriesScanned > 0 && probe_units > 0) {
             const std::uint64_t per_unit =
-                (hit.entriesScanned + qcn_units - 1) / qcn_units;
-            sub.probeComputeTicksPerUnit =
+                (hit.entriesScanned + probe_units - 1) / probe_units;
+            probe_ticks =
                 sim::Clock(qcn_perf.placement.array.frequencyHz)
                     .cyclesToTicks(qcn_perf.modelRun.totalCycles() *
                                    per_unit);
-            sub.probeDramBytesPerUnit =
+            probe_bytes =
                 per_unit *
                 static_cast<std::uint64_t>(
                     qcn.bundle.model.featureDim()) *
                 kBytesPerFloat;
         }
-        if (hit.hit) {
-            // Cached features already sit in SSD DRAM, so the hit
-            // path rescores them on one channel-level accelerator:
-            // a DRAM pull of the cached vectors plus the SCN burst
-            // (§4.2).
-            LevelPerf compute_perf = model_.evaluateModel(
-                Level::ChannelLevel, m.bundle.model, db.featureBytes);
-            sub.cacheHit = true;
-            sub.hitComputeTicks =
-                sim::Clock(
-                    compute_perf.placement.array.frequencyHz)
-                    .cyclesToTicks(
-                        compute_perf.modelRun.totalCycles() *
-                        hit.cachedResults.size());
-            sub.hitDramBytes =
-                hit.cachedResults.size() * db.featureBytes;
-            const LoadedModel *mp = &m;
-            auto cached = std::move(hit.cachedResults);
-            std::vector<float> q = qfv;
-            sub.finalize = [this, qid, k, mp, source, cached,
-                            q = std::move(q), noc_wait0] {
-                QueryResult res;
-                res.queryId = qid;
-                res.cacheHit = true;
-                res.outcome = scheduler_->outcome(qid);
-                res.coverageFraction =
-                    scheduler_->coverageFraction(qid);
-                if (res.outcome == QueryOutcome::Success) {
-                    res.featuresScanned = cached.size();
-                    // Re-run the SCN on only the cached top-K
-                    // features.
-                    TopK topk(std::max<std::size_t>(k, 1));
-                    for (const auto &c : cached) {
-                        auto dfv = source->featureAt(c.featureId);
-                        float s = mp->executor->score(q, dfv);
-                        topk.insert(
-                            ScoredResult{c.featureId, c.objectId, s});
-                    }
-                    res.topK = topk.results();
-                }
-                res.latencySeconds = ticksToSeconds(
-                    scheduler_->completeTick(qid) -
-                    scheduler_->submitTick(qid));
-                const QueryRunStats rs = scheduler_->runStats(qid);
-                const double probe_s =
-                    ticksToSeconds(rs.probeTicks);
-                res.qcProbeSeconds = probe_s;
-                res.computeStallSeconds =
-                    ticksToSeconds(rs.computeStallTicks);
-                res.backpressureSeconds =
-                    ticksToSeconds(rs.backpressureTicks);
-                res.nocWaitSeconds = ticksToSeconds(
-                    ssd_->nocWaitTicks() - noc_wait0);
-                ledger_.attribute(probe_s, TimeComponent::QcLookup);
-                ledger_.attribute(
-                    std::max(0.0, res.latencySeconds - probe_s),
-                    TimeComponent::CacheHit);
-                finishQuery(qid, std::move(res));
-            };
-            scheduler_->submit(std::move(sub));
-            return qid;
-        }
     }
 
     const LoadedModel *mp = &m;
+    // Builds one shard's sub-query submission. Captures by value
+    // only: the coordinator keeps this builder and re-invokes it at
+    // later ticks when a node death re-stripes the shard onto a
+    // replica. The scan lowering (plan, layer bursts, weight leg)
+    // comes from the *target node's* model, so heterogeneous
+    // geometries place correctly; the flash term is real FlashCommand
+    // reads resolved through that node's FTL.
+    auto builder = [this, level, mp, k, deadline_seconds, db_id,
+                    probe_units, probe_ticks, probe_bytes](
+                       const SubTarget &t, std::uint64_t sub_id) {
+        SsdNode &nd = array_->node(t.node);
+        LevelPerf nperf = nd.model().evaluateModel(
+            level, mp->bundle.model, t.localMd.featureBytes);
+        if (!nperf.supported)
+            fatal("accelerator level %s cannot execute model '%s' "
+                  "on array node %u",
+                  toString(level), mp->bundle.model.name().c_str(),
+                  t.node);
+        QuerySubmission s;
+        s.queryId = sub_id;
+        s.level = level;
+        s.numAccelerators = nperf.placement.numAccelerators;
+        ScanPlan plan = nd.resolvePlan(nperf.placement, t.localMd,
+                                       t.localStart, t.localEnd);
+        s.shards = std::move(plan.units);
+        // Page-retry knobs ride on each shard's DFV plan (the stream
+        // layer owns the bounded reissue + backoff machinery).
+        for (auto &shard : s.shards) {
+            shard.plan.maxPageRetries = config_.maxPageRetries;
+            shard.plan.pageRetryBackoffSeconds =
+                config_.pageRetryBackoffSeconds;
+        }
+        s.pageReadsPerStep = plan.pageReadsPerStep;
+        s.featuresPerStep = plan.featuresPerStep;
+        s.planSignature = plan.signature;
+        s.deadlineSeconds = deadline_seconds;
+        s.layerBurstTicksPerFeature = layerBurstTicks(nperf);
+        s.featuresPerSlot = std::max<std::uint64_t>(
+            1,
+            static_cast<std::uint64_t>(nperf.placement.wsGroupSize));
+        s.weightBytesPerSlot = nperf.excessWeightBytesPerSlot;
+        s.weightBroadcast = nperf.weightBroadcast;
+        // The reduce gathers each shard's partial top-K over the
+        // node's DRAM link before the merge on the embedded cores.
+        s.reduceBytesPerShard =
+            std::max<std::uint64_t>(k, 1) * sizeof(ScoredResult);
+        s.dbKey = db_id;
+        if (t.home) {
+            s.probeUnits = probe_units;
+            s.probeComputeTicksPerUnit = probe_ticks;
+            s.probeDramBytesPerUnit = probe_bytes;
+        }
+        return s;
+    };
+
+    if (queryCache_ && hit.hit) {
+        // Cached features already sit in SSD DRAM, so the hit path
+        // rescores them on one channel-level accelerator of the home
+        // node: a DRAM pull of the cached vectors plus the SCN burst
+        // (§4.2). No scatter — the array submits a single sub-query.
+        LevelPerf compute_perf = model_.evaluateModel(
+            Level::ChannelLevel, m.bundle.model, db.featureBytes);
+        auto target = array_->homeTarget(db_id, db_start, db_end);
+        std::uint32_t node_i;
+        QuerySubmission sub;
+        if (target) {
+            node_i = target->node;
+            sub = builder(*target, qid);
+        } else {
+            // Every overlapping shard lost its last replica: the hit
+            // still rescores from DRAM on a surviving node, with no
+            // flash leg.
+            node_i = array_->homeNodeFor(db_id, db_start);
+            sub.queryId = qid;
+            sub.level = level;
+            sub.numAccelerators = perf.placement.numAccelerators;
+            sub.dbKey = db_id;
+            sub.probeUnits = probe_units;
+            sub.probeComputeTicksPerUnit = probe_ticks;
+            sub.probeDramBytesPerUnit = probe_bytes;
+        }
+        sub.cacheHit = true;
+        sub.hitComputeTicks =
+            sim::Clock(compute_perf.placement.array.frequencyHz)
+                .cyclesToTicks(compute_perf.modelRun.totalCycles() *
+                               hit.cachedResults.size());
+        sub.hitDramBytes = hit.cachedResults.size() * db.featureBytes;
+        auto cached = std::move(hit.cachedResults);
+        std::vector<float> q = qfv;
+        auto done = [this, qid, k, mp, source, cached,
+                     q = std::move(q)](const ArrayQueryStats &ast) {
+            QueryResult res;
+            res.queryId = qid;
+            res.cacheHit = true;
+            res.outcome = ast.outcome;
+            res.coverageFraction = ast.coverageFraction;
+            if (res.outcome == QueryOutcome::Success) {
+                res.featuresScanned = cached.size();
+                // Re-run the SCN on only the cached top-K features.
+                TopK topk(std::max<std::size_t>(k, 1));
+                for (const auto &c : cached) {
+                    auto dfv = source->featureAt(c.featureId);
+                    float s = mp->executor->score(q, dfv);
+                    topk.insert(
+                        ScoredResult{c.featureId, c.objectId, s});
+                }
+                res.topK = topk.results();
+            }
+            res.latencySeconds =
+                ticksToSeconds(ast.completeTick - ast.submitTick);
+            const double probe_s = ticksToSeconds(ast.run.probeTicks);
+            res.qcProbeSeconds = probe_s;
+            res.computeStallSeconds =
+                ticksToSeconds(ast.run.computeStallTicks);
+            res.backpressureSeconds =
+                ticksToSeconds(ast.run.backpressureTicks);
+            res.nocWaitSeconds = ticksToSeconds(ast.nocWaitTicks);
+            res.mergeSeconds = ticksToSeconds(ast.mergeTicks);
+            res.interNodeBytes = ast.interNodeBytes;
+            res.nodesParticipating = ast.nodesParticipating;
+            res.redispatches = ast.redispatches;
+            ledger_.attribute(probe_s, TimeComponent::QcLookup);
+            ledger_.attribute(
+                std::max(0.0, res.latencySeconds - probe_s),
+                TimeComponent::CacheHit);
+            finishQuery(qid, std::move(res));
+        };
+        array_->submitSingle(qid, node_i, std::move(sub),
+                             std::move(done));
+        return qid;
+    }
+
+    // Miss path: scatter one sub-query per overlapped shard. The
+    // scatter leg ships the QFV + descriptor to each remote node;
+    // the merge leg ships each remote node's candidate top-K back.
+    const std::uint64_t scatter_bytes = db.featureBytes + 64;
+    const std::uint64_t merge_bytes =
+        std::max<std::uint64_t>(k, 1) * sizeof(ScoredResult);
     DbMetadata dbmd = db;
     std::vector<float> q = qfv;
-    sub.finalize = [this, qid, this_query, k, mp, dbmd, db_start,
-                    db_end, n_accel = perf.placement.numAccelerators,
-                    source, q = std::move(q), noc_wait0] {
+    auto done = [this, qid, this_query, k, mp, dbmd, db_start, db_end,
+                 n_accel = perf.placement.numAccelerators, source,
+                 q = std::move(q)](const ArrayQueryStats &ast) {
         QueryResult res;
         res.queryId = qid;
         res.cacheHit = false;
-        res.outcome = scheduler_->outcome(qid);
-        res.coverageFraction = scheduler_->coverageFraction(qid);
+        res.outcome = ast.outcome;
+        res.coverageFraction = ast.coverageFraction;
         // Degraded queries report the top-K over the prefix of the
         // range that was actually scanned; partial results never
         // seed the Query Cache.
@@ -463,24 +495,26 @@ DeepStore::query(const std::vector<float> &qfv, std::size_t k,
         if (queryCache_ && res.outcome == QueryOutcome::Success)
             queryCache_->insert(this_query, res.topK);
         res.latencySeconds =
-            ticksToSeconds(scheduler_->completeTick(qid) -
-                           scheduler_->submitTick(qid));
-        const QueryRunStats rs = scheduler_->runStats(qid);
-        const double probe_s = ticksToSeconds(rs.probeTicks);
+            ticksToSeconds(ast.completeTick - ast.submitTick);
+        const double probe_s = ticksToSeconds(ast.run.probeTicks);
         res.qcProbeSeconds = probe_s;
         res.computeStallSeconds =
-            ticksToSeconds(rs.computeStallTicks);
+            ticksToSeconds(ast.run.computeStallTicks);
         res.backpressureSeconds =
-            ticksToSeconds(rs.backpressureTicks);
-        res.nocWaitSeconds =
-            ticksToSeconds(ssd_->nocWaitTicks() - noc_wait0);
+            ticksToSeconds(ast.run.backpressureTicks);
+        res.nocWaitSeconds = ticksToSeconds(ast.nocWaitTicks);
+        res.mergeSeconds = ticksToSeconds(ast.mergeTicks);
+        res.interNodeBytes = ast.interNodeBytes;
+        res.nodesParticipating = ast.nodesParticipating;
+        res.redispatches = ast.redispatches;
         ledger_.attribute(probe_s, TimeComponent::QcLookup);
         ledger_.attribute(
             std::max(0.0, res.latencySeconds - probe_s),
             TimeComponent::Scan);
         finishQuery(qid, std::move(res));
     };
-    scheduler_->submit(std::move(sub));
+    array_->scatter(qid, db_id, db_start, db_end, scatter_bytes,
+                    merge_bytes, builder, std::move(done));
     return qid;
 }
 
@@ -499,13 +533,13 @@ DeepStore::querySync(const std::vector<float> &qfv, std::size_t k,
 std::optional<QueryState>
 DeepStore::poll(std::uint64_t query_id) const
 {
-    return scheduler_->state(query_id);
+    return array_->state(query_id);
 }
 
 bool
 DeepStore::cancel(std::uint64_t query_id)
 {
-    return scheduler_->cancel(query_id);
+    return array_->cancel(query_id);
 }
 
 bool
@@ -517,22 +551,22 @@ DeepStore::step()
 void
 DeepStore::drain()
 {
-    while (scheduler_->inFlight() > 0) {
+    while (array_->inFlight() > 0) {
         if (!events_.step())
             panic("scheduler stalled: %zu queries in flight with an "
                   "empty event queue",
-                  scheduler_->inFlight());
+                  array_->inFlight());
     }
 }
 
 void
 DeepStore::waitFor(std::uint64_t query_id)
 {
-    auto st = scheduler_->state(query_id);
+    auto st = array_->state(query_id);
     if (!st)
         fatal("unknown query_id %llu",
               static_cast<unsigned long long>(query_id));
-    while (!isTerminal(*scheduler_->state(query_id))) {
+    while (!isTerminal(*array_->state(query_id))) {
         if (!events_.step())
             panic("scheduler stalled waiting for query %llu",
                   static_cast<unsigned long long>(query_id));
@@ -549,7 +583,7 @@ DeepStore::onComplete(std::uint64_t query_id,
         cb(it->second);
         return;
     }
-    if (!scheduler_->state(query_id))
+    if (!array_->state(query_id))
         fatal("unknown query_id %llu",
               static_cast<unsigned long long>(query_id));
     completionCallbacks_[query_id].push_back(std::move(cb));
@@ -597,25 +631,50 @@ DeepStore::scanTopK(const std::vector<float> &qfv, std::size_t k,
     return merged.results();
 }
 
+void
+DeepStore::hostRead(std::uint64_t lpn_start, std::uint64_t count,
+                    ssd::Completion on_complete)
+{
+    array_->node(0).hostRead(lpn_start, count,
+                             std::move(on_complete));
+}
+
+void
+DeepStore::hostWrite(std::uint64_t lpn_start, std::uint64_t count,
+                     ssd::Completion on_complete)
+{
+    array_->node(0).hostWrite(lpn_start, count,
+                              std::move(on_complete));
+}
+
+void
+DeepStore::hostTrim(std::uint64_t lpn_start, std::uint64_t count,
+                    ssd::Completion on_complete)
+{
+    array_->node(0).hostTrim(lpn_start, count,
+                             std::move(on_complete));
+}
+
 std::uint64_t
 DeepStore::persistMetadata()
 {
+    // The metadata table lives on node 0, the array's admin drive
+    // (the shard map is derived from it at bind time and kept by the
+    // coordinator).
+    SsdNode &n0 = array_->node(0);
     auto blob = metadata_.serialize();
-    const std::uint64_t page_bytes = config_.flash.pageBytes;
+    const std::uint64_t page_bytes = n0.flash().pageBytes;
     std::uint64_t pages =
         (blob.size() + page_bytes - 1) / page_bytes;
     // Reserved block at the very top of the LPN space, away from the
     // append-allocated database region.
-    std::uint64_t reserved_lpn =
-        config_.flash.totalPages() -
-        ssd_->ftl().superblockPages();
+    std::uint64_t reserved_lpn = n0.reservedMetadataLpn();
     // The table is rewritten in place on every persist; trim first so
     // the block-level FTL does not charge a migration.
-    ssd_->ftl().trim(reserved_lpn, pages);
+    n0.trimPages(reserved_lpn, pages);
     Tick t0 = events_.now();
     bool done = false;
-    ssd_->hostWrite(reserved_lpn, pages,
-                    [&done](Tick) { done = true; });
+    n0.hostWrite(reserved_lpn, pages, [&done](Tick) { done = true; });
     stepUntil(done);
     ledger_.attribute(ticksToSeconds(events_.now() - t0),
                       TimeComponent::Metadata);
@@ -623,10 +682,10 @@ DeepStore::persistMetadata()
         std::size_t off = static_cast<std::size_t>(i * page_bytes);
         std::size_t len =
             std::min<std::size_t>(page_bytes, blob.size() - off);
-        ssd_->storePayload(reserved_lpn + i,
-                           {blob.begin() + static_cast<long>(off),
-                            blob.begin() + static_cast<long>(off) +
-                                static_cast<long>(len)});
+        n0.storePayload(reserved_lpn + i,
+                        {blob.begin() + static_cast<long>(off),
+                         blob.begin() + static_cast<long>(off) +
+                             static_cast<long>(len)});
     }
     persistedMetadataPages_ = pages;
     return pages;
@@ -637,19 +696,18 @@ DeepStore::reloadMetadata()
 {
     if (persistedMetadataPages_ == 0)
         fatal("no metadata has been persisted to the reserved block");
-    std::uint64_t reserved_lpn =
-        config_.flash.totalPages() -
-        ssd_->ftl().superblockPages();
+    SsdNode &n0 = array_->node(0);
+    std::uint64_t reserved_lpn = n0.reservedMetadataLpn();
     Tick t0 = events_.now();
     bool done = false;
-    ssd_->hostRead(reserved_lpn, persistedMetadataPages_,
-                   [&done](Tick) { done = true; });
+    n0.hostRead(reserved_lpn, persistedMetadataPages_,
+                [&done](Tick) { done = true; });
     stepUntil(done);
     ledger_.attribute(ticksToSeconds(events_.now() - t0),
                       TimeComponent::Metadata);
     std::vector<std::uint8_t> blob;
     for (std::uint64_t i = 0; i < persistedMetadataPages_; ++i) {
-        const auto *page = ssd_->payload(reserved_lpn + i);
+        const auto *page = n0.payload(reserved_lpn + i);
         if (!page)
             panic("reserved metadata page %llu has no payload",
                   static_cast<unsigned long long>(i));
@@ -662,11 +720,12 @@ DeepStore::reloadMetadata()
 void
 DeepStore::powerLoss()
 {
-    // Order matters: the scheduler computes each killed query's
-    // remnant coverage through its still-open scan groups/streams,
-    // so it must run before any volatile SSD state is dropped.
-    scheduler_->powerLoss();
-    ssd_->powerLoss();
+    // Order matters: each node's scheduler computes its killed
+    // sub-queries' remnant coverage through their still-open scan
+    // groups/streams, so the coordinator fails all in-flight work
+    // (finalizing every aggregate) before any volatile device state
+    // is dropped.
+    array_->powerLoss();
     // Volatile metadata cache is gone; recover from the reserved
     // flash block when a persist exists (replayed through the normal
     // host-read path, charged to the Metadata ledger component).
@@ -683,9 +742,11 @@ DeepStore::dumpStats(std::ostream &os) const
     os << "engine.databases = " << metadata_.size() << "\n";
     os << "engine.models = " << models_.size() << "\n";
     os << "engine.queries = " << results_.size() << "\n";
-    os << "engine.inFlight = " << scheduler_->inFlight() << "\n";
-    os << "engine.completed = " << scheduler_->completedCount()
-       << "\n";
+    os << "engine.inFlight = " << array_->inFlight() << "\n";
+    std::size_t completed = 0;
+    for (std::uint32_t i = 0; i < array_->nodeCount(); ++i)
+        completed += array_->node(i).scheduler().completedCount();
+    os << "engine.completed = " << completed << "\n";
     os << "engine.simulatedSeconds = " << ledger_.seconds() << "\n";
     ledger_.dump(os);
     if (queryCache_) {
@@ -693,8 +754,7 @@ DeepStore::dumpStats(std::ostream &os) const
         os << "engine.qc.misses = " << queryCache_->misses() << "\n";
         os << "engine.qc.entries = " << queryCache_->size() << "\n";
     }
-    ssd_->syncLinkStats();
-    ssd_->stats().dump(os);
+    array_->dumpStats(os);
 }
 
 FetchResult
@@ -703,7 +763,7 @@ DeepStore::tryGetResults(std::uint64_t query_id) const
     auto it = results_.find(query_id);
     if (it != results_.end())
         return FetchResult{FetchStatus::Ready, &it->second};
-    auto st = scheduler_->state(query_id);
+    auto st = array_->state(query_id);
     if (st && !isTerminal(*st))
         return FetchResult{FetchStatus::InFlight, nullptr};
     return FetchResult{FetchStatus::Unknown, nullptr};
@@ -721,7 +781,7 @@ DeepStore::getResults(std::uint64_t query_id) const
               "tryGetResults() for a retryable probe, or poll()/"
               "drain() before getResults()",
               static_cast<unsigned long long>(query_id),
-              toString(*scheduler_->state(query_id)));
+              toString(*array_->state(query_id)));
     case FetchStatus::Unknown:
     default:
         fatal("unknown query_id %llu",

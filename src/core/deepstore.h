@@ -4,16 +4,17 @@
  * SSD's embedded cores (§4.7.1) plus the host-facing programming API
  * (§4.7.2, Table 2).
  *
- * The engine owns the simulated SSD, the database metadata table, the
- * loaded SCN/QCN models, the Query Cache, and the asynchronous query
- * scheduler. Queries execute functionally (real similarity scores,
- * real top-K) against the database's feature source, while latency
- * comes from the event-native datapath: flash pages stream through
- * real FlashCommand reads, compute replays the systolic slot schedule
- * on per-unit arbiters, weights/probes/reduces arbitrate on the
- * shared SSD DRAM link. The analytic steady-state model
- * (DeepStoreModel) survives as the cross-validator the parity tests
- * hold the live path to.
+ * The engine owns the simulated SSD array (one or more SsdNodes
+ * behind an ArrayCoordinator), the database metadata table, the
+ * loaded SCN/QCN models, and the Query Cache. Queries execute
+ * functionally (real similarity scores, real top-K) against the
+ * database's feature source, while latency comes from the
+ * event-native datapath: flash pages stream through real FlashCommand
+ * reads, compute replays the systolic slot schedule on per-unit
+ * arbiters, weights/probes/reduces arbitrate on each node's DRAM
+ * link, and multi-node scatter/merge legs on the shared host fabric.
+ * The analytic steady-state model (DeepStoreModel) survives as the
+ * cross-validator the parity tests hold the live path to.
  *
  * The query path is **asynchronous**: query() validates, probes the
  * Query Cache, hands the scheduler a timed submission, and returns a
@@ -33,6 +34,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/array_coordinator.h"
 #include "core/feature_source.h"
 #include "core/metadata.h"
 #include "core/placement.h"
@@ -44,8 +46,6 @@
 #include "nn/executor.h"
 #include "nn/serialize.h"
 #include "sim/event_queue.h"
-#include "ssd/dfv_stream.h"
-#include "ssd/ssd.h"
 
 namespace deepstore::core {
 
@@ -81,6 +81,15 @@ struct DeepStoreConfig
     std::uint32_t maxPageRetries = 2;
     /** Backoff before the first page reissue; doubles per attempt. */
     double pageRetryBackoffSeconds = 20e-6;
+
+    // ---- array topology ------------------------------------------
+
+    /** Multi-SSD array layout. The default (array.nodes empty) is a
+     *  single node built from `flash` — behaviorally and
+     *  tick-identical to the pre-array engine. Populating
+     *  array.nodes stripes every database across the member drives
+     *  and scatters every query into per-node sub-queries. */
+    ArrayConfig array;
 };
 
 /** Completed query: results plus simulated execution metrics. */
@@ -109,6 +118,16 @@ struct QueryResult
     /** Features actually scanned / features requested, in [0, 1];
      *  1.0 for full-coverage completions. */
     double coverageFraction = 1.0;
+    /** Host-fabric wait + transfer of the per-node top-K merge legs
+     *  (0 on a single-node array). */
+    double mergeSeconds = 0.0;
+    /** Bytes this query moved over the array's host fabric (scatter
+     *  descriptors + merge candidate sets + failover re-dispatch). */
+    std::uint64_t interNodeBytes = 0;
+    /** Array nodes that ran sub-queries for this query. */
+    std::uint32_t nodesParticipating = 1;
+    /** Whole-node failover re-dispatches this query absorbed. */
+    std::uint32_t redispatches = 0;
 };
 
 /** Non-fatal getResults outcome (see DeepStore::tryGetResults). */
@@ -212,7 +231,7 @@ class DeepStore
     void waitFor(std::uint64_t query_id);
 
     /** Queries submitted but not yet complete. */
-    std::size_t inFlight() const { return scheduler_->inFlight(); }
+    std::size_t inFlight() const { return array_->inFlight(); }
 
     /**
      * Register a completion callback for a query. Fires exactly once,
@@ -246,10 +265,38 @@ class DeepStore
     }
 
     const DeepStoreModel &model() const { return model_; }
-    ssd::Ssd &ssd() { return *ssd_; }
+    /** Node 0's raw device (single-node compatibility shim for
+     *  tests/benches; engine code goes through the array). */
+    ssd::Ssd &ssd() { return array_->node(0).device(); }
     sim::EventQueue &events() { return events_; }
     QueryCache *queryCache() { return queryCache_.get(); }
-    const QueryScheduler &scheduler() const { return *scheduler_; }
+    /** Node 0's scheduler (single-node compatibility shim; on a
+     *  1-node array every query id is a node-0 sub-query id). */
+    const QueryScheduler &scheduler() const
+    {
+        return array_->node(0).scheduler();
+    }
+
+    /** The sharded multi-SSD array behind this engine (a 1-node
+     *  array by default). */
+    ArrayCoordinator &array() { return *array_; }
+    const ArrayCoordinator &array() const { return *array_; }
+
+    /** Whole-drive failure of array node `i` at the current tick:
+     *  its in-flight sub-queries fail over onto replicas (see
+     *  ArrayCoordinator::killNode). */
+    void killNode(std::uint32_t node_i) { array_->killNode(node_i); }
+
+    // ---- host I/O passthroughs (NVMe front end) ------------------
+    // Raw LPN reads/writes/trims against node 0, the array's
+    // host-visible admin drive.
+
+    void hostRead(std::uint64_t lpn_start, std::uint64_t count,
+                  ssd::Completion on_complete);
+    void hostWrite(std::uint64_t lpn_start, std::uint64_t count,
+                   ssd::Completion on_complete);
+    void hostTrim(std::uint64_t lpn_start, std::uint64_t count,
+                  ssd::Completion on_complete);
 
     /** The simulated-time ledger (owner of all time accounting). */
     const TimeLedger &ledger() const { return ledger_; }
@@ -306,11 +353,12 @@ class DeepStore
 
     const LoadedModel &lookupModel(std::uint64_t model_id) const;
 
-    /** Simulate writing `pages` pages and account the time on the
-     *  ledger (event-driven below the page limit, closed-form
-     *  above). */
-    void writePagesTimed(std::uint64_t lpn_start, std::uint64_t pages,
-                         TimeComponent component);
+    /** Simulate writing `pages` pages on one array node and account
+     *  the time on the ledger (event-driven below the page limit,
+     *  closed-form above). */
+    void writePagesTimedOn(SsdNode &node, std::uint64_t lpn_start,
+                           std::uint64_t pages,
+                           TimeComponent component);
 
     /** Run the event queue until `done` flips (a completion callback
      *  armed it); panic on a stalled simulation. */
@@ -330,14 +378,15 @@ class DeepStore
     DeepStoreConfig config_;
     sim::EventQueue events_;
     TimeLedger ledger_;
-    std::unique_ptr<ssd::Ssd> ssd_;
+    /** Analytic model over the base flash geometry (validation + QC
+     *  probe sizing); per-node scan lowering uses each node's own
+     *  model. */
     DeepStoreModel model_;
     MetadataStore metadata_;
-    /** DFV streams over the *same* controllers that serve host I/O
-     *  (scan/host contention is physical). Declared before the
-     *  scheduler, which references it. */
-    std::unique_ptr<ssd::DfvStreamService> dfv_;
-    std::unique_ptr<QueryScheduler> scheduler_;
+    /** The member drives + the scatter/merge query plane. Owns every
+     *  SsdNode (SSD, FTL, DFV streams, scheduler) and the shard
+     *  map. */
+    std::unique_ptr<ArrayCoordinator> array_;
 
     std::map<std::uint64_t, std::shared_ptr<FeatureSource>> sources_;
     std::map<std::uint64_t, LoadedModel> models_;
@@ -351,7 +400,6 @@ class DeepStore
     /** QFVs of previously seen queries (QC scoring inputs). */
     std::vector<std::vector<float>> seenQueries_;
 
-    std::uint64_t nextFreeLpn_ = 0;
     std::uint64_t persistedMetadataPages_ = 0;
     std::uint64_t nextModelId_ = 1;
     std::uint64_t nextQueryId_ = 1;

@@ -267,6 +267,34 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
             done.result = cmd.cdw[0];
             break;
           }
+          case NvmeOpcode::ArrayInfo: {
+            // Array topology + per-node health for host-side
+            // placement decisions (mirrors `nvme list`-style admin
+            // introspection, vendor-shaped).
+            auto *out = buffers_.findMutable(cmd.prp);
+            if (!out) {
+                done.status = NvmeStatus::InvalidField;
+                break;
+            }
+            const auto &array = store_.array();
+            out->clear();
+            for (std::uint32_t i = 0; i < array.nodeCount(); ++i) {
+                const auto &node = array.node(i);
+                out->push_back(static_cast<float>(i));
+                out->push_back(node.alive() ? 1.0f : 0.0f);
+                out->push_back(
+                    static_cast<float>(node.flash().channels));
+                out->push_back(static_cast<float>(
+                    node.flash().chipsPerChannel));
+                out->push_back(
+                    static_cast<float>(node.nocWaitTicks()));
+            }
+            done.result =
+                static_cast<std::uint64_t>(array.nodeCount()) |
+                (static_cast<std::uint64_t>(array.replication())
+                 << 16);
+            break;
+          }
           case NvmeOpcode::SetQC:
             store_.setQC(cmd.cdw[0],
                          static_cast<double>(cmd.cdw[1]) / 1e4,
@@ -282,11 +310,11 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
             bool ok = false;
             auto cb = [&ok](Tick) { ok = true; };
             if (cmd.opcode == NvmeOpcode::Read)
-                store_.ssd().hostRead(cmd.cdw[0], cmd.cdw[1], cb);
+                store_.hostRead(cmd.cdw[0], cmd.cdw[1], cb);
             else if (cmd.opcode == NvmeOpcode::Write)
-                store_.ssd().hostWrite(cmd.cdw[0], cmd.cdw[1], cb);
+                store_.hostWrite(cmd.cdw[0], cmd.cdw[1], cb);
             else
-                store_.ssd().hostTrim(cmd.cdw[0], cmd.cdw[1], cb);
+                store_.hostTrim(cmd.cdw[0], cmd.cdw[1], cb);
             while (!ok && store_.step()) {
             }
             done.status = ok ? NvmeStatus::Success

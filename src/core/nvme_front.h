@@ -50,6 +50,7 @@ enum class NvmeOpcode : std::uint8_t
     GetResults = 0xC5,
     SetQC = 0xC6,
     AbortQuery = 0xC7,
+    ArrayInfo = 0xC8,
 };
 
 /** NVMe-like status codes returned in completions. */
@@ -91,7 +92,11 @@ struct NvmeCommand
      *  GetResults:cdw0 = query_id
      *  AbortQuery:cdw0 = query_id
      *  SetQC:     cdw0 = qcn model_id, cdw1 = threshold * 1e4,
-     *             cdw2 = accuracy * 1e4, cdw3 = capacity */
+     *             cdw2 = accuracy * 1e4, cdw3 = capacity
+     *  ArrayInfo: prp buffer receives, per node: [index, alive,
+     *             channels, chipsPerChannel, nocWaitTicks]; the
+     *             completion's result = node count, with the
+     *             replication factor in the top 16 bits */
     std::uint64_t cdw[6] = {0, 0, 0, 0, 0, 0};
 };
 

@@ -341,4 +341,26 @@ DeepStoreModel::scanEnergyPerFeature(
     return perf.energyPerFeature.total();
 }
 
+double
+arrayQuerySeconds(const std::vector<double> &node_scan_seconds,
+                  std::uint64_t scatter_bytes,
+                  std::uint64_t merge_bytes,
+                  double fabric_bandwidth)
+{
+    DS_ASSERT(!node_scan_seconds.empty());
+    DS_ASSERT(fabric_bandwidth > 0.0);
+    const double sb =
+        static_cast<double>(scatter_bytes) / fabric_bandwidth;
+    const double mb =
+        static_cast<double>(merge_bytes) / fabric_bandwidth;
+    double total = node_scan_seconds.front(); // home: no fabric legs
+    for (std::size_t i = 1; i < node_scan_seconds.size(); ++i) {
+        const double start = static_cast<double>(i) * sb;
+        total = std::max(total, start + node_scan_seconds[i]);
+    }
+    const double n_remote =
+        static_cast<double>(node_scan_seconds.size() - 1);
+    return total + n_remote * mb;
+}
+
 } // namespace deepstore::core

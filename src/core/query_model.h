@@ -134,6 +134,29 @@ class DeepStoreModel
     energy::EnergyParams eparams_;
 };
 
+/**
+ * Analytic steady-state latency of one query scattered across an
+ * array (the closed-form mirror of ArrayCoordinator's event path,
+ * used by the array parity tests).
+ *
+ * Sub-query 0 is the home node (no scatter leg, no merge leg); each
+ * later sub-query's descriptor queues FCFS on the host fabric before
+ * its node can start, and every remote node ships `merge_bytes` of
+ * candidates back after its scan:
+ *
+ *   start_i = i * scatter_bytes / fabric_bw        (i = remote rank)
+ *   total   = max_i(start_i + scan_i)
+ *           + n_remote * merge_bytes / fabric_bw
+ *
+ * `node_scan_seconds[i]` is node i's analytic scan time over its own
+ * shard (scanSeconds on that node's geometry); heterogeneous arrays
+ * pass per-node values.
+ */
+double arrayQuerySeconds(const std::vector<double> &node_scan_seconds,
+                         std::uint64_t scatter_bytes,
+                         std::uint64_t merge_bytes,
+                         double fabric_bandwidth);
+
 } // namespace deepstore::core
 
 #endif // DEEPSTORE_CORE_QUERY_MODEL_H

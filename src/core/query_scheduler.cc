@@ -856,6 +856,12 @@ QueryScheduler::cancel(std::uint64_t query_id)
 void
 QueryScheduler::powerLoss()
 {
+    failAllInFlight(QueryOutcome::PowerLoss);
+}
+
+void
+QueryScheduler::failAllInFlight(QueryOutcome outcome)
+{
     // Collect first: degradeQuery mutates queries_ state and runs
     // finalize callbacks which may inspect the scheduler. queries_
     // is an ordered map, so the kill order is deterministic.
@@ -864,12 +870,15 @@ QueryScheduler::powerLoss()
         if (!isTerminal(q.state))
             live.push_back(id);
     }
+    const char *counter = outcome == QueryOutcome::PowerLoss
+                              ? "sched.powerLossKills"
+                              : "sched.nodeDeathKills";
     for (std::uint64_t id : live) {
         auto it = queries_.find(id);
         if (it == queries_.end() || isTerminal(it->second.state))
             continue;
-        stats_.get("sched.powerLossKills") += 1;
-        degradeQuery(it->second, QueryOutcome::PowerLoss);
+        stats_.get(counter) += 1;
+        degradeQuery(it->second, outcome);
     }
 }
 
@@ -1002,6 +1011,27 @@ QueryScheduler::coverageFraction(std::uint64_t query_id) const
     double f = static_cast<double>(q.coveredFeatures) /
                static_cast<double>(q.totalFeatures);
     return f > 1.0 ? 1.0 : f;
+}
+
+std::uint64_t
+QueryScheduler::coveredFeatures(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    const QueryInfo &q = it->second;
+    return std::min(q.coveredFeatures, q.totalFeatures);
+}
+
+std::uint64_t
+QueryScheduler::totalFeatures(std::uint64_t query_id) const
+{
+    auto it = queries_.find(query_id);
+    if (it == queries_.end())
+        fatal("unknown query_id %llu",
+              static_cast<unsigned long long>(query_id));
+    return it->second.totalFeatures;
 }
 
 Tick

@@ -303,6 +303,16 @@ class QueryScheduler
      */
     void powerLoss();
 
+    /**
+     * Whole-drive failure generalization of powerLoss(): every
+     * non-terminal query terminates *now* with the given outcome,
+     * crediting honest partial coverage (finalizes run
+     * synchronously). The array coordinator uses this on node death
+     * (outcome Degraded) before re-striping the remainder onto
+     * replicas; powerLoss() is failAllInFlight(PowerLoss).
+     */
+    void failAllInFlight(QueryOutcome outcome);
+
     /** State of a submitted query (nullopt when unknown). */
     std::optional<QueryState> state(std::uint64_t query_id) const;
 
@@ -313,6 +323,15 @@ class QueryScheduler
     /** Features actually scanned / features requested, in [0, 1].
      *  1.0 for full-coverage (and cache-hit) completions. */
     double coverageFraction(std::uint64_t query_id) const;
+
+    /** Exact features scanned from good pages (the coverage
+     *  numerator) — the array coordinator sums these across
+     *  per-node sub-queries without float round-trips. */
+    std::uint64_t coveredFeatures(std::uint64_t query_id) const;
+
+    /** Exact features requested (the coverage denominator; 0 for
+     *  cache-hit submissions, which carry no shards). */
+    std::uint64_t totalFeatures(std::uint64_t query_id) const;
 
     /** Queries submitted but not yet terminal. */
     std::size_t inFlight() const { return inFlight_; }

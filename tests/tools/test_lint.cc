@@ -1,6 +1,6 @@
 /**
  * @file
- * Fixture tests for deepstore_lint: each determinism rule D1-D6 is
+ * Fixture tests for deepstore_lint: each determinism rule D1-D7 is
  * pinned positive (the bad fixture fires, with the expected rule and
  * line) and negative (the good fixture stays clean), and the
  * suppression machinery is pinned to honour annotated findings, count
@@ -238,6 +238,53 @@ TEST(LintD6, OnlyTheLiveScanPathIsInScope)
     EXPECT_TRUE(lintFixture("d6_bad.snippet",
                             "src/core/time_ledger.cc")
                     .clean());
+}
+
+// ---- D7: Ssd/Ftl reach-ins outside the node/array layer ---------
+
+TEST(LintD7, BadFixtureFiresOnPointerCallAndObjectAccess)
+{
+    Report r =
+        lintFixture("d7_bad.snippet", "src/core/engine.cc");
+    ASSERT_EQ(r.findings.size(), 3u) << formatReport(r, true);
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"D7", "D7", "D7"}));
+    EXPECT_EQ(r.findings[0].line, 6); // ssd_->hostRead
+    EXPECT_EQ(r.findings[1].line, 7); // ssd().dramLink()
+    EXPECT_EQ(r.findings[2].line, 8); // ftl_.translate
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintD7, GoodFixtureQualificationAndAllowlistAreClean)
+{
+    // `ssd::` scope qualification, enum naming, an accessor
+    // *declaration* named ssd(), and a reasoned lint:allow(D7: ...)
+    // must all stay quiet.
+    Report r =
+        lintFixture("d7_good.snippet", "src/core/engine.cc");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D7");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "metadata region owned by the engine, not scan state");
+}
+
+TEST(LintD7, NodeAndArrayLayerAreExempt)
+{
+    // core/ssd_node and core/array_coordinator *are* the
+    // encapsulation layer; everything outside src/core/ (ssd/,
+    // tests/) owns its devices by definition.
+    EXPECT_TRUE(lintFixture("d7_bad.snippet",
+                            "src/core/ssd_node.cc")
+                    .clean());
+    EXPECT_TRUE(lintFixture("d7_bad.snippet",
+                            "src/core/array_coordinator.cc")
+                    .clean());
+    EXPECT_TRUE(
+        lintFixture("d7_bad.snippet", "src/ssd/ssd.cc").clean());
+    EXPECT_TRUE(
+        lintFixture("d7_bad.snippet", "tests/core/test_x.cc")
+            .clean());
 }
 
 // ---- Suppression hygiene ----------------------------------------

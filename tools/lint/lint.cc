@@ -323,6 +323,11 @@ class FileLinter
             pathContains(path_, "src/core/") &&
             !pathContains(path_, "core/time_ledger."))
             ruleD6();
+        if (opts_.enabled("D7") &&
+            pathContains(path_, "src/core/") &&
+            !pathContains(path_, "core/ssd_node.") &&
+            !pathContains(path_, "core/array_coordinator."))
+            ruleD7();
     }
 
   private:
@@ -558,6 +563,60 @@ class FileLinter
                      "BandwidthLink); host-side fast paths outside "
                      "the scan datapath annotate "
                      "lint:allow(D6: <why>)");
+        }
+    }
+
+    void
+    ruleD7()
+    {
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const Token &recv = toks_[i];
+            if (!recv.ident)
+                continue;
+            std::string l = lower(recv.text);
+            if (l.find("ssd") == std::string::npos &&
+                l.find("ftl") == std::string::npos)
+                continue;
+            const Token *n = next(i);
+            if (!n)
+                continue;
+            // Scope qualification (`ssd::Completion`,
+            // `Level::SsdLevel` never puts the enumerator first) is
+            // naming, not reaching.
+            if (n->text == "::")
+                continue;
+            std::size_t after = i + 1;
+            if (n->text == "(") {
+                // Accessor-call form: `ssd().hostRead(...)` — walk
+                // to the matching close paren, then require a member
+                // access right after it.
+                int depth = 0;
+                std::size_t j = i + 1;
+                for (; j < toks_.size(); ++j) {
+                    if (toks_[j].text == "(") {
+                        ++depth;
+                    } else if (toks_[j].text == ")" &&
+                               --depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+                after = j;
+            }
+            if (after >= toks_.size())
+                continue;
+            const std::string &acc = toks_[after].text;
+            if (acc != "." && acc != "->")
+                continue;
+            emit("D7", recv.line,
+                 "direct Ssd/Ftl member access `" + recv.text +
+                     (n->text == "(" ? "()" : "") + acc +
+                     "...` outside the node/array layer: src/core "
+                     "code goes through the SsdNode/ArrayCoordinator "
+                     "passthroughs so per-node geometry, fault "
+                     "domains, and drive death stay behind the "
+                     "array; deliberate escapes annotate "
+                     "lint:allow(D7: <why>)");
         }
     }
 

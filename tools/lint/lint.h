@@ -33,6 +33,14 @@
  *       pushed into the ledger. Host-interface fast paths that are
  *       genuinely not part of the scan datapath carry a reasoned
  *       `// lint:allow(D6: ...)` allowlist annotation.
+ *   D7  no direct member access on Ssd/Ftl objects (`ssd_->...`,
+ *       `ssd().hostRead(...)`, `ftl().translate(...)`) under
+ *       src/core/ outside the node/array layer (core/ssd_node and
+ *       core/array_coordinator exempt — they *are* the layer).
+ *       Everything above goes through SsdNode/ArrayCoordinator
+ *       passthroughs, so per-node geometry, fault domains, and
+ *       whole-drive death stay encapsulated behind the array.
+ *       Deliberate escapes carry `// lint:allow(D7: ...)`.
  *
  * Suppressions (same line or the line directly above the finding):
  *
@@ -59,7 +67,7 @@ struct Finding
 {
     std::string file;    ///< path as given to the linter
     int line = 0;        ///< 1-based line number
-    std::string rule;    ///< "D1".."D6"
+    std::string rule;    ///< "D1".."D7"
     std::string message; ///< human-readable explanation
 };
 
@@ -114,7 +122,7 @@ struct StrippedSource
 StrippedSource stripSource(const std::string &content);
 
 /**
- * Run the token-level rules (D1–D4, D6) on one in-memory file.
+ * Run the token-level rules (D1–D4, D6, D7) on one in-memory file.
  *
  * @param path     path used for exemption matching and reporting
  * @param content  full file text
@@ -136,8 +144,8 @@ collectUnorderedNames(const std::string &content);
 
 /**
  * Tree mode: walk <root>/src and <root>/tests (*.cc, *.h, sorted),
- * run D1–D4 and D6 on every file, then run the structural D5 checks
- * against <root>/tests/CMakeLists.txt and <root>/bench.
+ * run D1–D4, D6 and D7 on every file, then run the structural D5
+ * checks against <root>/tests/CMakeLists.txt and <root>/bench.
  */
 Report lintTree(const std::string &root, const Options &opts);
 
