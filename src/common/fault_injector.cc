@@ -17,6 +17,12 @@ FaultInjector::FaultInjector(FaultConfig config)
     if (config_.planeStallSeconds < 0.0 ||
         config_.channelStallSeconds < 0.0)
         fatal("fault stall durations must be non-negative");
+    if (config_.partialPageCorruptionProbability < 0.0 ||
+        config_.partialPageCorruptionProbability > 1.0)
+        fatal("fault probabilities must lie in [0, 1]");
+    if (config_.partialPageCorruptionProbability > 0.0 &&
+        config_.sectorsPerPage == 0)
+        fatal("partial-page corruption needs at least one sector");
     for (const auto &b : config_.bursts) {
         if (b.uncorrectableProbability < 0.0 ||
             b.uncorrectableProbability > 1.0)
@@ -89,6 +95,36 @@ FaultInjector::burstUncorrectable(std::uint64_t page_key,
             page_key ^ ((i + 1) * 0x9E3779B97F4A7C15ULL);
         if (hashUniform(config_.seed, Domain::CorrelatedBurst, salted,
                         attempt) < b.uncorrectableProbability)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::sectorCorrupted(std::uint64_t page_key,
+                               std::uint32_t sector) const
+{
+    if (config_.partialPageCorruptionProbability <= 0.0)
+        return false;
+    // Fold the sector into the key (not the attempt slot): the
+    // corruption is a property of the stored cells, so every attempt
+    // sees the same verdict.
+    std::uint64_t salted =
+        page_key ^
+        ((static_cast<std::uint64_t>(sector) + 1) *
+         0xD6E8FEB86659FD93ULL);
+    return hashUniform(config_.seed, Domain::PartialPageCorruption,
+                       salted, 0) <
+           config_.partialPageCorruptionProbability;
+}
+
+bool
+FaultInjector::pageHasCorruptedSector(std::uint64_t page_key) const
+{
+    if (config_.partialPageCorruptionProbability <= 0.0)
+        return false;
+    for (std::uint32_t s = 0; s < config_.sectorsPerPage; ++s) {
+        if (sectorCorrupted(page_key, s))
             return true;
     }
     return false;

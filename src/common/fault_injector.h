@@ -110,6 +110,20 @@ struct FaultConfig
     /** Correlated die/plane error bursts (windowed, scoped). */
     std::vector<BurstDomain> bursts;
 
+    /** Per-sector probability of latent partial-page corruption: a
+     *  data-dependent hash over (seed, page key, sector) marks
+     *  individual sectors bad *persistently* — retries re-read the
+     *  same damaged cells, so unlike the per-attempt domains the draw
+     *  ignores the attempt counter. A page whose sectors are all
+     *  clean reads normally; any corrupt sector makes the page
+     *  uncorrectable until it is rewritten elsewhere (new ppn, new
+     *  draw). 0 disables. */
+    double partialPageCorruptionProbability = 0.0;
+
+    /** Sectors per flash page for the partial-page corruption draw
+     *  (independent roll per sector). */
+    std::uint32_t sectorsPerPage = 8;
+
     /** Whole-device power loss at this tick (0 disables): all
      *  in-flight work dies, volatile state drops, and the engine
      *  replays recovery from persisted metadata. */
@@ -121,7 +135,8 @@ struct FaultConfig
     {
         return uncorrectableReadProbability > 0.0 ||
                !pageBlacklist.empty() || planeStallProbability > 0.0 ||
-               channelStallProbability > 0.0 || !bursts.empty();
+               channelStallProbability > 0.0 || !bursts.empty() ||
+               partialPageCorruptionProbability > 0.0;
     }
 
     /** True when the schedule injects nothing at all. */
@@ -151,6 +166,7 @@ class FaultInjector
         AcceleratorUnit = 4,
         CorrelatedBurst = 5,
         WearInduced = 6,
+        PartialPageCorruption = 7,
     };
 
     FaultInjector() = default;
@@ -203,6 +219,18 @@ class FaultInjector
     }
 
     bool anyBursts() const { return !config_.bursts.empty(); }
+
+    /**
+     * Is `sector` of the page at `page_key` latently corrupted?
+     * Attempt-independent by design: the damage lives in the cells,
+     * so the retry ladder re-reads the same bad data. Moving the
+     * logical page to a fresh ppn changes the key and re-rolls.
+     */
+    bool sectorCorrupted(std::uint64_t page_key,
+                         std::uint32_t sector) const;
+
+    /** Does any sector of this page carry latent corruption? */
+    bool pageHasCorruptedSector(std::uint64_t page_key) const;
 
     /** Transient plane-stall delay for this read (0 when none). */
     Tick planeStallTicks(std::uint64_t page_key,

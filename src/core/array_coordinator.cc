@@ -1,14 +1,23 @@
 #include "core/array_coordinator.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/units.h"
 #include "ssd/throughput.h"
 
 namespace deepstore::core {
 
 namespace {
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    const auto *b = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), b, b + sizeof(v));
+}
 
 /** Aggregate-outcome precedence: the worst sub-query outcome wins,
  *  and a Success with missing coverage degrades. */
@@ -39,6 +48,17 @@ outcomeOfRank(int rank)
 
 } // namespace
 
+const char *
+toString(KillNodeResult r)
+{
+    switch (r) {
+      case KillNodeResult::Killed: return "Killed";
+      case KillNodeResult::AlreadyDead: return "AlreadyDead";
+      case KillNodeResult::InvalidNode: return "InvalidNode";
+    }
+    return "UnknownKillNodeResult";
+}
+
 ArrayCoordinator::ArrayCoordinator(sim::EventQueue &events,
                                    ArrayConfig array,
                                    SsdNodeConfig base)
@@ -66,6 +86,11 @@ ArrayCoordinator::ArrayCoordinator(sim::EventQueue &events,
             killNode(idx);
         });
     }
+    scrubScannedPerNode_.assign(nodes_.size(), 0);
+    repairPagesPerNode_.assign(nodes_.size(), 0);
+    // Disabled scrub schedules nothing: default configs stay
+    // event-identical to the pre-scrub coordinator.
+    startScrub();
 }
 
 std::uint32_t
@@ -803,17 +828,527 @@ ArrayCoordinator::state(std::uint64_t query_id) const
     return QueryState::Reduce;
 }
 
+// ---- durable shard map -------------------------------------------
+
+std::vector<std::uint8_t>
+ArrayCoordinator::serializeShardMap() const
+{
+    std::vector<std::uint8_t> out;
+    putU64(out, dbs_.size());
+    for (const auto &[db_id, info] : dbs_) {
+        putU64(out, db_id);
+        putU64(out, info.featureBytes);
+        putU64(out, info.shards.size());
+        for (const DbShard &shard : info.shards) {
+            putU64(out, shard.startFeature);
+            putU64(out, shard.numFeatures);
+            putU64(out, shard.placements.size());
+            for (const ShardPlacement &pl : shard.placements) {
+                putU64(out, pl.node);
+                putU64(out, pl.lpnStart);
+                putU64(out, pl.startPpn);
+            }
+        }
+    }
+    putU64(out, nodes_.size());
+    for (const auto &nd : nodes_)
+        putU64(out, nd->nextFreeLpn());
+    return out;
+}
+
 void
+ArrayCoordinator::restoreShardMap(
+    const std::vector<std::uint8_t> &blob)
+{
+    std::size_t pos = 0;
+    auto next = [&blob, &pos]() -> std::uint64_t {
+        if (pos + sizeof(std::uint64_t) > blob.size())
+            fatal("shard-map blob truncated at byte %zu", pos);
+        std::uint64_t v;
+        std::memcpy(&v, blob.data() + pos, sizeof(v));
+        pos += sizeof(v);
+        return v;
+    };
+    std::map<std::uint64_t, DbInfo> restored;
+    const std::uint64_t n_dbs = next();
+    for (std::uint64_t d = 0; d < n_dbs; ++d) {
+        const std::uint64_t db_id = next();
+        DbInfo info;
+        info.featureBytes = next();
+        const std::uint64_t n_shards = next();
+        for (std::uint64_t s = 0; s < n_shards; ++s) {
+            DbShard shard;
+            shard.startFeature = next();
+            shard.numFeatures = next();
+            const std::uint64_t n_pl = next();
+            for (std::uint64_t p = 0; p < n_pl; ++p) {
+                ShardPlacement pl;
+                const std::uint64_t node = next();
+                pl.lpnStart = next();
+                pl.startPpn = next();
+                if (node >= nodes_.size())
+                    fatal("shard-map blob names unknown node %llu",
+                          static_cast<unsigned long long>(node));
+                pl.node = static_cast<std::uint32_t>(node);
+                shard.placements.push_back(pl);
+            }
+            info.shards.push_back(std::move(shard));
+        }
+        restored.emplace(db_id, std::move(info));
+    }
+    const std::uint64_t n_nodes = next();
+    if (n_nodes != nodes_.size())
+        fatal("shard-map blob describes a %llu-node array; this "
+              "array has %llu nodes",
+              static_cast<unsigned long long>(n_nodes),
+              static_cast<unsigned long long>(nodes_.size()));
+    for (std::uint64_t i = 0; i < n_nodes; ++i)
+        nodes_[i]->restoreNextFreeLpn(next());
+    if (pos != blob.size())
+        fatal("shard-map blob carries %zu trailing bytes",
+              blob.size() - pos);
+    dbs_ = std::move(restored);
+}
+
+void
+ArrayCoordinator::noteTornSuperblock()
+{
+    ++tornSuperblocks_;
+}
+
+// ---- scrub engine ------------------------------------------------
+
+void
+ArrayCoordinator::startScrub()
+{
+    if (!config_.scrub.enabled)
+        return;
+    if (config_.scrub.pagesPerSecond <= 0.0)
+        fatal("ScrubConfig::pagesPerSecond must be positive");
+    if (config_.scrub.batchPages == 0)
+        fatal("ScrubConfig::batchPages must be positive");
+    if (config_.scrub.passes != 0 &&
+        scrubPassesCompleted_ >= config_.scrub.passes)
+        return; // the pass budget was spent before the restart
+    const std::uint64_t gen = scrubGen_;
+    events_.scheduleAfter(
+        secondsToTicks(config_.scrub.startDelaySeconds),
+        [this, gen] {
+            if (gen != scrubGen_)
+                return;
+            buildScrubRuns();
+            scrubBatch();
+        });
+}
+
+void
+ArrayCoordinator::buildScrubRuns()
+{
+    // Deterministic order: dbs_ is an ordered map, placements are in
+    // bind/repair order. The snapshot covers every placement bound
+    // when the pass starts; databases written later join the next
+    // pass.
+    scrubRuns_.clear();
+    scrubRunIdx_ = 0;
+    scrubPageIdx_ = 0;
+    for (const auto &[db_id, info] : dbs_) {
+        for (std::uint32_t si = 0; si < info.shards.size(); ++si) {
+            const DbShard &shard = info.shards[si];
+            for (const ShardPlacement &pl : shard.placements) {
+                DbMetadata shape;
+                shape.featureBytes = info.featureBytes;
+                shape.numFeatures = shard.numFeatures;
+                const std::uint64_t pages = shape.pageCount(
+                    nodes_[pl.node]->flash().pageBytes);
+                if (pages == 0)
+                    continue;
+                scrubRuns_.push_back(ScrubRun{db_id, si, pl.node,
+                                              pl.lpnStart, pages});
+            }
+        }
+    }
+}
+
+void
+ArrayCoordinator::scrubBatch()
+{
+    const ScrubConfig &sc = config_.scrub;
+    // Gather the next batch of pages, skipping dead nodes' runs.
+    std::vector<std::pair<ScrubRun, std::uint64_t>> batch;
+    while (batch.size() < sc.batchPages &&
+           scrubRunIdx_ < scrubRuns_.size()) {
+        const ScrubRun &run = scrubRuns_[scrubRunIdx_];
+        if (!nodes_[run.node]->alive() ||
+            scrubPageIdx_ >= run.pages) {
+            ++scrubRunIdx_;
+            scrubPageIdx_ = 0;
+            continue;
+        }
+        batch.emplace_back(run, run.lpnStart + scrubPageIdx_);
+        ++scrubPageIdx_;
+    }
+    const bool pass_done = scrubRunIdx_ >= scrubRuns_.size();
+    const Tick issue = events_.now();
+    // Rate cap: the next wakeup never comes sooner than the batch's
+    // page budget allows (and never before its reads complete, so a
+    // congested device self-throttles the scrubber further).
+    const double budget_pages = static_cast<double>(
+        batch.empty() ? sc.batchPages : batch.size());
+    const Tick rate_next =
+        issue + secondsToTicks(budget_pages / sc.pagesPerSecond);
+    const std::uint64_t gen = scrubGen_;
+
+    auto next_wakeup = [this, gen, pass_done](Tick at) {
+        events_.schedule(at, [this, gen, pass_done] {
+            if (gen != scrubGen_)
+                return;
+            if (pass_done) {
+                ++scrubPassesCompleted_;
+                if (config_.scrub.passes != 0 &&
+                    scrubPassesCompleted_ >= config_.scrub.passes)
+                    return; // budget spent; the queue may drain
+                buildScrubRuns();
+            }
+            scrubBatch();
+        });
+    };
+
+    if (batch.empty()) {
+        // Nothing scannable this pass (no databases bound, or every
+        // holder is dead). passes == 0 keeps polling — note this
+        // keeps the event queue non-empty forever by design.
+        next_wakeup(rate_next);
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(batch.size());
+    auto last = std::make_shared<Tick>(issue);
+    for (const auto &[run, lpn] : batch) {
+        nodes_[run.node]->scrubRead(
+            lpn,
+            [this, gen, run = run, lpn = lpn, remaining, last,
+             rate_next, next_wakeup](Tick t, ssd::FlashStatus st) {
+                if (gen != scrubGen_)
+                    return;
+                ++scrubPagesScanned_;
+                ++scrubScannedPerNode_[run.node];
+                if (st == ssd::FlashStatus::Uncorrectable) {
+                    ++scrubUncorrectableFound_;
+                    repairPage(run, lpn);
+                }
+                *last = std::max(*last, t);
+                if (--*remaining == 0)
+                    next_wakeup(std::max(*last, rate_next));
+            });
+    }
+}
+
+void
+ArrayCoordinator::repairPage(const ScrubRun &run, std::uint64_t lpn)
+{
+    if (!config_.repair.enabled)
+        return;
+    auto it = dbs_.find(run.dbId);
+    if (it == dbs_.end() || run.shard >= it->second.shards.size())
+        return; // the map moved on since the pass snapshot
+    const DbInfo &info = it->second;
+    const DbShard &shard = info.shards[run.shard];
+    if (!nodes_[run.node]->alive())
+        return; // node death repair handles the whole shard
+    // Rewrite the page from an alive replica on another node.
+    const ShardPlacement *src = nullptr;
+    for (const ShardPlacement &pl : shard.placements) {
+        if (pl.node != run.node && nodes_[pl.node]->alive()) {
+            src = &pl;
+            break;
+        }
+    }
+    if (src == nullptr)
+        return; // detected but unrepairable: no surviving replica
+    DbMetadata shape;
+    shape.featureBytes = info.featureBytes;
+    shape.numFeatures = shard.numFeatures;
+    const std::uint64_t src_pages =
+        shape.pageCount(nodes_[src->node]->flash().pageBytes);
+    if (src_pages == 0)
+        return;
+    // Same-geometry arrays map page i <-> page i; heterogeneous page
+    // sizes rescale the offset (the rewrite only needs a source page
+    // carrying the affected features).
+    std::uint64_t src_off = (lpn - run.lpnStart) * src_pages /
+                            run.pages;
+    src_off = std::min(src_off, src_pages - 1);
+    const std::uint32_t dest_node = run.node;
+    const std::uint64_t page_bytes =
+        nodes_[dest_node]->flash().pageBytes;
+    const std::uint64_t gen = repairGen_;
+    nodes_[src->node]->scrubRead(
+        src->lpnStart + src_off,
+        [this, gen, dest_node, lpn, page_bytes](Tick t,
+                                                ssd::FlashStatus) {
+            if (gen != repairGen_)
+                return;
+            const Tick arrive = repairTransfer(t, page_bytes);
+            events_.schedule(arrive, [this, gen, dest_node, lpn] {
+                if (gen != repairGen_ ||
+                    !nodes_[dest_node]->alive())
+                    return;
+                // The in-place overwrite migrates the page to a new
+                // physical location, so the corruption draw re-rolls
+                // on fresh cells.
+                nodes_[dest_node]->hostWrite(
+                    lpn, 1, [this, gen](Tick) {
+                        if (gen != repairGen_)
+                            return;
+                        ++scrubLatentRepaired_;
+                    });
+            });
+        });
+}
+
+// ---- repair engine -----------------------------------------------
+
+void
+ArrayCoordinator::scheduleRepairScan()
+{
+    if (!config_.repair.enabled)
+        return;
+    const std::uint64_t gen = repairGen_;
+    events_.scheduleAfter(0, [this, gen] {
+        if (gen == repairGen_)
+            repairScan();
+    });
+}
+
+void
+ArrayCoordinator::repairScan()
+{
+    for (auto &[db_id, info] : dbs_) {
+        for (std::uint32_t si = 0; si < info.shards.size(); ++si) {
+            DbShard &shard = info.shards[si];
+            std::vector<std::uint32_t> holders;
+            const ShardPlacement *src = nullptr;
+            for (const ShardPlacement &pl : shard.placements) {
+                if (!nodes_[pl.node]->alive())
+                    continue;
+                if (std::find(holders.begin(), holders.end(),
+                              pl.node) == holders.end())
+                    holders.push_back(pl.node);
+                if (src == nullptr)
+                    src = &pl;
+            }
+            const std::uint32_t desired = std::min<std::uint32_t>(
+                std::max(config_.replication, 1u), aliveCount());
+            if (src == nullptr || holders.size() >= desired)
+                continue; // lost outright, or replicated enough
+            const auto key = std::make_pair(db_id, si);
+            if (std::find(repairPending_.begin(),
+                          repairPending_.end(),
+                          key) != repairPending_.end())
+                continue;
+            // Destination: lowest-index alive node without a copy.
+            SsdNode *dest = nullptr;
+            std::uint32_t dest_i = 0;
+            for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+                if (!nodes_[n]->alive())
+                    continue;
+                if (std::find(holders.begin(), holders.end(), n) !=
+                    holders.end())
+                    continue;
+                dest = nodes_[n].get();
+                dest_i = n;
+                break;
+            }
+            if (dest == nullptr)
+                continue;
+            DbMetadata shape;
+            shape.featureBytes = info.featureBytes;
+            shape.numFeatures = shard.numFeatures;
+            const std::uint64_t dest_pages =
+                shape.pageCount(dest->flash().pageBytes);
+            if (dest_pages == 0)
+                continue;
+            RepairTask task;
+            task.dbId = db_id;
+            task.shard = si;
+            task.srcNode = src->node;
+            task.srcLpnStart = src->lpnStart;
+            task.srcPages = shape.pageCount(
+                nodes_[src->node]->flash().pageBytes);
+            task.destNode = dest_i;
+            task.destLpnStart = dest->allocatePages(dest_pages);
+            task.destPages = dest_pages;
+            repairQueue_.push_back(task);
+            repairPending_.push_back(key);
+        }
+    }
+    if (!repairActive_ && !repairQueue_.empty()) {
+        repairActive_ = true;
+        repairBatch();
+    }
+}
+
+void
+ArrayCoordinator::repairBatch()
+{
+    DS_ASSERT(repairActive_);
+    while (!repairQueue_.empty()) {
+        const RepairTask &front = repairQueue_.front();
+        if (nodes_[front.srcNode]->alive() &&
+            nodes_[front.destNode]->alive())
+            break;
+        // A participant died mid-copy: drop the task and rescan (a
+        // different source or destination may still work; the
+        // abandoned destination pages stay allocated — the
+        // append-only allocator never reuses them).
+        const auto key = std::make_pair(front.dbId, front.shard);
+        auto pit = std::find(repairPending_.begin(),
+                             repairPending_.end(), key);
+        if (pit != repairPending_.end())
+            repairPending_.erase(pit);
+        repairQueue_.erase(repairQueue_.begin());
+        scheduleRepairScan();
+    }
+    if (repairQueue_.empty()) {
+        repairActive_ = false;
+        return;
+    }
+    // Copy the front task by value: completions below run after
+    // repairScan may have grown (reallocated) the queue.
+    const RepairTask task = repairQueue_.front();
+    const std::uint64_t n = std::min<std::uint64_t>(
+        std::max(config_.repair.batchPages, 1u),
+        task.destPages - task.next);
+    DS_ASSERT(n > 0);
+    const std::uint64_t gen = repairGen_;
+    const std::uint64_t page_bytes =
+        nodes_[task.destNode]->flash().pageBytes;
+    auto left = std::make_shared<std::uint64_t>(n);
+    auto batch_done = [this, gen, n] {
+        if (gen != repairGen_)
+            return;
+        DS_ASSERT(!repairQueue_.empty());
+        RepairTask &t = repairQueue_.front();
+        t.next += n;
+        if (t.next >= t.destPages)
+            finishRepairTask();
+        else
+            repairBatch();
+    };
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t di = task.next + i;
+        std::uint64_t si = di * task.srcPages / task.destPages;
+        si = std::min(si, task.srcPages - 1);
+        // The source read is a verifying flash read on the donor's
+        // channel buses; like GC relocation, repair takes the page as
+        // the media returns it (no extra ECC heroics on this path).
+        nodes_[task.srcNode]->scrubRead(
+            task.srcLpnStart + si,
+            [this, gen, task, di, left, page_bytes, batch_done](
+                Tick t, ssd::FlashStatus) {
+                if (gen != repairGen_)
+                    return;
+                const Tick arrive = repairTransfer(t, page_bytes);
+                events_.schedule(arrive, [this, gen, task, di, left,
+                                          batch_done] {
+                    if (gen != repairGen_)
+                        return;
+                    if (!nodes_[task.destNode]->alive()) {
+                        // Destination died under the copy; the next
+                        // batch_done aborts the task.
+                        if (--*left == 0)
+                            batch_done();
+                        return;
+                    }
+                    nodes_[task.destNode]->hostWrite(
+                        task.destLpnStart + di, 1,
+                        [this, gen, task, left, batch_done](Tick) {
+                            if (gen != repairGen_)
+                                return;
+                            ++repairPagesCopied_;
+                            ++repairPagesPerNode_[task.destNode];
+                            if (--*left == 0)
+                                batch_done();
+                        });
+                });
+            });
+    }
+}
+
+void
+ArrayCoordinator::finishRepairTask()
+{
+    DS_ASSERT(!repairQueue_.empty());
+    const RepairTask task = repairQueue_.front();
+    repairQueue_.erase(repairQueue_.begin());
+    const auto key = std::make_pair(task.dbId, task.shard);
+    auto pit = std::find(repairPending_.begin(),
+                         repairPending_.end(), key);
+    if (pit != repairPending_.end())
+        repairPending_.erase(pit);
+    auto it = dbs_.find(task.dbId);
+    if (it != dbs_.end() &&
+        task.shard < it->second.shards.size() &&
+        nodes_[task.destNode]->alive()) {
+        // The new copy goes live: queries, failover, and the next
+        // scrub pass all see it through the normal placement list.
+        ShardPlacement pl;
+        pl.node = task.destNode;
+        pl.lpnStart = task.destLpnStart;
+        pl.startPpn =
+            nodes_[task.destNode]->translate(task.destLpnStart);
+        it->second.shards[task.shard].placements.push_back(pl);
+        ++repairShardsRepaired_;
+    }
+    // Deaths during the copy may have exposed more shards.
+    repairScan();
+    if (repairQueue_.empty()) {
+        repairActive_ = false;
+        lastRepairCompleteTick_ = events_.now();
+    } else {
+        repairBatch();
+    }
+}
+
+Tick
+ArrayCoordinator::repairTransfer(Tick ready, std::uint64_t bytes)
+{
+    // Token-bucket pacing against the configured cap, then the real
+    // fabric: repair throughput is min(cap, fabric share), and
+    // queries' scatter/merge legs queue behind repair grants on the
+    // same link.
+    Tick start = std::max(ready, repairCapFreeAt_);
+    if (config_.repair.bandwidthBytesPerSecond > 0.0)
+        repairCapFreeAt_ =
+            start + secondsToTicks(
+                        static_cast<double>(bytes) /
+                        config_.repair.bandwidthBytesPerSecond);
+    else
+        repairCapFreeAt_ = start;
+    repairBytesOverFabric_ += bytes;
+    return fabric_.acquire(repairCapFreeAt_, bytes);
+}
+
+// ---- lifecycle ---------------------------------------------------
+
+KillNodeResult
 ArrayCoordinator::killNode(std::uint32_t node_i)
 {
-    SsdNode &nd = *nodes_.at(node_i);
+    if (node_i >= nodes_.size())
+        return KillNodeResult::InvalidNode;
+    SsdNode &nd = *nodes_[node_i];
     if (!nd.alive())
-        return;
+        return KillNodeResult::AlreadyDead;
     arrayStats_.get("array.nodeDeaths") += 1;
     // kill() marks the drive dead first, then fails its in-flight
     // sub-queries; their finalizes land in onSubTerminal, which sees
     // the dead node and re-stripes onto replicas.
     nd.kill();
+    // Self-healing: re-replicate the dead node's shards onto
+    // survivors (deferred one event so the failover cascade above
+    // settles first).
+    scheduleRepairScan();
+    return KillNodeResult::Killed;
 }
 
 void
@@ -843,6 +1378,20 @@ ArrayCoordinator::powerLoss()
     for (auto &nd : nodes_)
         nd->devicePowerLoss();
     inPowerLoss_ = false;
+    // Scrub wakeups and in-flight repair copies died with the
+    // capacitors: bump both generations so their stale events are
+    // no-ops, forget queued tasks (half-copied destination pages
+    // stay allocated; the append-only allocator never reuses them),
+    // then restart both engines under the new generations. Disabled
+    // engines schedule nothing, keeping default runs event-identical.
+    ++scrubGen_;
+    ++repairGen_;
+    repairQueue_.clear();
+    repairPending_.clear();
+    repairActive_ = false;
+    repairCapFreeAt_ = 0;
+    startScrub();
+    scheduleRepairScan();
 }
 
 void
@@ -851,6 +1400,32 @@ ArrayCoordinator::dumpStats(std::ostream &os)
     os << "array.nodes = " << nodes_.size() << "\n";
     os << "array.aliveNodes = " << aliveCount() << "\n";
     os << "array.replication = " << config_.replication << "\n";
+    // Scrub/repair rows appear only when the engines are in play, so
+    // default-config stat dumps stay byte-identical to the pre-scrub
+    // coordinator (the determinism sweeps compare dump strings).
+    if (config_.scrub.enabled || scrubPagesScanned_ > 0) {
+        os << "array.scrub.pagesScanned = " << scrubPagesScanned_
+           << "\n";
+        os << "array.scrub.uncorrectableFound = "
+           << scrubUncorrectableFound_ << "\n";
+        os << "array.scrub.latentRepaired = " << scrubLatentRepaired_
+           << "\n";
+        os << "array.scrub.passes = " << scrubPassesCompleted_
+           << "\n";
+    }
+    if (config_.repair.enabled || repairPagesCopied_ > 0) {
+        os << "array.repair.shardsRepaired = "
+           << repairShardsRepaired_ << "\n";
+        os << "array.repair.pagesCopied = " << repairPagesCopied_
+           << "\n";
+        os << "array.repair.bytesOverFabric = "
+           << repairBytesOverFabric_ << "\n";
+        os << "array.repair.lastCompleteTick = "
+           << lastRepairCompleteTick_ << "\n";
+    }
+    if (tornSuperblocks_ > 0)
+        os << "array.superblock.tornReplicas = " << tornSuperblocks_
+           << "\n";
     arrayStats_.get("array.fabric.grants")
         .set(static_cast<double>(fabric_.grants()));
     arrayStats_.get("array.fabric.bytes")

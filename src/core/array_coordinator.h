@@ -46,6 +46,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "core/ssd_node.h"
@@ -59,6 +60,54 @@ struct ArrayNodeDeath
     std::uint32_t node = 0;
     Tick atTick = 0;
 };
+
+/**
+ * Background scrub: a deterministic, rate-limited scanner that walks
+ * every bound shard placement page by page with verifying flash reads
+ * (real FlashCommands on the per-channel buses, contending with
+ * foreground scans), surfacing latent uncorrectable pages before a
+ * query hits them. Disabled by default: a default config schedules
+ * zero events and leaves every run tick-identical.
+ */
+struct ScrubConfig
+{
+    bool enabled = false;
+    /** Rate cap: verifying reads issued per simulated second. */
+    double pagesPerSecond = 2000.0;
+    /** Pages read per scrub wakeup (bounds burstiness). */
+    std::uint32_t batchPages = 8;
+    /** Delay before the first batch. */
+    double startDelaySeconds = 1e-3;
+    /** Full passes over the bound placements (0 = scrub forever).
+     *  Bounded by default so simulations terminate. */
+    std::uint32_t passes = 1;
+};
+
+/**
+ * Repair engine: re-replicates under-replicated shards onto alive
+ * nodes when a drive dies, and rewrites scrub-found bad pages from a
+ * surviving replica. Repair traffic crosses the shared host fabric
+ * behind a configurable bandwidth cap, so it contends honestly with
+ * query scatter/merge legs. Disabled by default.
+ */
+struct RepairConfig
+{
+    bool enabled = false;
+    /** Pacing cap on repair traffic entering the fabric, bytes/s. */
+    double bandwidthBytesPerSecond = 1.6e9;
+    /** Pages copied per repair wakeup. */
+    std::uint32_t batchPages = 8;
+};
+
+/** Typed result of a kill request (no UB on bad indices). */
+enum class KillNodeResult
+{
+    Killed,      ///< the node was alive and is now dead
+    AlreadyDead, ///< idempotent no-op
+    InvalidNode, ///< index out of range; nothing happened
+};
+
+const char *toString(KillNodeResult r);
 
 /** Array topology configuration. */
 struct ArrayConfig
@@ -83,6 +132,12 @@ struct ArrayConfig
 
     /** Re-dispatch budget per shard across node deaths. */
     std::uint32_t maxNodeRetries = 2;
+
+    /** Background media scrub (off by default). */
+    ScrubConfig scrub;
+
+    /** Self-healing re-replication (off by default). */
+    RepairConfig repair;
 };
 
 /** One page run an ingest must write (per shard placement). */
@@ -251,10 +306,91 @@ class ArrayCoordinator
 
     std::size_t inFlight() const { return inFlight_; }
 
+    // ---- durable shard map ---------------------------------------
+
+    /**
+     * Serialize the shard map (every db's shards, placements, and
+     * each node's allocator high-water mark) for the replicated
+     * superblock image. Round-trips exactly through
+     * restoreShardMap().
+     */
+    std::vector<std::uint8_t> serializeShardMap() const;
+
+    /**
+     * Replace the shard map with a serialized image (power-loss
+     * recovery). Node allocator marks restore monotonically
+     * (max(current, stored)) so an older epoch never un-allocates
+     * pages the device already handed out. fatal() on a malformed
+     * blob — callers validate the superblock checksum first.
+     */
+    void restoreShardMap(const std::vector<std::uint8_t> &blob);
+
+    // ---- scrub / repair ------------------------------------------
+
+    std::uint64_t scrubPagesScanned() const
+    {
+        return scrubPagesScanned_;
+    }
+    std::uint64_t scrubUncorrectableFound() const
+    {
+        return scrubUncorrectableFound_;
+    }
+    std::uint64_t scrubLatentRepaired() const
+    {
+        return scrubLatentRepaired_;
+    }
+    std::uint64_t scrubPassesCompleted() const
+    {
+        return scrubPassesCompleted_;
+    }
+    std::uint64_t repairShardsRepaired() const
+    {
+        return repairShardsRepaired_;
+    }
+    std::uint64_t repairPagesCopied() const
+    {
+        return repairPagesCopied_;
+    }
+    std::uint64_t repairBytesOverFabric() const
+    {
+        return repairBytesOverFabric_;
+    }
+    /** True when no repair task is queued or copying. */
+    bool repairIdle() const
+    {
+        return !repairActive_ && repairQueue_.empty();
+    }
+    /** Tick the array last returned to full replication (0 when
+     *  repair never ran to completion). */
+    Tick lastRepairCompleteTick() const
+    {
+        return lastRepairCompleteTick_;
+    }
+    /** Per-node ArrayInfo rows. */
+    std::uint64_t scrubPagesScannedOn(std::uint32_t node_i) const
+    {
+        return scrubScannedPerNode_.at(node_i);
+    }
+    std::uint64_t repairPagesCopiedTo(std::uint32_t node_i) const
+    {
+        return repairPagesPerNode_.at(node_i);
+    }
+
+    /** Torn/corrupt superblock replicas seen during recovery. */
+    std::uint64_t tornSuperblocks() const { return tornSuperblocks_; }
+    void noteTornSuperblock();
+
+    /** Scan for under-replicated shards and queue repair copies (a
+     *  no-op unless the repair engine is enabled). Runs
+     *  automatically on node death; recovery calls it again after a
+     *  power loss interrupted active repairs. */
+    void scheduleRepairScan();
+
     // ---- lifecycle -----------------------------------------------
 
-    /** Whole-drive failure at the current tick (idempotent). */
-    void killNode(std::uint32_t node_i);
+    /** Whole-drive failure at the current tick. Idempotent
+     *  (AlreadyDead) and range-checked (InvalidNode). */
+    KillNodeResult killNode(std::uint32_t node_i);
 
     /** Whole-array power loss: fail every in-flight sub-query and
      *  pending merge at the current tick (aggregates finalize with
@@ -336,6 +472,47 @@ class ArrayCoordinator
         QueryOutcome terminalOutcome = QueryOutcome::Success;
     };
 
+    /** One contiguous page run the scrub pass must verify. */
+    struct ScrubRun
+    {
+        std::uint64_t dbId = 0;
+        std::uint32_t shard = 0;
+        std::uint32_t node = 0;
+        std::uint64_t lpnStart = 0;
+        std::uint64_t pages = 0;
+    };
+
+    /** One queued shard re-replication. */
+    struct RepairTask
+    {
+        std::uint64_t dbId = 0;
+        std::uint32_t shard = 0;
+        std::uint32_t srcNode = 0;
+        std::uint64_t srcLpnStart = 0;
+        std::uint64_t srcPages = 0;
+        std::uint32_t destNode = 0;
+        std::uint64_t destLpnStart = 0;
+        std::uint64_t destPages = 0;
+        /** Next destination page to copy. */
+        std::uint64_t next = 0;
+    };
+
+    // ---- scrub engine --------------------------------------------
+    void startScrub();
+    void scrubBatch();
+    void buildScrubRuns();
+    /** Scrub found an uncorrectable page: rewrite it from an alive
+     *  replica when one exists. */
+    void repairPage(const ScrubRun &run, std::uint64_t lpn);
+
+    // ---- repair engine -------------------------------------------
+    void repairScan();
+    void repairBatch();
+    void finishRepairTask();
+    /** Pace `bytes` of repair traffic through the cap, then the
+     *  shared fabric; returns the arrival tick. */
+    Tick repairTransfer(Tick ready, std::uint64_t bytes);
+
     std::uint64_t composeSubId(std::uint64_t query_id,
                                std::uint64_t seq) const;
     void trackNode(AggQuery &agg, std::uint32_t node_i);
@@ -367,6 +544,35 @@ class ArrayCoordinator
     std::map<std::uint64_t, AggQuery> aggs_;
     std::size_t inFlight_ = 0;
     bool inPowerLoss_ = false;
+
+    // ---- scrub state ---------------------------------------------
+    std::vector<ScrubRun> scrubRuns_;
+    std::size_t scrubRunIdx_ = 0;
+    std::uint64_t scrubPageIdx_ = 0;
+    /** Bumped on power loss: stale scrub wakeups become no-ops and
+     *  the restarted pass reschedules under the new generation. */
+    std::uint64_t scrubGen_ = 0;
+    std::uint64_t scrubPagesScanned_ = 0;
+    std::uint64_t scrubUncorrectableFound_ = 0;
+    std::uint64_t scrubLatentRepaired_ = 0;
+    std::uint64_t scrubPassesCompleted_ = 0;
+    std::vector<std::uint64_t> scrubScannedPerNode_;
+
+    // ---- repair state --------------------------------------------
+    std::vector<RepairTask> repairQueue_;
+    /** (dbId, shard) pairs with a queued or active copy. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>
+        repairPending_;
+    bool repairActive_ = false;
+    std::uint64_t repairGen_ = 0;
+    Tick repairCapFreeAt_ = 0;
+    std::uint64_t repairShardsRepaired_ = 0;
+    std::uint64_t repairPagesCopied_ = 0;
+    std::uint64_t repairBytesOverFabric_ = 0;
+    Tick lastRepairCompleteTick_ = 0;
+    std::vector<std::uint64_t> repairPagesPerNode_;
+
+    std::uint64_t tornSuperblocks_ = 0;
 };
 
 } // namespace deepstore::core

@@ -1,0 +1,120 @@
+#include "core/array_superblock.h"
+
+#include <cstring>
+
+namespace deepstore::core {
+
+namespace {
+
+constexpr std::uint64_t kSuperblockMagic = 0x4B4C425253445344ULL;
+constexpr std::size_t kHeaderBytes = 40;
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    const auto *b = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), b, b + sizeof(v));
+}
+
+std::uint64_t
+readU64(const std::vector<std::uint8_t> &in, std::size_t pos)
+{
+    std::uint64_t v;
+    std::memcpy(&v, in.data() + pos, sizeof(v));
+    return v;
+}
+
+/** FNV-1a over a word, chained. */
+std::uint64_t
+fnvWord(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvBytes(std::uint64_t h, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+imageChecksum(const SuperblockImage &image)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    h = fnvWord(h, image.epoch);
+    h = fnvWord(h, image.metadataBlob.size());
+    h = fnvWord(h, image.shardMapBlob.size());
+    h = fnvBytes(h, image.metadataBlob);
+    h = fnvBytes(h, image.shardMapBlob);
+    return h;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeSuperblock(const SuperblockImage &image)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes + image.metadataBlob.size() +
+                image.shardMapBlob.size());
+    putU64(out, kSuperblockMagic);
+    putU64(out, image.epoch);
+    putU64(out, image.metadataBlob.size());
+    putU64(out, image.shardMapBlob.size());
+    putU64(out, imageChecksum(image));
+    out.insert(out.end(), image.metadataBlob.begin(),
+               image.metadataBlob.end());
+    out.insert(out.end(), image.shardMapBlob.begin(),
+               image.shardMapBlob.end());
+    return out;
+}
+
+std::optional<SuperblockImage>
+decodeSuperblock(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < kHeaderBytes)
+        return std::nullopt;
+    if (readU64(bytes, 0) != kSuperblockMagic)
+        return std::nullopt;
+    SuperblockImage image;
+    image.epoch = readU64(bytes, 8);
+    std::uint64_t meta_len = readU64(bytes, 16);
+    std::uint64_t shard_len = readU64(bytes, 24);
+    std::uint64_t checksum = readU64(bytes, 32);
+    if (bytes.size() < kHeaderBytes + meta_len + shard_len)
+        return std::nullopt;
+    auto meta_begin = bytes.begin() + kHeaderBytes;
+    image.metadataBlob.assign(meta_begin, meta_begin + meta_len);
+    image.shardMapBlob.assign(meta_begin + meta_len,
+                              meta_begin + meta_len + shard_len);
+    if (imageChecksum(image) != checksum)
+        return std::nullopt;
+    return image;
+}
+
+std::optional<std::uint64_t>
+superblockImageBytes(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < kHeaderBytes)
+        return std::nullopt;
+    if (readU64(bytes, 0) != kSuperblockMagic)
+        return std::nullopt;
+    const std::uint64_t meta_len = readU64(bytes, 16);
+    const std::uint64_t shard_len = readU64(bytes, 24);
+    // A torn first page can carry garbage lengths; anything that
+    // would overflow is certainly not a real image.
+    constexpr std::uint64_t kSane = 1ULL << 56;
+    if (meta_len >= kSane || shard_len >= kSane)
+        return std::nullopt;
+    return kHeaderBytes + meta_len + shard_len;
+}
+
+} // namespace deepstore::core

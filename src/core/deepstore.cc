@@ -1,8 +1,10 @@
 #include "core/deepstore.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
+#include "core/array_superblock.h"
 #include "sim/clock.h"
 #include "ssd/throughput.h"
 
@@ -658,78 +660,158 @@ DeepStore::hostTrim(std::uint64_t lpn_start, std::uint64_t count,
 std::uint64_t
 DeepStore::persistMetadata()
 {
-    // The metadata table lives on node 0, the array's admin drive
-    // (the shard map is derived from it at bind time and kept by the
-    // coordinator).
-    SsdNode &n0 = array_->node(0);
-    auto blob = metadata_.serialize();
-    const std::uint64_t page_bytes = n0.flash().pageBytes;
-    std::uint64_t pages =
-        (blob.size() + page_bytes - 1) / page_bytes;
-    // Reserved block at the very top of the LPN space, away from the
-    // append-allocated database region.
-    std::uint64_t reserved_lpn = n0.reservedMetadataLpn();
-    // The table is rewritten in place on every persist; trim first so
-    // the block-level FTL does not charge a migration.
-    n0.trimPages(reserved_lpn, pages);
+    // §4.4 metadata persistence, generalized to the array (DESIGN.md
+    // §12): the metadata table and the coordinator's shard map are
+    // bundled into one epoch-stamped, checksummed superblock image
+    // and written to the reserved block of *every* alive node, so
+    // recovery survives any minority of torn or dead replicas —
+    // including node 0's.
+    SuperblockImage image;
+    image.epoch = ++metadataEpoch_;
+    image.metadataBlob = metadata_.serialize();
+    image.shardMapBlob = array_->serializeShardMap();
+    const std::vector<std::uint8_t> encoded =
+        encodeSuperblock(image);
+
+    const std::uint64_t gen = metadataFlushGen_;
     Tick t0 = events_.now();
-    bool done = false;
-    n0.hostWrite(reserved_lpn, pages, [&done](Tick) { done = true; });
-    stepUntil(done);
+    std::size_t remaining = 0;
+    std::uint64_t node0_pages = 0;
+    for (std::uint32_t n = 0; n < array_->nodeCount(); ++n) {
+        SsdNode &nd = array_->node(n);
+        if (!nd.alive())
+            continue;
+        const std::uint64_t page_bytes = nd.flash().pageBytes;
+        const std::uint64_t pages =
+            (encoded.size() + page_bytes - 1) / page_bytes;
+        if (n == 0)
+            node0_pages = pages;
+        const std::uint64_t reserved = nd.reservedMetadataLpn();
+        // Rewritten in place on every persist; trim first so the
+        // block-level FTL does not charge a migration.
+        nd.trimPages(reserved, pages);
+        remaining += pages;
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const std::size_t off =
+                static_cast<std::size_t>(i * page_bytes);
+            const std::size_t len = std::min<std::size_t>(
+                page_bytes, encoded.size() - off);
+            std::vector<std::uint8_t> slice(
+                encoded.begin() + static_cast<long>(off),
+                encoded.begin() + static_cast<long>(off + len));
+            // One program per page, its payload committed at that
+            // program's completion tick: the capacitor-backed flush
+            // that loses power mid-way leaves this replica torn —
+            // some pages new, the rest stale — which recovery
+            // detects by checksum.
+            nd.hostWrite(
+                reserved + i, 1,
+                [this, gen, n, lpn = reserved + i,
+                 slice = std::move(slice),
+                 &remaining](Tick) mutable {
+                    if (gen != metadataFlushGen_)
+                        return;
+                    array_->node(n).storePayload(lpn,
+                                                 std::move(slice));
+                    --remaining;
+                });
+        }
+    }
+    // Interruptible wait: a power loss mid-flush bumps the flush
+    // generation and the uncommitted pages are abandoned.
+    while (remaining > 0 && gen == metadataFlushGen_) {
+        if (!events_.step())
+            panic("event queue drained while a metadata flush was "
+                  "still outstanding");
+    }
     ledger_.attribute(ticksToSeconds(events_.now() - t0),
                       TimeComponent::Metadata);
-    for (std::uint64_t i = 0; i < pages; ++i) {
-        std::size_t off = static_cast<std::size_t>(i * page_bytes);
-        std::size_t len =
-            std::min<std::size_t>(page_bytes, blob.size() - off);
-        n0.storePayload(reserved_lpn + i,
-                        {blob.begin() + static_cast<long>(off),
-                         blob.begin() + static_cast<long>(off) +
-                             static_cast<long>(len)});
-    }
-    persistedMetadataPages_ = pages;
-    return pages;
+    return node0_pages;
 }
 
 void
 DeepStore::reloadMetadata()
 {
-    if (persistedMetadataPages_ == 0)
+    if (metadataEpoch_ == 0)
         fatal("no metadata has been persisted to the reserved block");
-    SsdNode &n0 = array_->node(0);
-    std::uint64_t reserved_lpn = n0.reservedMetadataLpn();
+    // Read every alive node's superblock replica through the normal
+    // host-read path (header page first, then the remainder the
+    // header promises), discard torn or corrupt copies by checksum,
+    // and adopt the highest surviving epoch (ties: lowest node).
     Tick t0 = events_.now();
-    bool done = false;
-    n0.hostRead(reserved_lpn, persistedMetadataPages_,
-                [&done](Tick) { done = true; });
-    stepUntil(done);
+    std::optional<SuperblockImage> best;
+    for (std::uint32_t n = 0; n < array_->nodeCount(); ++n) {
+        SsdNode &nd = array_->node(n);
+        if (!nd.alive())
+            continue;
+        const std::uint64_t page_bytes = nd.flash().pageBytes;
+        const std::uint64_t reserved = nd.reservedMetadataLpn();
+        const std::uint64_t region_pages =
+            nd.flash().totalPages() - reserved;
+        bool done = false;
+        nd.hostRead(reserved, 1, [&done](Tick) { done = true; });
+        stepUntil(done);
+        const auto *first = nd.payload(reserved);
+        if (!first)
+            continue; // this replica never saw a persist
+        std::vector<std::uint8_t> blob = *first;
+        std::uint64_t total_pages = 1;
+        const auto promised = superblockImageBytes(blob);
+        if (promised &&
+            *promised / page_bytes < region_pages)
+            total_pages =
+                (*promised + page_bytes - 1) / page_bytes;
+        if (total_pages > 1) {
+            bool rest = false;
+            nd.hostRead(reserved + 1, total_pages - 1,
+                        [&rest](Tick) { rest = true; });
+            stepUntil(rest);
+            for (std::uint64_t i = 1; i < total_pages; ++i) {
+                const auto *page = nd.payload(reserved + i);
+                if (!page) {
+                    blob.clear(); // short replica: torn
+                    break;
+                }
+                blob.insert(blob.end(), page->begin(), page->end());
+            }
+        }
+        auto image = decodeSuperblock(blob);
+        if (!image) {
+            array_->noteTornSuperblock();
+            continue;
+        }
+        if (!best || image->epoch > best->epoch)
+            best = std::move(image);
+    }
     ledger_.attribute(ticksToSeconds(events_.now() - t0),
                       TimeComponent::Metadata);
-    std::vector<std::uint8_t> blob;
-    for (std::uint64_t i = 0; i < persistedMetadataPages_; ++i) {
-        const auto *page = n0.payload(reserved_lpn + i);
-        if (!page)
-            panic("reserved metadata page %llu has no payload",
-                  static_cast<unsigned long long>(i));
-        blob.insert(blob.end(), page->begin(), page->end());
-    }
+    if (!best)
+        fatal("metadata recovery: no intact superblock replica "
+              "survived on any alive node");
     metadata_.clear();
-    metadata_.deserialize(blob);
+    metadata_.deserialize(best->metadataBlob);
+    array_->restoreShardMap(best->shardMapBlob);
+    metadataEpoch_ = best->epoch;
 }
 
 void
 DeepStore::powerLoss()
 {
+    // In-flight metadata-flush commits die with the capacitors:
+    // pages not yet completed at this tick never reach their
+    // replicas (torn-image modeling).
+    ++metadataFlushGen_;
     // Order matters: each node's scheduler computes its killed
     // sub-queries' remnant coverage through their still-open scan
     // groups/streams, so the coordinator fails all in-flight work
     // (finalizing every aggregate) before any volatile device state
     // is dropped.
     array_->powerLoss();
-    // Volatile metadata cache is gone; recover from the reserved
-    // flash block when a persist exists (replayed through the normal
-    // host-read path, charged to the Metadata ledger component).
-    if (persistedMetadataPages_ > 0) {
+    // Volatile metadata cache is gone; recover from the replicated
+    // superblocks when a persist exists (replayed through the normal
+    // host-read path, charged to the Metadata ledger component). The
+    // coordinator's striping rebuilds from any surviving majority.
+    if (metadataEpoch_ > 0) {
         reloadMetadata();
     } else {
         metadata_.clear();

@@ -283,9 +283,14 @@ class DeepStore
     const ArrayCoordinator &array() const { return *array_; }
 
     /** Whole-drive failure of array node `i` at the current tick:
-     *  its in-flight sub-queries fail over onto replicas (see
-     *  ArrayCoordinator::killNode). */
-    void killNode(std::uint32_t node_i) { array_->killNode(node_i); }
+     *  its in-flight sub-queries fail over onto replicas and, with
+     *  the repair engine enabled, its shards re-replicate onto
+     *  survivors (see ArrayCoordinator::killNode). Idempotent
+     *  (AlreadyDead) and range-checked (InvalidNode) — never UB. */
+    KillNodeResult killNode(std::uint32_t node_i)
+    {
+        return array_->killNode(node_i);
+    }
 
     // ---- host I/O passthroughs (NVMe front end) ------------------
     // Raw LPN reads/writes/trims against node 0, the array's
@@ -311,17 +316,33 @@ class DeepStore
      * Persist the database metadata table into the reserved flash
      * block at the top of the LPN space (§4.4: "This metadata is
      * persisted in a reserved flash block, but will be cached in SSD
-     * DRAM"). @return pages written.
+     * DRAM"). Since DESIGN.md §12 the persisted unit is a versioned,
+     * checksummed superblock image — metadata table + the
+     * coordinator's shard map under one epoch — replicated onto
+     * *every* alive node through real per-page flash programs. A
+     * power loss mid-flush leaves torn replicas (detected by
+     * checksum on recovery) rather than a committed half-state.
+     * @return pages written on node 0.
      */
     std::uint64_t persistMetadata();
 
     /**
      * Drop the DRAM-cached metadata table and reload it from the
-     * reserved flash block (the power-loss recovery path). Feature
-     * sources survive (they model the flash contents themselves).
-     * fatal() if persistMetadata() was never called.
+     * reserved flash blocks (the power-loss recovery path): every
+     * alive node's superblock replica is read back, torn or corrupt
+     * copies are discarded by checksum, and the highest surviving
+     * epoch wins — so recovery works from any surviving replica,
+     * including after node-0 death. Restores both the metadata table
+     * and the coordinator's shard map. Feature sources survive (they
+     * model the flash contents themselves). fatal() if
+     * persistMetadata() was never called, or when no intact replica
+     * survives.
      */
     void reloadMetadata();
+
+    /** Monotonic superblock epoch of the last persist (0 = never
+     *  persisted). Recovery adopts the highest surviving epoch. */
+    std::uint64_t metadataEpoch() const { return metadataEpoch_; }
 
     /**
      * Whole-device power loss at the current tick (also reachable by
@@ -400,7 +421,11 @@ class DeepStore
     /** QFVs of previously seen queries (QC scoring inputs). */
     std::vector<std::vector<float>> seenQueries_;
 
-    std::uint64_t persistedMetadataPages_ = 0;
+    /** Epoch stamped into the last persisted superblock image. */
+    std::uint64_t metadataEpoch_ = 0;
+    /** Bumped by powerLoss(): metadata-flush page commits from the
+     *  pre-loss epoch are abandoned, leaving torn replicas. */
+    std::uint64_t metadataFlushGen_ = 0;
     std::uint64_t nextModelId_ = 1;
     std::uint64_t nextQueryId_ = 1;
 };

@@ -288,6 +288,10 @@ NvmeFrontEnd::execute(const NvmeCommand &cmd)
                     node.flash().chipsPerChannel));
                 out->push_back(
                     static_cast<float>(node.nocWaitTicks()));
+                out->push_back(static_cast<float>(
+                    array.scrubPagesScannedOn(i)));
+                out->push_back(static_cast<float>(
+                    array.repairPagesCopiedTo(i)));
             }
             done.result =
                 static_cast<std::uint64_t>(array.nodeCount()) |

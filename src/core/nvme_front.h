@@ -94,7 +94,8 @@ struct NvmeCommand
      *  SetQC:     cdw0 = qcn model_id, cdw1 = threshold * 1e4,
      *             cdw2 = accuracy * 1e4, cdw3 = capacity
      *  ArrayInfo: prp buffer receives, per node: [index, alive,
-     *             channels, chipsPerChannel, nocWaitTicks]; the
+     *             channels, chipsPerChannel, nocWaitTicks,
+     *             scrubPagesScanned, repairPagesCopied]; the
      *             completion's result = node count, with the
      *             replication factor in the top 16 bits */
     std::uint64_t cdw[6] = {0, 0, 0, 0, 0, 0};

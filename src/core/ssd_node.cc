@@ -81,6 +81,14 @@ SsdNode::hostTrim(std::uint64_t lpn_start, std::uint64_t count,
     ssd_->hostTrim(lpn_start, count, std::move(on_complete));
 }
 
+void
+SsdNode::scrubRead(std::uint64_t lpn,
+                   ssd::Ssd::StatusCompletion on_complete)
+{
+    ssd_->scrubRead(ssd_->ftl().translate(lpn),
+                    std::move(on_complete));
+}
+
 std::uint64_t
 SsdNode::translate(std::uint64_t lpn)
 {

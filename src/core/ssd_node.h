@@ -86,6 +86,15 @@ class SsdNode
 
     std::uint64_t nextFreeLpn() const { return nextFreeLpn_; }
 
+    /** Recovery-only: raise the allocator mark to a persisted value.
+     *  Monotonic — an older superblock epoch never un-allocates
+     *  pages the device already handed out. */
+    void restoreNextFreeLpn(std::uint64_t mark)
+    {
+        if (mark > nextFreeLpn_)
+            nextFreeLpn_ = mark;
+    }
+
     // ---- host I/O passthroughs -----------------------------------
 
     void hostWrite(std::uint64_t lpn_start, std::uint64_t count,
@@ -94,6 +103,12 @@ class SsdNode
                   ssd::Completion on_complete);
     void hostTrim(std::uint64_t lpn_start, std::uint64_t count,
                   ssd::Completion on_complete);
+
+    /** Verifying read of one logical page for the background
+     *  scrubber: a real flash read on this node's channel buses that
+     *  reports the ECC verdict. */
+    void scrubRead(std::uint64_t lpn,
+                   ssd::Ssd::StatusCompletion on_complete);
 
     // ---- FTL facade ----------------------------------------------
 

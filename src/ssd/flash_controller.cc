@@ -108,6 +108,11 @@ FlashController::readTiming(const PageAddress &addr,
             uncorrectable = injector_.burstUncorrectable(
                 key, attempt, addr.channel, addr.chip, addr.plane,
                 events_.now());
+        // Latent partial-page corruption: any bad sector defeats ECC
+        // on every attempt (the cells themselves are damaged), so it
+        // folds into the same single ladder charge.
+        if (!uncorrectable)
+            uncorrectable = injector_.pageHasCorruptedSector(key);
     }
     if (!uncorrectable && wearProbe_)
         uncorrectable = injector_.wearUncorrectable(

@@ -54,6 +54,14 @@ struct WearConfig
     double rberPerUncorrectable = 0.0; ///< grown-defect feedback
     double rberPerRetriedRead = 0.0;   ///< marginal-cell feedback
 
+    /** Operating temperature. Retention loss is thermally activated,
+     *  so the `rberPerSecond` term is scaled by an Arrhenius-style
+     *  factor exp((Ea/kB) * (1/T0 - 1/T)) with T0 = 298.15 K (25 C)
+     *  and an activation energy of ~1.1 eV (JEDEC-style charge
+     *  de-trapping). Exactly 1.0 at the default 25 C, so existing
+     *  schedules replay bit-identical. */
+    double tempCelsius = 25.0;
+
     /** RBER above which the superblock's valid pages are relocated
      *  to a fresh superblock (background GC). 1.0 disables. */
     double relocateRberThreshold = 1.0;

@@ -1,10 +1,34 @@
 #include "ssd/ftl.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
 namespace deepstore::ssd {
+
+namespace {
+
+/**
+ * Arrhenius acceleration of retention loss at temperature `celsius`
+ * relative to the 25 C reference: exp((Ea/kB) * (1/T0 - 1/T)) with
+ * Ea = 1.1 eV (JEDEC-style charge de-trapping) and T0 = 298.15 K.
+ * Exactly 1.0 at 25 C so default schedules replay bit-identical.
+ */
+double
+retentionTempFactor(double celsius)
+{
+    if (celsius == 25.0)
+        return 1.0;
+    constexpr double kEaOverKb = 1.1 / 8.617333262e-5; // Ea/kB in K
+    constexpr double kT0 = 298.15;                     // 25 C in K
+    double t = celsius + 273.15;
+    if (t <= 0.0)
+        fatal("WearConfig::tempCelsius below absolute zero");
+    return std::exp(kEaOverKb * (1.0 / kT0 - 1.0 / t));
+}
+
+} // namespace
 
 Ftl::Ftl(const FlashParams &params, StatGroup &stats)
     : params_(params), stats_(stats)
@@ -229,7 +253,8 @@ Ftl::uncorrectableProbability(std::uint64_t ppn, Tick now) const
         w.baseRber +
         w.rberPerErase * static_cast<double>(eraseCount_[phys]) +
         w.rberPerRead * static_cast<double>(readCount_[phys]) +
-        w.rberPerSecond * ticksToSeconds(age) +
+        w.rberPerSecond * ticksToSeconds(age) *
+            retentionTempFactor(w.tempCelsius) +
         w.rberPerUncorrectable *
             static_cast<double>(errorCount_[phys]) +
         w.rberPerRetriedRead *

@@ -219,6 +219,23 @@ Ssd::internalRead(std::uint64_t ppn, std::uint64_t bytes,
     controllers_[addr.channel]->issue(std::move(cmd));
 }
 
+void
+Ssd::scrubRead(std::uint64_t ppn, StatusCompletion on_complete)
+{
+    PageAddress addr = geometry_.decode(ppn);
+    FlashCommand cmd;
+    cmd.op = FlashOp::Read;
+    cmd.addr = addr;
+    cmd.transferBytes = params_.pageBytes;
+    cmd.onComplete = [cb = std::move(on_complete)](Tick t,
+                                                   FlashStatus st) {
+        if (cb)
+            cb(t, st);
+    };
+    stats_.get("scrub.reads") += 1;
+    controllers_[addr.channel]->issue(std::move(cmd));
+}
+
 PageAddress
 Ssd::physicalAddress(std::uint64_t lpn) const
 {

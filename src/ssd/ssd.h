@@ -66,6 +66,18 @@ class Ssd
     void internalRead(std::uint64_t ppn, std::uint64_t bytes,
                       Completion on_complete);
 
+    /** Completion carrying the tick *and* the ECC verdict (the scrub
+     *  path needs to know whether the media gave the page back). */
+    using StatusCompletion = std::function<void(Tick, FlashStatus)>;
+
+    /**
+     * Verifying read used by the background scrubber: a full-page
+     * read straight on the channel controller (no external-interface
+     * transfer), reporting the ECC status so the caller can detect
+     * latent uncorrectable pages before a query does.
+     */
+    void scrubRead(std::uint64_t ppn, StatusCompletion on_complete);
+
     /**
      * Host-path trim of `count` pages starting at `lpn_start`.
      * Fully invalidated superblocks are erased on the affected

@@ -460,13 +460,45 @@ TEST(ArrayNvme, ArrayInfoReportsTopologyAndHealth)
 
     const auto *buf = nvme.buffers().find(cmd.prp);
     ASSERT_NE(buf, nullptr);
-    ASSERT_EQ(buf->size(), 4u * 5u); // 5 floats per node
+    ASSERT_EQ(buf->size(), 4u * 7u); // 7 floats per node
     for (std::uint32_t i = 0; i < 4; ++i) {
-        EXPECT_EQ((*buf)[i * 5 + 0], static_cast<float>(i));
-        EXPECT_EQ((*buf)[i * 5 + 1], i == 3 ? 0.0f : 1.0f);
-        EXPECT_EQ((*buf)[i * 5 + 2],
+        EXPECT_EQ((*buf)[i * 7 + 0], static_cast<float>(i));
+        EXPECT_EQ((*buf)[i * 7 + 1], i == 3 ? 0.0f : 1.0f);
+        EXPECT_EQ((*buf)[i * 7 + 2],
                   static_cast<float>(ssd::FlashParams{}.channels));
+        // Scrub/repair are disabled here, so the per-node rows
+        // report zero activity.
+        EXPECT_EQ((*buf)[i * 7 + 5], 0.0f);
+        EXPECT_EQ((*buf)[i * 7 + 6], 0.0f);
     }
+}
+
+TEST(ArrayNodeDeath, KillNodeIsIdempotentAndRangeChecked)
+{
+    DeepStoreConfig cfg;
+    cfg.array.nodes = homogeneous(3);
+    cfg.array.replication = 2;
+    DeepStore ds(cfg);
+    // Out-of-range indices are a typed error, not UB — and nothing
+    // happens to the array.
+    EXPECT_EQ(ds.killNode(3), KillNodeResult::InvalidNode);
+    EXPECT_EQ(ds.killNode(1000), KillNodeResult::InvalidNode);
+    EXPECT_EQ(ds.array().aliveCount(), 3u);
+    // First kill lands; repeats are idempotent no-ops.
+    EXPECT_EQ(ds.killNode(1), KillNodeResult::Killed);
+    EXPECT_EQ(ds.killNode(1), KillNodeResult::AlreadyDead);
+    EXPECT_EQ(ds.killNode(1), KillNodeResult::AlreadyDead);
+    EXPECT_EQ(ds.array().aliveCount(), 2u);
+    EXPECT_STREQ(toString(KillNodeResult::Killed), "Killed");
+    EXPECT_STREQ(toString(KillNodeResult::AlreadyDead),
+                 "AlreadyDead");
+    EXPECT_STREQ(toString(KillNodeResult::InvalidNode),
+                 "InvalidNode");
+    // The dead-node stat counts the one real death only.
+    std::ostringstream os;
+    ds.dumpStats(os);
+    EXPECT_NE(os.str().find("array.nodeDeaths = 1"),
+              std::string::npos);
 }
 
 } // namespace

@@ -210,6 +210,53 @@ TEST_F(WearFixture, RetentionTermUsesProgramAge)
     EXPECT_NEAR(f.uncorrectableProbability(ppn, 0), young, 1e-12);
 }
 
+TEST_F(WearFixture, RetentionIsThermallyAccelerated)
+{
+    // The Arrhenius factor scales only the rberPerSecond term:
+    // exactly 1.0 at the 25 C default (bit-identical replay), and
+    // strictly increasing with temperature.
+    auto retention_rate = [](double celsius) {
+        FlashParams rp = wearParams();
+        rp.wear.rberPerSecond = 1e-4;
+        rp.wear.tempCelsius = celsius;
+        StatGroup s{"ftl"};
+        Ftl f{rp, s};
+        f.write(0, 0);
+        std::uint64_t ppn = f.translate(0);
+        double at0 = f.uncorrectableProbability(ppn, 0);
+        double at10 =
+            f.uncorrectableProbability(ppn, secondsToTicks(10.0));
+        return (at10 - at0) / 10.0; // effective RBER/s of retention
+    };
+
+    double base = retention_rate(25.0);
+    EXPECT_DOUBLE_EQ(base, 1e-4); // factor is *exactly* 1 at 25 C
+
+    double warm = retention_rate(55.0);
+    double hot = retention_rate(85.0);
+    EXPECT_GT(warm, base);
+    EXPECT_GT(hot, warm);
+    // 1.1 eV over 30 C spans roughly a 40-70x acceleration per step
+    // (JEDEC-style); pin the order of magnitude, not the constant.
+    EXPECT_GT(warm / base, 10.0);
+    EXPECT_LT(warm / base, 200.0);
+
+    // Cooling below the reference slows retention loss instead.
+    EXPECT_LT(retention_rate(5.0), base);
+
+    // Physically impossible temperatures are rejected.
+    FlashParams rp = wearParams();
+    rp.wear.rberPerSecond = 1e-4;
+    rp.wear.tempCelsius = -300.0;
+    StatGroup s{"ftl"};
+    Ftl f{rp, s};
+    f.write(0, 0);
+    EXPECT_THROW(
+        f.uncorrectableProbability(f.translate(0),
+                                   secondsToTicks(1.0)),
+        FatalError);
+}
+
 TEST_F(WearFixture, ThresholdsDriveRelocationThenRetirement)
 {
     for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
