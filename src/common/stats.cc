@@ -1,5 +1,9 @@
 #include "common/stats.h"
 
+// Compile-checks the registered-stats schema (DESIGN.md §9, D11)
+// even for builds that never instantiate registeredStatNames().
+#include "common/stats_schema.h"
+
 namespace deepstore {
 
 void

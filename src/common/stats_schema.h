@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The registered stats surface: every counter the simulator exposes,
+ * in one place (DESIGN.md §9, rule D11).
+ *
+ * StatGroup::get() creates counters on demand, which keeps the call
+ * sites boilerplate-free but historically meant the full stats
+ * surface existed only as the union of string literals scattered
+ * through src/. This X-macro list is the single source of truth the
+ * D11 lint pass cross-checks against the tree:
+ *
+ *   - every name passed to StatGroup::get("...") under src/ must
+ *     appear here as DS_STAT, and vice versa (stale entries are
+ *     findings too);
+ *   - every manually printed `os << "name = ..."` stats row must
+ *     appear as DS_STAT_ROW — the first-class form of the
+ *     guarded-row idiom, whose description documents *when* the row
+ *     appears in the dump (guarded rows keep default-config dumps
+ *     byte-identical to older pins; the determinism sweeps compare
+ *     dump strings).
+ *
+ * Keep the list sorted within each block. The descriptions are
+ * documentation only; nothing at runtime parses them.
+ */
+
+#ifndef DEEPSTORE_COMMON_STATS_SCHEMA_H
+#define DEEPSTORE_COMMON_STATS_SCHEMA_H
+
+#include <string>
+#include <vector>
+
+// clang-format off
+#define DEEPSTORE_STATS_SCHEMA(DS_STAT, DS_STAT_ROW)                        \
+    /* ---- array coordinator (StatGroup) --------------------------- */    \
+    DS_STAT("array.fabric.busyTicks",                                       \
+            "ticks the inter-node fabric spent carrying repair/query data") \
+    DS_STAT("array.fabric.bytes",                                           \
+            "bytes carried over the inter-node fabric")                     \
+    DS_STAT("array.fabric.grants",                                          \
+            "arbitration grants on the inter-node fabric")                  \
+    DS_STAT("array.fabric.waitTicks",                                       \
+            "ticks requesters waited for the inter-node fabric")            \
+    DS_STAT("array.nodeDeaths", "whole-node death events injected")         \
+    DS_STAT("array.powerLosses", "array-wide power-loss events injected")   \
+    DS_STAT("array.queriesScattered",                                       \
+            "queries fanned out across shard-holding nodes")                \
+    DS_STAT("array.redispatches",                                           \
+            "sub-queries re-dispatched after a node death")                 \
+    DS_STAT("array.shardsLostNoReplica",                                    \
+            "shards lost with no surviving replica to re-stripe from")      \
+    DS_STAT("array.subQueriesLost",                                         \
+            "sub-queries dropped with their node (before redispatch)")      \
+    DS_STAT("array.subQueriesRemote",                                       \
+            "sub-queries served by a non-home node")                        \
+    /* ---- DFV weight stream ---------------------------------------- */   \
+    DS_STAT("dfv.backpressureTicks",                                        \
+            "ticks the DFV stream stalled waiting on the compute sink")     \
+    DS_STAT("dfv.bursts", "DMA bursts issued by the DFV streamer")          \
+    DS_STAT("dfv.bytesStreamed", "payload bytes streamed to the DFV")       \
+    DS_STAT("dfv.pageRetries",                                              \
+            "pages re-read after a correctable stream error")               \
+    DS_STAT("dfv.pagesFailed", "pages abandoned as uncorrectable")          \
+    DS_STAT("dfv.pagesStreamed", "pages streamed into the DFV")             \
+    DS_STAT("dfv.streamsOpened", "weight/probe streams opened")             \
+    /* ---- shared DRAM ---------------------------------------------- */   \
+    DS_STAT("dram.busyTicks", "ticks the shared DRAM link was busy")        \
+    DS_STAT("dram.waitTicks", "ticks requesters waited on the DRAM link")   \
+    /* ---- flash controller ----------------------------------------- */   \
+    DS_STAT("flash.blockErases", "physical block erases")                   \
+    DS_STAT("flash.channelStalls",                                          \
+            "requests that waited for a busy flash channel")                \
+    DS_STAT("flash.pagePrograms", "physical page programs")                 \
+    DS_STAT("flash.pageReads", "physical page reads")                       \
+    DS_STAT("flash.readBytes", "bytes read from flash")                     \
+    DS_STAT("flash.readRetries", "page reads retried after ECC failure")    \
+    DS_STAT("flash.uncorrectableReads",                                     \
+            "page reads that exhausted retries (uncorrectable)")            \
+    DS_STAT("flash.writeBytes", "bytes programmed to flash")                \
+    /* ---- FTL ------------------------------------------------------ */   \
+    DS_STAT("ftl.migratedPages",                                            \
+            "valid pages migrated during garbage collection")               \
+    DS_STAT("ftl.pageWrites", "logical page writes mapped by the FTL")      \
+    DS_STAT("ftl.relocatedPages",                                           \
+            "pages moved by wear-driven background relocation")             \
+    DS_STAT("ftl.relocations", "background relocation passes run")          \
+    DS_STAT("ftl.retiredSuperblocks",                                       \
+            "superblocks retired at the endurance cap")                     \
+    DS_STAT("ftl.superblockErases", "superblock erase cycles")              \
+    /* ---- host interface / device-internal traffic ---------------- */    \
+    DS_STAT("host.readBytes", "bytes returned to host reads")               \
+    DS_STAT("host.readCommands", "host read commands accepted")             \
+    DS_STAT("host.trimCommands", "host trim commands accepted")             \
+    DS_STAT("host.writeCommands", "host write commands accepted")           \
+    DS_STAT("internal.reads",                                               \
+            "device-internal page reads (scan datapath, not host I/O)")     \
+    DS_STAT("noc.waitTicks", "ticks requesters waited on the on-chip NoC")  \
+    DS_STAT("powerLosses", "device power-loss events injected")             \
+    DS_STAT("scrub.reads", "pages read by the background scrubber")         \
+    /* ---- query scheduler ------------------------------------------ */   \
+    DS_STAT("sched.deadlineExceeded",                                       \
+            "queries that blew their latency deadline")                     \
+    DS_STAT("sched.nodeDeathKills",                                         \
+            "in-flight queries killed by a node death")                     \
+    DS_STAT("sched.powerLossKills",                                         \
+            "in-flight queries killed by a power loss")                     \
+    DS_STAT("sched.queriesCancelled", "queries cancelled by the host")      \
+    DS_STAT("sched.queriesDegraded",                                        \
+            "queries completed with partial shard coverage")                \
+    DS_STAT("sched.shardFailures", "shard-level scan failures")             \
+    DS_STAT("sched.shardReassignments",                                     \
+            "shards reassigned to a surviving replica holder")              \
+    DS_STAT("sched.shardsLost", "shards abandoned after failure")           \
+    DS_STAT("sched.unitFailures", "compute-unit failures injected")         \
+    DS_STAT("sched.watchdogFires", "scheduler watchdog expirations")        \
+    /* ---- engine rows (deepstore.cc dumpStats; always printed) ----- */   \
+    DS_STAT_ROW("engine.completed", "always printed: queries completed")    \
+    DS_STAT_ROW("engine.databases", "always printed: databases loaded")     \
+    DS_STAT_ROW("engine.inFlight", "always printed: queries in flight")     \
+    DS_STAT_ROW("engine.models", "always printed: models registered")       \
+    DS_STAT_ROW("engine.qc.entries",                                        \
+                "always printed: query-cache resident entries")             \
+    DS_STAT_ROW("engine.qc.hits", "always printed: query-cache hits")       \
+    DS_STAT_ROW("engine.qc.misses", "always printed: query-cache misses")   \
+    DS_STAT_ROW("engine.queries", "always printed: queries submitted")      \
+    DS_STAT_ROW("engine.simulatedSeconds",                                  \
+                "always printed: simulated seconds elapsed")                \
+    /* ---- array rows (array_coordinator.cc dumpStats) -------------- */   \
+    DS_STAT_ROW("array.aliveNodes", "always printed: nodes still alive")    \
+    DS_STAT_ROW("array.nodes", "always printed: nodes configured")          \
+    DS_STAT_ROW("array.replication",                                        \
+                "always printed: configured replication factor")            \
+    DS_STAT_ROW("array.repair.bytesOverFabric",                             \
+                "printed when repair is enabled or has copied pages")       \
+    DS_STAT_ROW("array.repair.lastCompleteTick",                            \
+                "printed when repair is enabled or has copied pages")       \
+    DS_STAT_ROW("array.repair.pagesCopied",                                 \
+                "printed when repair is enabled or has copied pages")       \
+    DS_STAT_ROW("array.repair.shardsRepaired",                              \
+                "printed when repair is enabled or has copied pages")       \
+    DS_STAT_ROW("array.scrub.latentRepaired",                               \
+                "printed when scrub is enabled or has scanned pages")       \
+    DS_STAT_ROW("array.scrub.pagesScanned",                                 \
+                "printed when scrub is enabled or has scanned pages")       \
+    DS_STAT_ROW("array.scrub.passes",                                       \
+                "printed when scrub is enabled or has scanned pages")       \
+    DS_STAT_ROW("array.scrub.uncorrectableFound",                           \
+                "printed when scrub is enabled or has scanned pages")       \
+    DS_STAT_ROW("array.superblock.tornReplicas",                            \
+                "printed only when torn superblock replicas were seen")
+// clang-format on
+
+namespace deepstore {
+
+/** Every registered stat name (DS_STAT and DS_STAT_ROW), in schema
+ *  order. Tests use this to cross-check the runtime stats surface. */
+inline std::vector<std::string>
+registeredStatNames()
+{
+    std::vector<std::string> names;
+#define DEEPSTORE_STAT_NAME(name, desc) names.push_back(name);
+    DEEPSTORE_STATS_SCHEMA(DEEPSTORE_STAT_NAME, DEEPSTORE_STAT_NAME)
+#undef DEEPSTORE_STAT_NAME
+    return names;
+}
+
+} // namespace deepstore
+
+#endif // DEEPSTORE_COMMON_STATS_SCHEMA_H

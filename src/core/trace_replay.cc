@@ -105,6 +105,7 @@ replayTrace(DeepStore &store, const workloads::QueryTrace &trace,
     // the trace timestamp, so concurrent queries genuinely overlap.
     for (const auto &rec : trace.records()) {
         Tick at = start_tick + secondsToTicks(rec.arrivalSeconds);
+        // lint:allow(D12: the replay loop below drains the queue until every query completes, so these locals outlive every scheduled callback)
         events.schedule(at, [&store, &config, &response, &misses,
                              &completed, db_end, rec] {
             std::vector<float> qfv = config.universe->featureOf(
@@ -112,6 +113,7 @@ replayTrace(DeepStore &store, const workloads::QueryTrace &trace,
             std::uint64_t qid = store.query(
                 qfv, config.k, config.modelId, config.dbId,
                 config.dbStart, db_end, config.level);
+            // lint:allow(D12: completion fires inside the same drained replay loop; response/misses/completed live until it exits)
             store.onComplete(qid, [&response, &misses, &completed](
                                       const QueryResult &res) {
                 response.push_back(res.latencySeconds);

@@ -1,6 +1,6 @@
 /**
  * @file
- * Fixture tests for deepstore_lint: each determinism rule D1-D7 is
+ * Fixture tests for deepstore_lint: each determinism rule D1-D12 is
  * pinned positive (the bad fixture fires, with the expected rule and
  * line) and negative (the good fixture stays clean), and the
  * suppression machinery is pinned to honour annotated findings, count
@@ -8,8 +8,10 @@
  *
  * The fixtures are checked-in `.snippet` files (an extension the tree
  * walk ignores, so the linter never lints its own test corpus) under
- * tests/tools/fixtures/. D5 is structural/tree-level, so its cases
- * build a miniature repo tree in the test temp dir.
+ * tests/tools/fixtures/. D5 and D11 are structural/tree-level, so
+ * their cases build a miniature repo tree in the test temp dir. The
+ * D8 sim-state inventory is round-tripped against the checked-in
+ * tools/lint/sim_state_inventory.json.
  */
 
 #include <gtest/gtest.h>
@@ -45,7 +47,7 @@ lintFixture(const std::string &name,
     Report report;
     std::string path =
         path_override.empty() ? "src/fixture/" + name : path_override;
-    lintSource(path, readFixture(name), opts, {}, report);
+    lintSource(path, readFixture(name), opts, FileContext{}, report);
     return report;
 }
 
@@ -184,7 +186,7 @@ TEST(LintD4, CrossFileUnorderedNamesAreRespected)
     EXPECT_EQ(with.findings[0].line, 2);
 
     Report without;
-    lintSource("src/x.cc", cc, {}, {}, without);
+    lintSource("src/x.cc", cc, {}, FileContext{}, without);
     EXPECT_TRUE(without.clean());
 }
 
@@ -302,13 +304,18 @@ TEST(LintSuppression, ReasonlessAnnotationIsItselfAFinding)
 
 TEST(LintSuppression, WrongRuleAnnotationDoesNotSuppress)
 {
+    // The D2 annotation suppresses nothing here: the wall-clock
+    // read is D1, and the namespace-scope `auto t = ...` is itself
+    // an unannotated mutable global (D8).
     Report r;
     lintSource("src/x.cc",
                "// lint:allow(D2: not the right rule)\n"
                "auto t = std::chrono::steady_clock::now();\n",
-               {}, {}, r);
-    ASSERT_EQ(r.findings.size(), 1u);
+               {}, FileContext{}, r);
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
     EXPECT_EQ(r.findings[0].rule, "D1");
+    EXPECT_EQ(r.findings[1].rule, "D8");
+    EXPECT_TRUE(r.suppressions.empty());
 }
 
 // ---- Rule selection ---------------------------------------------
@@ -445,6 +452,404 @@ TEST_F(LintD5, ReasonlessFileLevelSuppressionIsAFinding)
     EXPECT_EQ(r.findings[0].rule, "D5");
     EXPECT_NE(r.findings[0].message.find("missing a reason"),
               std::string::npos);
+}
+
+// ---- D8: shared simulator state must name an owner domain -------
+
+TEST(LintD8, BadFixtureFiresOnAllThreeStaticKinds)
+{
+    Report r = lintFixture("d8_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 3u) << formatReport(r, true);
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"D8", "D8", "D8"}));
+    EXPECT_EQ(r.findings[0].line, 5); // gRetryBudget (global)
+    EXPECT_NE(r.findings[0].message.find("global `gRetryBudget`"),
+              std::string::npos);
+    EXPECT_EQ(r.findings[1].line, 8); // Cache::hits_
+    EXPECT_NE(r.findings[1].message.find("class-static `hits_`"),
+              std::string::npos);
+    EXPECT_EQ(r.findings[2].line, 12); // thread_local calls
+    EXPECT_NE(r.findings[2].message.find("local-static `calls`"),
+              std::string::npos);
+    EXPECT_TRUE(r.simState.empty());
+}
+
+TEST(LintD8, GoodFixtureFeedsInventoryAndHonoursAllow)
+{
+    Report r = lintFixture("d8_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    // The annotated global lands in the inventory with its domain
+    // and reason; const / constexpr / *const and plain locals do
+    // not count as state at all.
+    ASSERT_EQ(r.simState.size(), 1u);
+    EXPECT_EQ(r.simState[0].file, "src/fixture/d8_good.snippet");
+    EXPECT_EQ(r.simState[0].line, 6);
+    EXPECT_EQ(r.simState[0].symbol, "gTraceDepth");
+    EXPECT_EQ(r.simState[0].domain, "kernel");
+    EXPECT_EQ(r.simState[0].reason, "frozen before workers start");
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D8");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "scratch counter owned by the test harness, never "
+              "read by the simulator");
+}
+
+TEST(LintD8, MalformedAnnotationsAreFindingsNotSuppressions)
+{
+    Report r = lintFixture("d8_malformed.snippet");
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D8");
+    EXPECT_EQ(r.findings[0].line, 5); // lint:sim-state(kernel)
+    EXPECT_NE(r.findings[0].message.find("missing a reason"),
+              std::string::npos);
+    EXPECT_EQ(r.findings[1].rule, "D8");
+    EXPECT_EQ(r.findings[1].line, 7); // per-thread domain
+    EXPECT_NE(r.findings[1].message.find("unknown owner domain"),
+              std::string::npos);
+    EXPECT_TRUE(r.simState.empty());
+}
+
+TEST(LintD8, OnlySrcIsInScope)
+{
+    EXPECT_TRUE(
+        lintFixture("d8_bad.snippet", "tests/core/test_x.cc")
+            .clean());
+    EXPECT_TRUE(
+        lintFixture("d8_bad.snippet", "bench/bench_x.cc").clean());
+}
+
+TEST(LintD8, CollectMutableStaticsClassifiesKinds)
+{
+    auto statics = collectMutableStatics(
+        "int gCounter = 0;\n"
+        "const int kLimit = 8;\n"
+        "constexpr int kWays = 2;\n"
+        "struct S {\n"
+        "    static int calls_;\n"
+        "};\n"
+        "void f() {\n"
+        "    static double acc = 0;\n"
+        "    int local = 0;\n"
+        "    (void)local;\n"
+        "}\n");
+    ASSERT_EQ(statics.size(), 3u);
+    EXPECT_EQ(statics[0].symbol, "gCounter");
+    EXPECT_EQ(statics[0].kind, "global");
+    EXPECT_EQ(statics[1].symbol, "calls_");
+    EXPECT_EQ(statics[1].kind, "class-static");
+    EXPECT_EQ(statics[2].symbol, "acc");
+    EXPECT_EQ(statics[2].kind, "local-static");
+}
+
+// ---- D9: address-order nondeterminism ---------------------------
+
+TEST(LintD9, BadFixtureFiresOnKeysComparatorsAndRawCompares)
+{
+    Report r = lintFixture("d9_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 4u) << formatReport(r, true);
+    EXPECT_EQ(rulesOf(r),
+              (std::vector<std::string>{"D9", "D9", "D9", "D9"}));
+    EXPECT_EQ(r.findings[0].line, 6);  // map<const Node *, ...>
+    EXPECT_EQ(r.findings[1].line, 7);  // set<shared_ptr<Node>>
+    EXPECT_EQ(r.findings[2].line, 11); // comparator a < b
+    EXPECT_EQ(r.findings[3].line, 14); // p < q
+}
+
+TEST(LintD9, GoodFixtureStableKeysAndAnnotationAreClean)
+{
+    Report r = lintFixture("d9_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D9");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "membership test only; never iterated, so address "
+              "order is unobservable");
+}
+
+TEST(LintD9, CollectPointerNamesRejectsMultiplication)
+{
+    auto names = collectPointerNames(
+        "struct Q;\n"
+        "Node *head;\n"
+        "const Node *tail = nullptr;\n"
+        "void f(Edge *e) { int x = a * b; (void)x; (void)e; }\n");
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"e", "head", "tail"}));
+}
+
+// ---- D10: FP accumulation over unordered iteration --------------
+
+TEST(LintD10, OrderedOkDoesNotCoverFloatAccumulation)
+{
+    // The key semantic pin: lint:ordered-ok claims iteration order
+    // doesn't matter, but an FP sum is exactly where it does — D4
+    // goes quiet, D10 still fires.
+    Report r = lintFixture("d10_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 3u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D4");
+    EXPECT_EQ(r.findings[0].line, 8); // unannotated loop
+    EXPECT_EQ(r.findings[1].rule, "D10");
+    EXPECT_EQ(r.findings[1].line, 9); // total +=
+    EXPECT_EQ(r.findings[2].rule, "D10");
+    EXPECT_EQ(r.findings[2].line, 13); // sum += under ordered-ok
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D4");
+    EXPECT_EQ(r.suppressions[0].reason, "just summing");
+}
+
+TEST(LintD10, IntegerSumsOrderedMapsAndAllowAreClean)
+{
+    Report r = lintFixture("d10_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    // Two ordered-ok'd walks (integer sum, epsilon-compared sum)
+    // plus one explicit lint:allow(D10: ...).
+    ASSERT_EQ(r.suppressions.size(), 3u);
+    EXPECT_EQ(r.suppressions[0].rule, "D4");
+    EXPECT_EQ(r.suppressions[1].rule, "D4");
+    EXPECT_EQ(r.suppressions[2].rule, "D10");
+    EXPECT_EQ(r.suppressions[2].reason,
+              "result only checked against a 1e-6 tolerance, never "
+              "replay-pinned");
+}
+
+TEST(LintD10, CollectFloatNamesHandlesMultiDeclarators)
+{
+    auto names = collectFloatNames(
+        "double total = 0, mean = 0;\n"
+        "float x;\n"
+        "std::unordered_map<int, double> m;\n"
+        "int n = 0;\n");
+    EXPECT_EQ(names, (std::vector<std::string>{"mean", "total",
+                                               "x"}));
+}
+
+// ---- D12: by-reference captures in scheduled lambdas ------------
+
+TEST(LintD12, BadFixtureFiresOnBlanketAndExplicitRefCaptures)
+{
+    Report r = lintFixture("d12_bad.snippet");
+    ASSERT_EQ(r.findings.size(), 2u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D12");
+    EXPECT_EQ(r.findings[0].line, 6); // [&]
+    EXPECT_EQ(r.findings[1].rule, "D12");
+    EXPECT_EQ(r.findings[1].line, 9); // [&count], nested in wrap()
+}
+
+TEST(LintD12, ValueCapturesSubscriptsAndAllowAreClean)
+{
+    Report r = lintFixture("d12_good.snippet");
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D12");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "the runUntilIdle call below drains the queue "
+              "before drained goes out of scope");
+}
+
+TEST(LintD12, OnlySrcIsInScope)
+{
+    EXPECT_TRUE(
+        lintFixture("d12_bad.snippet", "tests/sim/test_x.cc")
+            .clean());
+}
+
+// ---- D11: stats schema completeness (tree-level) ----------------
+
+class LintD11 : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::path(::testing::TempDir()) /
+                ("lint_d11_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()));
+        fs::remove_all(root_);
+        fs::create_directories(root_ / "tests");
+        fs::create_directories(root_ / "src" / "common");
+        fs::create_directories(root_ / "src" / "core");
+        write("tests/CMakeLists.txt", "\n");
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(root_);
+    }
+
+    void
+    write(const fs::path &rel, const std::string &text)
+    {
+        std::ofstream out(root_ / rel, std::ios::binary);
+        out << text;
+    }
+
+    Report
+    lint()
+    {
+        return lintTree(root_.string(), {});
+    }
+
+    fs::path root_;
+};
+
+TEST_F(LintD11, UnregisteredGetIsAFinding)
+{
+    write("src/common/stats_schema.h",
+          "DS_STAT(\"engine.queries\", \"queries issued\")\n");
+    write("src/core/engine.cc",
+          "void dump(StatGroup &stats) {\n"
+          "    stats.get(\"engine.queries\") += 1;\n"
+          "    stats.get(\"engine.misses\") += 1;\n"
+          "}\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D11");
+    EXPECT_EQ(r.findings[0].file, "src/core/engine.cc");
+    EXPECT_EQ(r.findings[0].line, 3);
+    EXPECT_NE(r.findings[0].message.find("engine.misses"),
+              std::string::npos);
+    EXPECT_NE(r.findings[0].message.find("not registered"),
+              std::string::npos);
+}
+
+TEST_F(LintD11, ManualRowAgainstDsStatRegistrationIsAFinding)
+{
+    // The guarded-row idiom is first-class: a row printed by hand
+    // must be registered as DS_STAT_ROW, not DS_STAT.
+    write("src/common/stats_schema.h",
+          "DS_STAT(\"array.nodes\", \"node count\")\n");
+    write("src/core/coord.cc",
+          "void dump(std::ostream &os, int n) {\n"
+          "    os << \"array.nodes = \" << n << \"\\n\";\n"
+          "}\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D11");
+    EXPECT_EQ(r.findings[0].line, 2);
+    EXPECT_NE(r.findings[0].message.find("printed as a manual row"),
+              std::string::npos);
+}
+
+TEST_F(LintD11, StaleSchemaEntryIsAFindingAtItsDeclaration)
+{
+    write("src/common/stats_schema.h",
+          "DS_STAT(\"engine.queries\", \"queries issued\")\n"
+          "DS_STAT(\"engine.orphan\", \"never referenced\")\n");
+    write("src/core/engine.cc",
+          "void bump(StatGroup &stats) {\n"
+          "    stats.get(\"engine.queries\") += 1;\n"
+          "}\n");
+    Report r = lint();
+    ASSERT_EQ(r.findings.size(), 1u) << formatReport(r, true);
+    EXPECT_EQ(r.findings[0].rule, "D11");
+    EXPECT_EQ(r.findings[0].file, "src/common/stats_schema.h");
+    EXPECT_EQ(r.findings[0].line, 2);
+    EXPECT_NE(r.findings[0].message.find("stale schema entry"),
+              std::string::npos);
+}
+
+TEST_F(LintD11, RegisteredGetAndGuardedRowAreClean)
+{
+    // A dynamically-composed name (ternary between two literals)
+    // still counts as a reference: the stale scan is a substring
+    // match over literal-preserving strips.
+    write("src/common/stats_schema.h",
+          "DS_STAT(\"sched.kills\", \"events cancelled\")\n"
+          "DS_STAT(\"sched.drops\", \"events dropped\")\n"
+          "DS_STAT_ROW(\"array.scrub.pages\", \"when scrubbing\")\n");
+    write("src/core/engine.cc",
+          "void dump(StatGroup &stats, std::ostream &os, bool k,\n"
+          "          long pages) {\n"
+          "    stats.get(k ? \"sched.kills\" : \"sched.drops\")++;\n"
+          "    if (pages)\n"
+          "        os << \"array.scrub.pages = \" << pages;\n"
+          "}\n");
+    Report r = lint();
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+}
+
+TEST_F(LintD11, StaleEntryCanBeSuppressedWithAReason)
+{
+    write("src/common/stats_schema.h",
+          "DS_STAT(\"engine.queries\", \"queries issued\")\n"
+          "// lint:allow(D11: reserved for the recovery PR)\n"
+          "DS_STAT(\"repair.future\", \"not wired up yet\")\n");
+    write("src/core/engine.cc",
+          "void bump(StatGroup &stats) {\n"
+          "    stats.get(\"engine.queries\") += 1;\n"
+          "}\n");
+    Report r = lint();
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, "D11");
+    EXPECT_EQ(r.suppressions[0].reason,
+              "reserved for the recovery PR");
+}
+
+// ---- Sim-state inventory round-trip -----------------------------
+
+TEST_F(LintD11, InventoryJsonIsDeterministic)
+{
+    write("src/core/g.cc",
+          "// lint:sim-state(per-node: cache survives across "
+          "queries on purpose)\n"
+          "int gCache = 1;\n");
+    write("src/common/stats_schema.h", "\n");
+    Report r = lint();
+    EXPECT_TRUE(r.clean()) << formatReport(r, true);
+    EXPECT_EQ(formatInventory(r),
+              "{\n"
+              "  \"version\": 1,\n"
+              "  \"domains\": [\"per-channel\", \"per-node\", "
+              "\"coordinator\", \"kernel\"],\n"
+              "  \"entries\": [\n"
+              "    {\n"
+              "      \"file\": \"src/core/g.cc\",\n"
+              "      \"line\": 2,\n"
+              "      \"symbol\": \"gCache\",\n"
+              "      \"domain\": \"per-node\",\n"
+              "      \"reason\": \"cache survives across queries "
+              "on purpose\"\n"
+              "    }\n"
+              "  ]\n"
+              "}\n");
+}
+
+TEST(LintInventory, CheckedInInventoryMatchesTheTree)
+{
+    // The drift check CI enforces, from inside the test suite: the
+    // committed sim_state_inventory.json must be byte-identical to
+    // what the tree produces today, and must not be empty.
+    Report r = lintTree(DEEPSTORE_LINT_REPO_ROOT, {});
+    EXPECT_FALSE(r.simState.empty());
+    fs::path p = fs::path(DEEPSTORE_LINT_REPO_ROOT) / "tools" /
+                 "lint" / "sim_state_inventory.json";
+    std::ifstream in(p, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing " << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), formatInventory(r))
+        << "inventory drift: regenerate with deepstore_lint "
+           "--emit-inventory";
+}
+
+// ---- JSON report ------------------------------------------------
+
+TEST(LintJson, ReportCarriesCountsFindingsAndInventory)
+{
+    Report r = lintFixture("d8_good.snippet");
+    std::string json = formatJson(r);
+    EXPECT_NE(json.find("\"findings\": 0"), std::string::npos);
+    EXPECT_NE(json.find(
+                  "\"D8\": {\"findings\": 0, \"suppressions\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"simState\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"simStateInventory\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"gTraceDepth\""), std::string::npos);
 }
 
 // ---- The real tree stays clean ----------------------------------

@@ -42,10 +42,59 @@
  *       whole-drive death stay encapsulated behind the array.
  *       Deliberate escapes carry `// lint:allow(D7: ...)`.
  *
+ * v2 grows the checker from a per-file token scanner into a
+ * two-phase analyzer for the parallel-DES groundwork: phase 1 builds
+ * a lightweight cross-TU index over the tree (include graph,
+ * float/pointer declarations, mutable global/static state, Stats
+ * sites, schedule() sites); phase 2 runs five more rules on top:
+ *
+ *   D8  every mutable global / namespace-scope / class-static /
+ *       function-local-static variable under src/ carries a
+ *       `// lint:sim-state(<domain>: <reason>)` annotation naming
+ *       its owner domain (per-channel | per-node | coordinator |
+ *       kernel). Annotated symbols are emitted as the shared-state
+ *       inventory (tools/lint/sim_state_inventory.json) that the
+ *       parallel-DES kernel will use to decide what gets sharded
+ *       vs. barriered; CI diffs the emitted inventory against the
+ *       committed one.
+ *   D9  address-order nondeterminism: ordered/unordered associative
+ *       containers keyed by raw pointers (std::map<T*,...>,
+ *       std::set<T*>, smart-pointer keys), sort comparators that
+ *       compare pointer parameters with `<`, and raw `p < q`
+ *       comparisons between known pointer variables. Pointer values
+ *       differ run to run (ASLR, allocator), so any order derived
+ *       from them is irreproducible. Annotate
+ *       `// lint:ptr-ordered-ok(<reason>)` (or lint:allow(D9: ...))
+ *       for deliberate, order-insensitive uses.
+ *   D10 floating-point accumulation (`+=`/`-=` on a float/double
+ *       variable, cross-checked against the phase-1 type index)
+ *       inside a range-for over an unordered container: FP addition
+ *       is not associative, so a free iteration order silently
+ *       breaks bit-identical replays even where D4 was judged
+ *       harmless. A D4 `lint:ordered-ok` does NOT cover it; a
+ *       deliberate escape needs `lint:allow(D10: ...)`.
+ *   D11 structural stats completeness: every stat name used with
+ *       `StatGroup::get("...")` under src/ is registered in
+ *       src/common/stats_schema.h (DS_STAT), every manually printed
+ *       `os << "name = ..."` stat row is registered as DS_STAT_ROW
+ *       (the first-class form of the guarded-row idiom — the entry
+ *       documents when the row appears), and every registered name
+ *       is still referenced somewhere in src/ (no stale schema
+ *       entries).
+ *   D12 dangling event captures: schedule()/scheduleAfter()/
+ *       scheduleChain()/schedulePeriodic() lambdas under src/ that
+ *       capture by reference (`[&]`, `[&x]`). The callback outlives
+ *       the enclosing scope unless the queue is provably drained
+ *       first, so by-ref captures of locals are use-after-scope
+ *       bombs. Deliberate drain-before-return sites carry
+ *       `lint:allow(D12: ...)`.
+ *
  * Suppressions (same line or the line directly above the finding):
  *
  *   // lint:allow(D1: <reason>)      suppress any rule, with reason
  *   // lint:ordered-ok(<reason>)     D4-specific alias
+ *   // lint:ptr-ordered-ok(<reason>) D9-specific alias
+ *   // lint:sim-state(<domain>: <reason>)  D8 inventory annotation
  *
  * A suppression without a written reason is itself a finding.
  *
@@ -67,7 +116,7 @@ struct Finding
 {
     std::string file;    ///< path as given to the linter
     int line = 0;        ///< 1-based line number
-    std::string rule;    ///< "D1".."D7"
+    std::string rule;    ///< "D1".."D12"
     std::string message; ///< human-readable explanation
 };
 
@@ -80,11 +129,29 @@ struct Suppression
     std::string reason;
 };
 
+/**
+ * One shared-state inventory entry: a mutable global/static under
+ * src/ together with the owner domain its lint:sim-state annotation
+ * assigned. The parallel-DES PR consumes this to decide which state
+ * gets sharded per worker (per-channel / per-node), which stays on
+ * the coordinator, and which must be frozen before threads start
+ * (kernel).
+ */
+struct SimStateEntry
+{
+    std::string file;
+    int line = 0;
+    std::string symbol;
+    std::string domain; ///< per-channel | per-node | coordinator | kernel
+    std::string reason;
+};
+
 /** Result of a lint run. */
 struct Report
 {
     std::vector<Finding> findings;
     std::vector<Suppression> suppressions;
+    std::vector<SimStateEntry> simState; ///< D8 inventory (tree mode)
 
     bool clean() const { return findings.empty(); }
 };
@@ -111,6 +178,10 @@ struct Options
  * Source text with comments and string/char literals blanked out
  * (replaced by spaces, newlines preserved) plus the per-line comment
  * text (for `lint:` annotations). Exposed for the linter's own tests.
+ *
+ * When @p keep_literals is true the contents of string literals stay
+ * in `code` (comments are still blanked): the phase-1 stats passes
+ * need the literal stat names.
  */
 struct StrippedSource
 {
@@ -119,17 +190,38 @@ struct StrippedSource
 };
 
 /** Strip comments and string/char literals (handles raw strings). */
-StrippedSource stripSource(const std::string &content);
+StrippedSource stripSource(const std::string &content,
+                           bool keep_literals = false);
 
 /**
- * Run the token-level rules (D1–D4, D6, D7) on one in-memory file.
+ * Cross-TU context for the per-file token rules: name sets collected
+ * over the whole tree in phase 1 and fed to every file's phase-2 run
+ * (headers declare the members; the .cc files use them).
+ */
+struct FileContext
+{
+    /** Variables known to be unordered containers (D4/D10). */
+    std::vector<std::string> unorderedNames;
+    /** Variables known to be float/double (D10). */
+    std::vector<std::string> floatNames;
+    /** Variables known to be raw pointers (D9). */
+    std::vector<std::string> pointerNames;
+};
+
+/**
+ * Run the token-level rules (D1–D4, D6–D10, D12) on one in-memory
+ * file.
  *
  * @param path     path used for exemption matching and reporting
  * @param content  full file text
- * @param unordered_names  extra variable names known to be
- *                 unordered containers (for D4 across files); names
- *                 declared inside @p content are found automatically
+ * @param ctx      cross-TU name sets (names declared inside
+ *                 @p content are found automatically)
  */
+void lintSource(const std::string &path, const std::string &content,
+                const Options &opts, const FileContext &ctx,
+                Report &report);
+
+/** Back-compat convenience: context with unordered names only. */
 void lintSource(const std::string &path, const std::string &content,
                 const Options &opts,
                 const std::vector<std::string> &unordered_names,
@@ -137,20 +229,59 @@ void lintSource(const std::string &path, const std::string &content,
 
 /**
  * Collect names of variables/members declared with an
- * unordered_map/unordered_set type in @p content (for D4).
+ * unordered_map/unordered_set type in @p content (for D4/D10).
  */
 std::vector<std::string>
 collectUnorderedNames(const std::string &content);
 
+/** Collect names declared float/double in @p content (for D10). */
+std::vector<std::string>
+collectFloatNames(const std::string &content);
+
+/** Collect names declared as raw pointers in @p content (for D9). */
+std::vector<std::string>
+collectPointerNames(const std::string &content);
+
 /**
- * Tree mode: walk <root>/src and <root>/tests (*.cc, *.h, sorted),
- * run D1–D4, D6 and D7 on every file, then run the structural D5
- * checks against <root>/tests/CMakeLists.txt and <root>/bench.
+ * One mutable global/static declaration found by the phase-1 state
+ * scan (before annotation matching). Exposed for the linter's tests.
+ */
+struct MutableStatic
+{
+    int line = 0;
+    std::string symbol;
+    /** "global" | "class-static" | "local-static" */
+    std::string kind;
+};
+
+/** Phase-1 scan for mutable global/static state (D8). */
+std::vector<MutableStatic>
+collectMutableStatics(const std::string &content);
+
+/**
+ * Tree mode: phase 1 walks <root>/src and <root>/tests (*.cc, *.h,
+ * sorted) building the cross-TU index, then phase 2 runs every
+ * per-file rule with that context plus the structural passes (D5,
+ * D8 inventory, D11 stats completeness).
  */
 Report lintTree(const std::string &root, const Options &opts);
 
 /** Render findings + suppression notes as "file:line: [Dk] msg". */
 std::string formatReport(const Report &report, bool verbose);
+
+/**
+ * Serialize the D8 shared-state inventory deterministically (sorted
+ * by file, line). This exact byte stream is what gets committed as
+ * tools/lint/sim_state_inventory.json and what CI diffs against.
+ */
+std::string formatInventory(const Report &report);
+
+/**
+ * Serialize the whole report (findings, suppressions, per-rule
+ * counts, and the D8 inventory) as JSON for the `--json` CLI flag;
+ * CI archives it as the static-analysis artifact.
+ */
+std::string formatJson(const Report &report);
 
 } // namespace deepstore::lint
 
